@@ -1,0 +1,57 @@
+"""E1 — COUNT accuracy and cost (Lemma 1).
+
+Regenerates the E1 table rows: a single listener estimates ``m``
+broadcasters; the benchmark times one COUNT execution and asserts the
+constant-factor band on the estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ProtocolConstants, run_count_step
+
+
+def _star_inputs(m: int):
+    n = m + 1
+    adj = np.zeros((n, n), dtype=bool)
+    adj[0, 1:] = True
+    adj[1:, 0] = True
+    channels = np.zeros(n, dtype=np.int64)
+    tx_role = np.ones(n, dtype=bool)
+    tx_role[0] = False
+    return adj, channels, tx_role
+
+
+def bench_count_argmax_m16(benchmark):
+    """One COUNT execution with 16 broadcasters (argmax rule)."""
+    adj, channels, tx_role = _star_inputs(16)
+    consts = ProtocolConstants(count_rule="argmax", count_round_slots=8.0)
+    rng = np.random.default_rng(1)
+
+    def run():
+        return run_count_step(
+            adj, channels, tx_role,
+            max_count=32, log_n=5, constants=consts, rng=rng,
+        )
+
+    out = benchmark(run)
+    assert 16 / 4 <= out.estimates[0] <= 16 * 4
+
+
+def bench_count_first_crossing_m16(benchmark):
+    """One paper-rule COUNT execution (long rounds) with 16 broadcasters."""
+    adj, channels, tx_role = _star_inputs(16)
+    consts = ProtocolConstants(
+        count_rule="first_crossing", count_round_slots=192.0
+    )
+    rng = np.random.default_rng(2)
+
+    def run():
+        return run_count_step(
+            adj, channels, tx_role,
+            max_count=32, log_n=5, constants=consts, rng=rng,
+        )
+
+    out = benchmark(run)
+    assert out.estimates[0] > 0

@@ -1,0 +1,42 @@
+"""E2 — CSEEK vs naive discovery (Theorem 4).
+
+Times one CSEEK and one naive-baseline execution on the standard
+discovery workload, asserting full discovery; the full sweep lives in
+``python -m repro run E2``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import NaiveDiscovery
+from repro.core import CSeek, verify_discovery
+
+
+def bench_cseek_regular20(benchmark, regular_net):
+    """Full CSEEK execution, 20-node 4-regular, c=8, k=2."""
+
+    def run():
+        return CSeek(regular_net, seed=1).run()
+
+    result = benchmark(run)
+    assert verify_discovery(result, regular_net).success
+
+
+def bench_naive_discovery_regular20(benchmark, regular_net):
+    """Naive random-hopping discovery on the same workload."""
+
+    def run():
+        nd = NaiveDiscovery(regular_net, seed=1)
+        return nd, nd.run()
+
+    nd, result = benchmark(run)
+    assert nd.verify(result).success
+
+
+def bench_cseek_crowded_star(benchmark, crowded_star_net):
+    """CSEEK where channels are maximally crowded (global core)."""
+
+    def run():
+        return CSeek(crowded_star_net, seed=2).run()
+
+    result = benchmark(run)
+    assert verify_discovery(result, crowded_star_net).success

@@ -1,0 +1,39 @@
+"""E5 — Luby line-graph coloring (Lemma 8, Fact 7).
+
+Times one coloring of a 64-node 4-regular network's line graph and
+asserts validity within the O(lg n) phase budget's constant.
+"""
+
+from __future__ import annotations
+
+from repro.core import LineGraph, LubyEdgeColoring, is_valid_edge_coloring
+from repro.graphs import build_network, random_regular
+
+
+def bench_coloring_n64(benchmark):
+    """2*Delta edge coloring, 64 nodes / 128 edges."""
+    net = build_network(random_regular(64, 4, seed=9), c=8, k=2, seed=9)
+    lg = LineGraph.from_edges(net.edges())
+    kn = net.knowledge()
+
+    def run():
+        return LubyEdgeColoring(lg, kn, seed=4).run()
+
+    result = benchmark(run)
+    assert result.complete
+    assert is_valid_edge_coloring(result.colors, lg.edges)
+    assert result.phases_used <= 2 * result.scheduled_phases
+
+
+def bench_coloring_n128(benchmark):
+    """2*Delta edge coloring, 128 nodes / 256 edges."""
+    net = build_network(random_regular(128, 4, seed=11), c=8, k=2, seed=11)
+    lg = LineGraph.from_edges(net.edges())
+    kn = net.knowledge()
+
+    def run():
+        return LubyEdgeColoring(lg, kn, seed=5).run()
+
+    result = benchmark(run)
+    assert result.complete
+    assert is_valid_edge_coloring(result.colors, lg.edges)

@@ -1,0 +1,40 @@
+"""E7 — the bipartite hitting games (Lemmas 10 and 12).
+
+Times batches of games and asserts the measured means respect the
+floors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import complete_game_floor, hitting_game_floor
+from repro.lowerbounds import FreshRandomPlayer, HittingGame, play
+
+
+def bench_hitting_game_c32_k2(benchmark):
+    """20 fresh-player games at (c, k) = (32, 2)."""
+
+    def run():
+        rounds = []
+        for seed in range(20):
+            game = HittingGame(c=32, k=2, seed=seed)
+            rounds.append(play(game, FreshRandomPlayer(seed=seed + 1)).rounds)
+        return rounds
+
+    rounds = benchmark(run)
+    assert float(np.mean(rounds)) >= hitting_game_floor(32, 2)
+
+
+def bench_complete_game_c27(benchmark):
+    """20 fresh-player complete games at c = 27 (Lemma 12)."""
+
+    def run():
+        rounds = []
+        for seed in range(20):
+            game = HittingGame(c=27, k=27, seed=seed)
+            rounds.append(play(game, FreshRandomPlayer(seed=seed + 1)).rounds)
+        return rounds
+
+    rounds = benchmark(run)
+    assert float(np.mean(rounds)) >= complete_game_floor(27)

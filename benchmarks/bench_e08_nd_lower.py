@@ -1,0 +1,30 @@
+"""E8 — the Lemma 11 reduction and Theorem 13.
+
+Times the CSEEK-driven reduction player and asserts its meeting time
+respects the game floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import hitting_game_floor
+from repro.lowerbounds import CSeekReductionPlayer, HittingGame, play
+
+
+def bench_reduction_player_c16_k2(benchmark):
+    """10 reduction-driven games at (c, k) = (16, 2)."""
+
+    def run():
+        rounds = []
+        for seed in range(10):
+            player = CSeekReductionPlayer(k=2, seed=seed)
+            game = HittingGame(c=16, k=2, seed=seed + 17)
+            budget = 4 * player.schedule_slots(16)
+            transcript = play(game, player, max_rounds=budget)
+            assert transcript.won
+            rounds.append(transcript.rounds)
+        return rounds
+
+    rounds = benchmark(run)
+    assert float(np.mean(rounds)) >= hitting_game_floor(16, 2)

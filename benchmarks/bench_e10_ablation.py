@@ -1,0 +1,47 @@
+"""E10 — the Section 7 heterogeneity bias.
+
+Times a starved CSEEK run on a heterogeneous network and asserts the
+part-two bias toward strongly overlapping neighbors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import CSeek
+from repro.graphs import build_network, random_regular
+
+
+def bench_heterogeneity_bias(benchmark):
+    """Starved CSEEK on kmax/k = 8; high-overlap pairs found more."""
+    graph = random_regular(16, 3, seed=3)
+    net = build_network(
+        graph, c=32, k=1, seed=8, kind="heterogeneous", kmax=8
+    )
+    lo_pairs = [e for e in net.edges() if net.edge_overlap(*e) == 1]
+    hi_pairs = [e for e in net.edges() if net.edge_overlap(*e) == 8]
+
+    def run():
+        lo_rates, hi_rates = [], []
+        for seed in range(3):
+            result = CSeek(
+                net, seed=seed, part1_steps=300, part2_steps=400
+            ).run()
+            lo_rates.append(
+                sum(
+                    (v in result.discovered[u]) + (u in result.discovered[v])
+                    for u, v in lo_pairs
+                )
+                / (2 * len(lo_pairs))
+            )
+            hi_rates.append(
+                sum(
+                    (v in result.discovered[u]) + (u in result.discovered[v])
+                    for u, v in hi_pairs
+                )
+                / (2 * len(hi_pairs))
+            )
+        return float(np.mean(lo_rates)), float(np.mean(hi_rates))
+
+    lo, hi = benchmark(run)
+    assert hi > lo  # part two favors strongly overlapping neighbors

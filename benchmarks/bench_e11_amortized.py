@@ -1,0 +1,31 @@
+"""E11 — amortized repeated broadcast (extension of Theorem 9).
+
+Times a schedule reuse (one redissemination over an existing CGCAST
+setup) and asserts it costs a small fraction of the setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CGCast, redisseminate
+
+
+@pytest.fixture(scope="module")
+def broadcast_setup(clique_chain_net):
+    result = CGCast(clique_chain_net, source=0, seed=1).run()
+    assert result.success
+    return result
+
+
+def bench_redisseminate(benchmark, clique_chain_net, broadcast_setup):
+    """One message over the reusable schedule (dissemination only)."""
+
+    def run():
+        return redisseminate(
+            clique_chain_net, broadcast_setup, source=5, seed=3
+        )
+
+    diss = benchmark(run)
+    assert diss.success
+    assert diss.ledger.total < broadcast_setup.total_slots / 10

@@ -1,0 +1,24 @@
+"""E12 — discovery under primary-user interference (extension).
+
+Times CSEEK with 30% short-burst channel occupancy and asserts the
+schedule slack absorbs it.
+"""
+
+from __future__ import annotations
+
+from repro.core import CSeek, verify_discovery
+from repro.sim import PrimaryUserTraffic
+
+
+def bench_cseek_under_interference(benchmark, regular_net):
+    """CSEEK with 30% primary-user occupancy (dwell 4 slots)."""
+    channels = sorted(regular_net.assignment.universe())
+
+    def run():
+        traffic = PrimaryUserTraffic(
+            channels, activity=0.3, mean_dwell=4.0, seed=9
+        )
+        return CSeek(regular_net, seed=2, jammer=traffic).run()
+
+    result = benchmark(run)
+    assert verify_discovery(result, regular_net).success

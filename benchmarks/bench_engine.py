@@ -1,0 +1,40 @@
+"""Micro-benchmarks of the slot engine (implementation health).
+
+Not tied to a paper claim; tracks the cost of the primitives every
+protocol run is built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import resolve_step, resolve_varying
+
+
+def _random_net(n, seed):
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < 0.2
+    adj = np.triu(adj, 1)
+    adj = adj | adj.T
+    return adj, rng
+
+
+def bench_resolve_step_n100_t64(benchmark):
+    """Fixed-channel step: 64 slots, 100 nodes."""
+    adj, rng = _random_net(100, 1)
+    channels = rng.integers(0, 8, size=100)
+    tx_role = rng.random(100) < 0.5
+    coins = rng.random((64, 100)) < 0.3
+
+    out = benchmark(resolve_step, adj, channels, tx_role, coins)
+    assert out.heard_from.shape == (64, 100)
+
+
+def bench_resolve_varying_n100_t256(benchmark):
+    """Per-slot re-hopping: 256 slots, 100 nodes."""
+    adj, rng = _random_net(100, 2)
+    channels = rng.integers(0, 8, size=(256, 100))
+    tx = rng.random((256, 100)) < 0.3
+
+    out = benchmark(resolve_varying, adj, channels, tx)
+    assert out.heard_from.shape == (256, 100)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Emergency alert over a multi-hop cognitive radio mesh.
+
+A chain of neighborhoods (cliques) bridged by single links — diameter
+grows with the chain while each radio keeps few neighbors. A source
+node floods an alert with CGCAST (discovery -> edge coloring ->
+color-scheduled dissemination) and with the naive random-hopping
+strawman; the per-hop costs show Theorem 9's point: once the schedule
+exists, pushing the message one hop costs O~(Delta) slots instead of
+O~(c^2/k).
+
+Run:
+    python examples/emergency_broadcast.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import NaiveBroadcast
+from repro.core import CGCast
+from repro.graphs import build_network, path_of_cliques
+from repro.lowerbounds import level_completion_slots, per_hop_costs
+
+
+def main(seed: int = 0) -> int:
+    graph = path_of_cliques(6, 4)
+    net = build_network(graph, c=8, k=1, seed=seed)
+    kn = net.knowledge()
+    print(f"mesh: {kn.n} radios in 6 neighborhoods, "
+          f"D={kn.diameter}, Delta={kn.max_degree}, c={kn.c}, k={kn.k}")
+    print(f"per-hop cost regime: Delta={kn.max_degree} vs "
+          f"c^2/k={kn.c * kn.c // kn.k}")
+
+    cg = CGCast(net, source=0, seed=seed + 1).run()
+    print("\nCGCAST:")
+    print(f"  delivered to all: {cg.success} "
+          f"(valid coloring: {cg.coloring_valid})")
+    for phase, slots in cg.ledger.items():
+        print(f"  {phase:<22} {slots:>12,} slots")
+    diss = cg.ledger.get("dissemination")
+    print(f"  dissemination per hop: {diss / kn.diameter:,.0f} slots")
+
+    nv = NaiveBroadcast(net, source=0, seed=seed + 1).run()
+    print("\nnaive random hopping:")
+    print(f"  delivered to all: {nv.success} in {nv.completion_slot:,} slots"
+          f" ({nv.completion_slot / kn.diameter:,.0f} per hop)")
+
+    timings = level_completion_slots(net, 0, nv.informed_slot)
+    hops = per_hop_costs(timings)
+    print(f"  naive per-level completion deltas: {hops}")
+    print("  (negative deltas mean a farther level finished before a "
+          "nearer one's last node — levels overlap in a clique chain)")
+
+    print("\ntakeaway: the one-time CGCAST setup buys a reusable schedule "
+          "whose per-hop cost beats naive hopping whenever "
+          "Delta << c^2/k (repeat broadcasts amortize the setup).")
+    return 0 if (cg.success and nv.success) else 1
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    sys.exit(main(seed))

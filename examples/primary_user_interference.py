@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Discovery while licensed users come and go.
+
+The paper motivates cognitive radios with licensed (primary) users
+whose transmissions secondary devices must tolerate. This script runs
+CSEEK while a primary-user traffic model occupies channels with ON/OFF
+bursts, showing the two regimes experiment E12 measures: short bursts
+are absorbed by COUNT's within-step redundancy, long bursts erase whole
+meeting opportunities.
+
+Run:
+    python examples/primary_user_interference.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import CSeek, verify_discovery
+from repro.graphs import build_network, random_regular
+from repro.sim import PrimaryUserTraffic
+
+
+def main(seed: int = 0) -> int:
+    net = build_network(
+        random_regular(20, 4, seed=seed), c=8, k=2, seed=seed + 1
+    )
+    kn = net.knowledge()
+    channels = sorted(net.assignment.universe())
+    print(f"network: n={kn.n} c={kn.c} k={kn.k} Delta={kn.max_degree}; "
+          f"{len(channels)} physical channels under primary-user control")
+
+    scenarios = [
+        ("no interference", None),
+        ("30% occupancy, short bursts (4 slots)",
+         dict(activity=0.3, mean_dwell=4.0)),
+        ("60% occupancy, short bursts (4 slots)",
+         dict(activity=0.6, mean_dwell=4.0)),
+        ("60% occupancy, long bursts (500 slots)",
+         dict(activity=0.6, mean_dwell=500.0)),
+    ]
+    baseline = None
+    for name, params in scenarios:
+        jammer = (
+            PrimaryUserTraffic(channels, seed=seed + 7, **params)
+            if params
+            else None
+        )
+        result = CSeek(net, seed=seed + 2, jammer=jammer).run()
+        report = verify_discovery(result, net)
+        completion = report.completion_slot
+        if baseline is None and completion is not None:
+            baseline = completion
+        stretch = (
+            f"{completion / baseline:.2f}x baseline"
+            if completion is not None and baseline
+            else "n/a"
+        )
+        status = "complete" if report.success else (
+            f"INCOMPLETE ({len(report.missing)} pairs missing)"
+        )
+        slot_text = f"{completion:,}" if completion is not None else "-"
+        print(f"  {name:<42} {status:<28} "
+              f"completion slot {slot_text} ({stretch})")
+
+    print("\ntakeaway: the w.h.p. constants in CSEEK's schedule buy real "
+          "slack — only occupancy bursts longer than a COUNT step, at "
+          "high duty cycles, defeat discovery.")
+    return 0
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    sys.exit(main(seed))

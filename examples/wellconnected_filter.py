@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Filtering for well-connected neighbors with CKSEEK.
+
+In a heterogeneous deployment, some links share many channels (robust)
+and some share few (fragile). An application that only wants robust
+links runs CKSEEK with a threshold khat: it finds every neighbor
+sharing >= khat channels in strictly less time than full discovery
+(Theorem 6).
+
+Run:
+    python examples/wellconnected_filter.py [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import CKSeek, exchange_slot_cost, verify_k_discovery
+from repro.core.constants import ProtocolConstants
+from repro.graphs import build_network, random_regular
+
+
+def main(seed: int = 0) -> int:
+    graph = random_regular(20, 4, seed=seed)
+    net = build_network(
+        graph, c=16, k=2, seed=seed, kind="heterogeneous", kmax=4
+    )
+    kn = net.knowledge()
+    print(f"network: n={kn.n} c={kn.c}, link overlaps in "
+          f"[{kn.k}, {kn.kmax}]")
+    full_cost = exchange_slot_cost(kn, ProtocolConstants.fast())
+    print(f"full CSEEK discovery schedule: {full_cost:,} slots\n")
+
+    for khat in range(kn.k, kn.kmax + 1):
+        good = net.good_neighbor_sets(khat)
+        delta_khat = net.max_good_degree(khat)
+        algo = CKSeek(
+            net, khat=khat, delta_khat=delta_khat, seed=seed + khat
+        )
+        result = algo.run()
+        report = verify_k_discovery(result, net, khat=khat)
+        saved = 100.0 * (1.0 - result.total_slots / full_cost)
+        print(f"khat={khat}: targets neighbors sharing >= {khat} channels "
+              f"({sum(len(s) for s in good)} directed pairs, "
+              f"Delta_khat={delta_khat})")
+        print(f"  schedule {result.total_slots:,} slots "
+              f"({saved:+.0f}% vs full discovery), "
+              f"found all good neighbors: {report.success}")
+    print("\ntakeaway: the stricter the filter, the cheaper the search — "
+          "CSEEK's structure works as a generic 'well-connectedness' "
+          "filter (Section 4.4).")
+    return 0
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    sys.exit(main(seed))

@@ -1,0 +1,68 @@
+"""repro — reproduction of *Communication Primitives in Cognitive Radio
+Networks* (Gilbert, Kuhn, Zheng; PODC 2017, arXiv:1703.06130).
+
+The package provides:
+
+* a slot-accurate synchronous multi-channel radio simulator
+  (:mod:`repro.sim`) implementing the paper's model,
+* the paper's algorithms — COUNT, CSEEK, CKSEEK, CGCAST
+  (:mod:`repro.core`),
+* the naive baselines from the paper's introduction and omniscient
+  floors (:mod:`repro.baselines`),
+* the Section 6 lower-bound games and reductions
+  (:mod:`repro.lowerbounds`),
+* bound curves, scaling fits and trial statistics
+  (:mod:`repro.analysis`), and
+* the experiment harness regenerating every claim
+  (:mod:`repro.harness`, ``python -m repro``).
+
+Quickstart::
+
+    from repro.graphs import build_network, random_regular
+    from repro.core import CSeek, verify_discovery
+
+    net = build_network(random_regular(20, 4, seed=1), c=8, k=2, seed=2)
+    result = CSeek(net, seed=3).run()
+    report = verify_discovery(result, net)
+    assert report.success
+"""
+
+from repro.baselines import NaiveBroadcast, NaiveDiscovery
+from repro.core import (
+    CGCast,
+    CKSeek,
+    CSeek,
+    ProtocolConstants,
+    verify_discovery,
+    verify_k_discovery,
+)
+from repro.graphs import (
+    build_network,
+    build_random_subset_network,
+    build_theorem14_tree,
+    build_two_node_network,
+)
+from repro.model import ModelKnowledge, NetworkSpec, ReproError
+from repro.sim import CRNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGCast",
+    "CKSeek",
+    "CRNetwork",
+    "CSeek",
+    "ModelKnowledge",
+    "NaiveBroadcast",
+    "NaiveDiscovery",
+    "NetworkSpec",
+    "ProtocolConstants",
+    "ReproError",
+    "build_network",
+    "build_random_subset_network",
+    "build_theorem14_tree",
+    "build_two_node_network",
+    "verify_discovery",
+    "verify_k_discovery",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Bound curves, scaling fits, and trial statistics."""
+
+from repro.analysis.fitting import (
+    PowerFit,
+    find_crossover,
+    fit_power_law,
+    ratio_curve,
+)
+from repro.analysis.spectrum import (
+    ChannelUsage,
+    channel_usage,
+    density_estimate_quality,
+    reception_histogram,
+)
+from repro.analysis.stats import (
+    TrialSummary,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.theory import (
+    broadcast_lower_bound,
+    cgcast_bound,
+    ckseek_bound,
+    complete_game_floor,
+    cseek_bound,
+    hitting_game_floor,
+    naive_broadcast_bound,
+    naive_discovery_bound,
+    nd_lower_bound,
+    zeng_discovery_bound,
+)
+
+__all__ = [
+    "ChannelUsage",
+    "PowerFit",
+    "TrialSummary",
+    "broadcast_lower_bound",
+    "channel_usage",
+    "density_estimate_quality",
+    "reception_histogram",
+    "cgcast_bound",
+    "ckseek_bound",
+    "complete_game_floor",
+    "cseek_bound",
+    "find_crossover",
+    "fit_power_law",
+    "hitting_game_floor",
+    "naive_broadcast_bound",
+    "naive_discovery_bound",
+    "nd_lower_bound",
+    "ratio_curve",
+    "success_rate",
+    "summarize",
+    "wilson_interval",
+    "zeng_discovery_bound",
+]

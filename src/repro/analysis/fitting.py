@@ -1,0 +1,120 @@
+"""Empirical scaling analysis: log-log slopes, ratios, crossovers.
+
+The reproducible content of an asymptotic bound is its *shape*: if
+``T(x) = Θ(x^p · polylog)`` then measured times against a swept
+parameter should show slope ``≈ p`` on log-log axes, and two algorithms'
+curves should cross where the bounds say they cross. These helpers turn
+sweep measurements into those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.errors import HarnessError
+
+__all__ = ["PowerFit", "fit_power_law", "ratio_curve", "find_crossover"]
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Least-squares fit of ``y = C · x^slope`` on log-log axes.
+
+    Attributes:
+        slope: Fitted exponent.
+        log_intercept: Fitted ``log(C)`` (natural log).
+        r_squared: Coefficient of determination in log space.
+    """
+
+    slope: float
+    log_intercept: float
+    r_squared: float
+
+    @property
+    def constant(self) -> float:
+        """The multiplicative constant ``C``."""
+        return float(np.exp(self.log_intercept))
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.constant * x**self.slope
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerFit:
+    """Fit ``y ~ C x^p`` by least squares in log space.
+
+    Raises:
+        HarnessError: on fewer than two points or non-positive values.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise HarnessError(
+            f"need >= 2 paired points, got {x.size} xs and {y.size} ys"
+        )
+    if (x <= 0).any() or (y <= 0).any():
+        raise HarnessError("power-law fits need strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, deg=1)
+    predicted = slope * lx + intercept
+    ss_res = float(((ly - predicted) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return PowerFit(
+        slope=float(slope), log_intercept=float(intercept), r_squared=r2
+    )
+
+
+def ratio_curve(
+    numerators: Sequence[float], denominators: Sequence[float]
+) -> np.ndarray:
+    """Element-wise ratios (e.g. naive slots / CSEEK slots along a sweep).
+
+    Raises:
+        HarnessError: on length mismatch or zero denominators.
+    """
+    num = np.asarray(numerators, dtype=float)
+    den = np.asarray(denominators, dtype=float)
+    if num.size != den.size:
+        raise HarnessError(
+            f"length mismatch: {num.size} numerators, {den.size} denominators"
+        )
+    if (den == 0).any():
+        raise HarnessError("zero denominator in ratio curve")
+    return num / den
+
+
+def find_crossover(
+    xs: Sequence[float],
+    ys_a: Sequence[float],
+    ys_b: Sequence[float],
+) -> Optional[float]:
+    """First swept ``x`` past which curve A exceeds curve B (or None).
+
+    Linear interpolation between the bracketing sweep points; returns
+    None when A never exceeds B over the sweep.
+    """
+    x = np.asarray(xs, dtype=float)
+    a = np.asarray(ys_a, dtype=float)
+    b = np.asarray(ys_b, dtype=float)
+    if not (x.size == a.size == b.size):
+        raise HarnessError("crossover inputs must have equal lengths")
+    if x.size == 0:
+        raise HarnessError("crossover needs at least one point")
+    diff = a - b
+    if diff[0] > 0:
+        return float(x[0])
+    for i in range(1, x.size):
+        if diff[i] > 0:
+            # Interpolate within [x[i-1], x[i]].
+            span = diff[i] - diff[i - 1]
+            if span == 0:
+                return float(x[i])
+            t = -diff[i - 1] / span
+            return float(x[i - 1] + t * (x[i] - x[i - 1]))
+    return None

@@ -1,0 +1,105 @@
+"""Spectrum analytics: how protocols actually used the channels.
+
+Post-hoc introspection of discovery executions: which physical channels
+carried the receptions, how crowded each channel was, and how well a
+node's part-one density estimates match ground truth. Used by the
+examples and by diagnosis when tuning protocol constants.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.cseek import CSeekResult
+from repro.model.errors import HarnessError
+from repro.sim.network import CRNetwork
+
+__all__ = [
+    "ChannelUsage",
+    "channel_usage",
+    "density_estimate_quality",
+    "reception_histogram",
+]
+
+
+@dataclass(frozen=True)
+class ChannelUsage:
+    """Per-channel usage summary for one discovery execution.
+
+    Attributes:
+        global_id: The physical channel.
+        receptions: First-receptions that happened on it.
+        subscribers: Nodes that can access it.
+        max_crowding: Largest per-node neighbor count sharing it (the
+            paper's ``max_u n_ch``).
+    """
+
+    global_id: int
+    receptions: int
+    subscribers: int
+    max_crowding: int
+
+
+def reception_histogram(result: CSeekResult) -> Dict[int, int]:
+    """First receptions per global channel (``-1`` = unannotated)."""
+    counter: Counter = Counter(
+        event.channel for event in result.trace.first_heard.values()
+    )
+    return dict(counter)
+
+
+def channel_usage(
+    network: CRNetwork, result: CSeekResult
+) -> List[ChannelUsage]:
+    """Usage summary for every channel in the network's universe.
+
+    Sorted by descending receptions, then ascending id — the head of
+    the list is where discovery actually happened.
+    """
+    receptions = reception_histogram(result)
+    members = network.assignment.membership_map()
+    crowding_by_channel: Dict[int, int] = {}
+    for u in range(network.n):
+        for g, count in network.crowding(u).items():
+            crowding_by_channel[g] = max(
+                crowding_by_channel.get(g, 0), count
+            )
+    usage = [
+        ChannelUsage(
+            global_id=g,
+            receptions=receptions.get(g, 0),
+            subscribers=len(nodes),
+            max_crowding=crowding_by_channel.get(g, 0),
+        )
+        for g, nodes in members.items()
+    ]
+    usage.sort(key=lambda u: (-u.receptions, u.global_id))
+    return usage
+
+
+def density_estimate_quality(
+    network: CRNetwork, result: CSeekResult, node: int
+) -> Dict[int, tuple[float, int]]:
+    """Compare a node's part-one channel scores with true crowding.
+
+    For each of ``node``'s channels (by global id) returns
+    ``(accumulated score, true neighbor count on the channel)``. CSEEK's
+    part two is only as good as the correlation between these two —
+    Lemma 3's analysis assumes scores track ``n_ch`` within constants.
+
+    Raises:
+        HarnessError: if ``node`` is out of range.
+    """
+    if not 0 <= node < network.n:
+        raise HarnessError(f"node {node} out of range [0, {network.n})")
+    crowding = network.crowding(node)
+    table = network.channel_table()
+    out: Dict[int, tuple[float, int]] = {}
+    for label in range(network.c):
+        g = int(table[node, label])
+        out[g] = (float(result.counts[node, label]), crowding.get(g, 0))
+    return out

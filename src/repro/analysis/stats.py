@@ -1,0 +1,104 @@
+"""Trial statistics for w.h.p. claims.
+
+The paper's guarantees are "with high probability"; empirically that is
+a success *frequency* across independent seeded trials, plus location
+statistics of the measured slot counts. :class:`TrialSummary` is the
+standard unit every experiment row reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.errors import HarnessError
+
+__all__ = ["TrialSummary", "summarize", "success_rate", "wilson_interval"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary of one configuration's repeated trials.
+
+    Attributes:
+        count: Number of trials.
+        mean: Mean of the measurements.
+        std: Sample standard deviation (0 for a single trial).
+        median: 50th percentile.
+        p10: 10th percentile.
+        p90: 90th percentile.
+        minimum: Smallest measurement.
+        maximum: Largest measurement.
+    """
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> TrialSummary:
+    """Summarize repeated measurements.
+
+    Raises:
+        HarnessError: on empty input.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise HarnessError("cannot summarize zero measurements")
+    return TrialSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        p10=float(np.percentile(arr, 10)),
+        p90=float(np.percentile(arr, 90)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    """Fraction of successful trials.
+
+    Raises:
+        HarnessError: on empty input.
+    """
+    if not outcomes:
+        raise HarnessError("cannot compute a rate of zero outcomes")
+    return sum(1 for o in outcomes if o) / len(outcomes)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a success probability.
+
+    More honest than the normal approximation at the small trial counts
+    experiments use (and never leaves ``[0, 1]``).
+
+    Raises:
+        HarnessError: on invalid counts.
+    """
+    if trials <= 0:
+        raise HarnessError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise HarnessError(
+            f"successes must lie in [0, {trials}], got {successes}"
+        )
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)

@@ -1,0 +1,19 @@
+"""Baselines the paper compares against, plus omniscient floors."""
+
+from repro.baselines.naive_broadcast import NaiveBroadcast, NaiveBroadcastResult
+from repro.baselines.naive_discovery import NaiveDiscovery, NaiveDiscoveryResult
+from repro.baselines.oracle import (
+    broadcast_floor,
+    discovery_floor,
+    tree_broadcast_floor,
+)
+
+__all__ = [
+    "NaiveBroadcast",
+    "NaiveBroadcastResult",
+    "NaiveDiscovery",
+    "NaiveDiscoveryResult",
+    "broadcast_floor",
+    "discovery_floor",
+    "tree_broadcast_floor",
+]

@@ -1,0 +1,83 @@
+"""Omniscient reference schedules (floors, not protocols).
+
+These compute what a centrally scheduled, collision-free network could
+achieve — the information-theoretic floors the paper's lower-bound
+section (Section 6) argues against:
+
+* :func:`discovery_floor` — a node can receive at most one identity per
+  slot, so discovery takes at least ``Δ`` slots (the star argument of
+  Theorem 13).
+* :func:`broadcast_floor` — a node can inform at most one neighbor per
+  slot (no shared channels between its children in the worst case), so
+  the best possible broadcast completes in the serialization time of a
+  BFS tree; on Theorem 14's complete trees this equals
+  ``depth * (min(c, Δ) - 1)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.model.errors import ProtocolError
+from repro.sim.network import CRNetwork
+
+__all__ = ["discovery_floor", "broadcast_floor", "tree_broadcast_floor"]
+
+
+def discovery_floor(network: CRNetwork) -> int:
+    """Minimum slots any discovery algorithm needs: ``Δ`` receptions.
+
+    Every node must *receive* one message from each neighbor, and can
+    receive at most one message per slot; the busiest node bounds the
+    network.
+    """
+    return network.max_degree
+
+
+def broadcast_floor(network: CRNetwork, source: int = 0) -> int:
+    """Greedy serialization floor for global broadcast.
+
+    Assumes perfect knowledge and no collisions, but keeps the model's
+    hard constraint: per slot, an informed node can deliver to at most
+    one uninformed neighbor (channel-disjoint children cannot be
+    batched). Computed by simulating the greedy optimal schedule: every
+    informed node informs one uninformed neighbor per slot, earliest-
+    discovered first. This is an upper bound on the best and a valid
+    floor for sibling-channel-disjoint instances such as the Theorem 14
+    trees.
+    """
+    if not 0 <= source < network.n:
+        raise ProtocolError(f"source {source} out of range")
+    informed_at: Dict[int, int] = {source: 0}
+    # BFS order: parents inform children one per slot starting the slot
+    # after their own reception.
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        next_free = informed_at[u] + 1
+        for v in sorted(int(x) for x in network.neighbors(u)):
+            if v in informed_at:
+                continue
+            informed_at[v] = next_free
+            next_free += 1
+            queue.append(v)
+    return max(informed_at.values())
+
+
+def tree_broadcast_floor(c: int, delta: int, depth: int) -> int:
+    """Theorem 14's analytic floor ``depth * (min(c, Δ) - 1)``.
+
+    On a complete tree whose internal nodes have ``min(c, Δ) - 1``
+    channel-disjoint children, the message needs that many slots per
+    level to fan out, for every one of the ``depth`` levels along the
+    deepest path.
+    """
+    if depth < 1:
+        raise ProtocolError(f"depth must be >= 1, got {depth}")
+    fanout = min(c, delta) - 1
+    if fanout < 1:
+        raise ProtocolError(
+            f"min(c, delta) - 1 must be >= 1, got c={c}, delta={delta}"
+        )
+    return depth * fanout

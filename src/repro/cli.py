@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate any experiment table.
+
+Usage::
+
+    python -m repro list
+    python -m repro run E2 --trials 5 --seed 0 --out results/
+    python -m repro run all --out results/
+
+``crn-repro`` (the console script declared in ``pyproject.toml``) is
+equivalent when the package is installed through a regular ``pip
+install``; legacy ``setup.py develop`` installs may expose only the
+``python -m repro`` form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness import experiment_ids, run_experiment
+from repro.model.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="crn-repro",
+        description=(
+            "Reproduction of 'Communication Primitives in Cognitive "
+            "Radio Networks' (PODC 2017) — experiment regeneration."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (E1..E10) or 'all'",
+    )
+    run.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trials per configuration (default: experiment-specific)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument(
+        "--out",
+        default=None,
+        help="directory for <id>.md and <id>.csv outputs",
+    )
+    return parser
+
+
+def _run_one(
+    experiment_id: str,
+    trials: Optional[int],
+    seed: int,
+    out: Optional[str],
+) -> None:
+    start = time.time()
+    table = run_experiment(experiment_id, trials=trials, seed=seed)
+    elapsed = time.time() - start
+    print(table.to_markdown())
+    print(f"\n[{table.experiment_id} finished in {elapsed:.1f}s]")
+    if out is not None:
+        paths = table.save(out)
+        print(f"[written: {paths['markdown']}, {paths['csv']}]")
+    print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    # command == "run"
+    targets = (
+        experiment_ids()
+        if args.experiment.lower() == "all"
+        else [args.experiment]
+    )
+    try:
+        for experiment_id in targets:
+            _run_one(experiment_id, args.trials, args.seed, args.out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

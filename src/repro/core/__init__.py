@@ -1,0 +1,53 @@
+"""The paper's algorithms: COUNT, CSEEK, CKSEEK, CGCAST and parts."""
+
+from repro.core.cgcast import CGCast, CGCastResult, redisseminate
+from repro.core.ckseek import CKSeek, verify_k_discovery
+from repro.core.coloring import (
+    ColoringResult,
+    LubyEdgeColoring,
+    is_valid_edge_coloring,
+)
+from repro.core.constants import ProtocolConstants
+from repro.core.count import CountOutcome, count_schedule, run_count_step
+from repro.core.cseek import (
+    CSeek,
+    CSeekResult,
+    DiscoveryReport,
+    verify_discovery,
+)
+from repro.core.dedicated import agree_dedicated_channels, first_heard_payloads
+from repro.core.dissemination import DisseminationResult, run_dissemination
+from repro.core.exchange import (
+    exchange_slot_cost,
+    oracle_exchange,
+    simulated_exchange,
+)
+from repro.core.linegraph import LineGraph, edges_from_discovery
+
+__all__ = [
+    "CGCast",
+    "CGCastResult",
+    "CKSeek",
+    "CSeek",
+    "CSeekResult",
+    "ColoringResult",
+    "CountOutcome",
+    "DiscoveryReport",
+    "DisseminationResult",
+    "LineGraph",
+    "LubyEdgeColoring",
+    "ProtocolConstants",
+    "agree_dedicated_channels",
+    "count_schedule",
+    "edges_from_discovery",
+    "exchange_slot_cost",
+    "first_heard_payloads",
+    "is_valid_edge_coloring",
+    "oracle_exchange",
+    "redisseminate",
+    "run_count_step",
+    "run_dissemination",
+    "simulated_exchange",
+    "verify_discovery",
+    "verify_k_discovery",
+]

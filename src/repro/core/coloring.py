@@ -1,0 +1,382 @@
+"""Luby-style node coloring of the line graph (Section 5.2, Lemma 8).
+
+The coloring procedure runs in phases; each phase has two steps and each
+step gives every pair of adjacent virtual nodes one message exchange
+(implemented with CSEEK, whose slot cost is charged per step — adjacent
+virtual nodes' simulators are at most two hops apart, so a step costs two
+CSEEK executions).
+
+Per phase (following Luby [13] as adapted by the paper):
+
+* **Step A** — every *active* virtual node sits out with probability
+  1/2; otherwise it draws a tentative color uniformly from its remaining
+  palette. Tentative choices are exchanged; if two active neighbors drew
+  the same color, both abandon the draw, otherwise the draw becomes the
+  node's final color.
+* **Step B** — final colors are exchanged; neighbors delete them from
+  their palettes, and colored nodes go inactive.
+
+Lemma 8: with a palette of ``2*Delta`` colors every node terminates
+within ``O(lg n)`` phases w.h.p. (each phase inactivates a constant
+fraction of survivors with constant probability).
+
+``loss_rate`` injects exchange-message loss, which is how the
+reproduction probes the protocol's failure mode: a lost conflict
+notification can leave two neighbors with the same color, which the
+validity checker then reports (the paper's guarantee is w.h.p. over
+lossless CSEEK exchanges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.constants import ProtocolConstants
+from repro.core.exchange import exchange_slot_cost, simulated_exchange
+from repro.core.linegraph import Edge, LineGraph
+from repro.model.errors import ProtocolError
+from repro.model.spec import ModelKnowledge
+from repro.sim.metrics import SlotLedger
+from repro.sim.network import CRNetwork
+from repro.sim.rng import RngHub
+
+__all__ = ["ColoringResult", "LubyEdgeColoring", "is_valid_edge_coloring"]
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of the coloring procedure.
+
+    Attributes:
+        colors: Final color per canonical edge (only decided edges).
+        phases_used: Phases actually executed (Lemma 8 predicts
+            ``O(lg n)``).
+        scheduled_phases: The ``Theta(lg n)`` budget that was scheduled.
+        uncolored: Edges still active when the run stopped (empty on
+            success).
+        ledger: Slots charged (phase ``"coloring"``).
+        palette_size: Number of colors in the initial plate (``2*Delta``).
+    """
+
+    colors: Dict[Edge, int]
+    phases_used: int
+    scheduled_phases: int
+    uncolored: List[Edge]
+    ledger: SlotLedger
+    palette_size: int
+
+    @property
+    def complete(self) -> bool:
+        """True iff every virtual node decided a color."""
+        return not self.uncolored
+
+
+def is_valid_edge_coloring(
+    colors: Dict[Edge, int], edges: List[Edge]
+) -> bool:
+    """Check properness: edges sharing an endpoint have distinct colors.
+
+    Only fully colored edge sets are valid (every edge must appear in
+    ``colors``).
+    """
+    by_node: Dict[int, Set[int]] = {}
+    for edge in edges:
+        if edge not in colors:
+            return False
+        color = colors[edge]
+        for endpoint in edge:
+            used = by_node.setdefault(endpoint, set())
+            if color in used:
+                return False
+            used.add(color)
+    return True
+
+
+class LubyEdgeColoring:
+    """One coloring execution over a line graph.
+
+    Args:
+        line_graph: The virtual-node graph to color.
+        knowledge: Global parameters (palette size ``2*Delta`` and the
+            per-step exchange cost derive from these).
+        constants: Schedule constants.
+        seed: Randomness seed.
+        loss_rate: Probability that any single exchanged message is lost
+            (failure injection; 0 reproduces the paper's setting; only
+            meaningful in oracle mode — simulated mode's losses are the
+            physical collisions themselves).
+        allow_overrun: When True, keep running past the scheduled
+            ``Theta(lg n)`` phases until everyone decides (slots still
+            charged); when False, stop at the budget and report
+            stragglers.
+        exchange_mode: ``"oracle"`` delivers exchange messages reliably
+            while charging the CSEEK slot cost; ``"simulated"`` actually
+            runs two chained CSEEK executions per step on ``network`` —
+            the relay pattern that reaches the two-hops-apart simulators
+            of adjacent virtual nodes (Section 5.2) — and conflicts are
+            detected only from what was physically received.
+        network: The physical network (required for simulated mode).
+    """
+
+    def __init__(
+        self,
+        line_graph: LineGraph,
+        knowledge: ModelKnowledge,
+        constants: Optional[ProtocolConstants] = None,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        allow_overrun: bool = True,
+        exchange_mode: str = "oracle",
+        network: Optional["CRNetwork"] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ProtocolError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        if exchange_mode not in ("oracle", "simulated"):
+            raise ProtocolError(
+                f"unknown exchange mode: {exchange_mode!r}"
+            )
+        if exchange_mode == "simulated" and network is None:
+            raise ProtocolError(
+                "simulated exchange mode requires the physical network"
+            )
+        self.line_graph = line_graph
+        self.knowledge = knowledge
+        self.constants = constants or ProtocolConstants.fast()
+        self.loss_rate = loss_rate
+        self.allow_overrun = allow_overrun
+        self.exchange_mode = exchange_mode
+        self.network = network
+        self.palette_size = 2 * knowledge.max_degree
+        self.seed = seed
+        self._rng = RngHub(seed).child("coloring").generator("luby")
+        self._phase_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> ColoringResult:
+        """Execute the phased coloring; see module docstring."""
+        lg = self.line_graph
+        m = lg.num_virtual
+        scheduled = self.constants.coloring_phases(self.knowledge.log_n)
+        step_cost = 2 * exchange_slot_cost(self.knowledge, self.constants)
+        ledger = SlotLedger()
+        palettes: List[Set[int]] = [
+            set(range(self.palette_size)) for _ in range(m)
+        ]
+        final: Dict[int, int] = {}
+        active: Set[int] = set(range(m))
+        phases_used = 0
+        # Hard stop far beyond the w.h.p. bound, to keep a pathological
+        # RNG draw from looping forever when allow_overrun is set.
+        hard_cap = max(4 * scheduled, 64)
+        while active:
+            if phases_used >= scheduled and not self.allow_overrun:
+                break
+            if phases_used >= hard_cap:
+                break
+            if self.exchange_mode == "simulated":
+                self._run_phase_simulated(palettes, final, active, ledger)
+            else:
+                self._run_phase(palettes, final, active, ledger, step_cost)
+            phases_used += 1
+        colors = {lg.edges[i]: color for i, color in final.items()}
+        uncolored = sorted(lg.edges[i] for i in active)
+        return ColoringResult(
+            colors=colors,
+            phases_used=phases_used,
+            scheduled_phases=scheduled,
+            uncolored=uncolored,
+            ledger=ledger,
+            palette_size=self.palette_size,
+        )
+
+    # ------------------------------------------------------------------
+    def _deliver(self, value: object) -> object:
+        """Apply exchange-loss injection to one message."""
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            return None
+        return value
+
+    def _run_phase(
+        self,
+        palettes: List[Set[int]],
+        final: Dict[int, int],
+        active: Set[int],
+        ledger: SlotLedger,
+        step_cost: int,
+    ) -> None:
+        lg = self.line_graph
+        rng = self._rng
+        # --- Step A: tentative draws + conflict exchange -------------
+        tentative: Dict[int, int] = {}
+        for i in sorted(active):
+            if rng.random() < 0.5:
+                continue  # sits this phase out
+            palette = palettes[i]
+            if not palette:
+                raise ProtocolError(
+                    f"virtual node {i} ran out of colors; palette 2*Delta "
+                    "should always leave an option (Lemma 8 precondition "
+                    "violated)"
+                )
+            choices = sorted(palette)
+            tentative[i] = choices[int(rng.integers(0, len(choices)))]
+        ledger.charge("coloring", step_cost)
+        decided: Dict[int, int] = {}
+        for i, color in tentative.items():
+            conflict = False
+            for j in lg.neighbors[i]:
+                if j not in active:
+                    continue
+                neighbor_draw = tentative.get(j)
+                if neighbor_draw is None:
+                    continue
+                heard = self._deliver(neighbor_draw)
+                if heard is not None and heard == color:
+                    conflict = True
+                    break
+            if not conflict:
+                decided[i] = color
+        # --- Step B: decided colors are exchanged and pruned ---------
+        ledger.charge("coloring", step_cost)
+        for i, color in decided.items():
+            final[i] = color
+            active.discard(i)
+            for j in lg.neighbors[i]:
+                if j in active:
+                    heard = self._deliver(color)
+                    if heard is not None:
+                        palettes[j].discard(color)
+
+    # ------------------------------------------------------------------
+    # Slot-level simulated exchanges (Section 5.2's "run CSEEK twice")
+    # ------------------------------------------------------------------
+    def _flood_two_hops(
+        self,
+        per_node_payload: List[Dict[Edge, int]],
+        label: str,
+        ledger: SlotLedger,
+    ) -> List[Dict[Edge, int]]:
+        """Two chained CSEEK executions: payloads reach 2-hop simulators.
+
+        The first execution delivers each node's dict to its neighbors;
+        nodes then merge everything they heard into their own payload
+        and a second execution relays it one hop further — enough,
+        because simulators of adjacent virtual nodes are at most two
+        hops apart. Returns each physical node's merged knowledge
+        (own + everything received).
+        """
+        network = self.network
+        assert network is not None  # guarded in __init__
+        n = network.n
+
+        def merge_in(
+            knowledge_maps: List[Dict[Edge, int]],
+            received: List[Dict[int, object]],
+        ) -> None:
+            for u in range(n):
+                for payload in received[u].values():
+                    knowledge_maps[u].update(payload)  # type: ignore[arg-type]
+
+        knowledge_maps = [dict(p) for p in per_node_payload]
+        received = simulated_exchange(
+            network,
+            [dict(m) for m in knowledge_maps],
+            knowledge=self.knowledge,
+            constants=self.constants,
+            seed=self.seed,
+            rng_label=f"{label}.hop1",
+            ledger=None,
+        )
+        ledger.charge(
+            "coloring", exchange_slot_cost(self.knowledge, self.constants)
+        )
+        merge_in(knowledge_maps, received)
+        received = simulated_exchange(
+            network,
+            [dict(m) for m in knowledge_maps],
+            knowledge=self.knowledge,
+            constants=self.constants,
+            seed=self.seed,
+            rng_label=f"{label}.hop2",
+            ledger=None,
+        )
+        ledger.charge(
+            "coloring", exchange_slot_cost(self.knowledge, self.constants)
+        )
+        merge_in(knowledge_maps, received)
+        return knowledge_maps
+
+    @staticmethod
+    def _edges_adjacent(a: Edge, b: Edge) -> bool:
+        return a != b and bool(set(a) & set(b))
+
+    def _run_phase_simulated(
+        self,
+        palettes: List[Set[int]],
+        final: Dict[int, int],
+        active: Set[int],
+        ledger: SlotLedger,
+    ) -> None:
+        """One Luby phase with physically simulated exchanges.
+
+        Conflict detection and palette pruning use only the information
+        that actually arrived over the air; CSEEK's w.h.p. delivery
+        makes the outcome match the oracle phase almost always, and a
+        genuinely lost message shows up as a (detectable) coloring
+        fault — the physical failure mode the oracle's ``loss_rate``
+        knob emulates.
+        """
+        lg = self.line_graph
+        rng = self._rng
+        self._phase_counter += 1
+        phase_label = f"coloring.phase{self._phase_counter}"
+        # Tentative draws (simulators hold the state of their edges).
+        tentative: Dict[int, int] = {}
+        for i in sorted(active):
+            if rng.random() < 0.5:
+                continue
+            palette = palettes[i]
+            if not palette:
+                raise ProtocolError(
+                    f"virtual node {i} ran out of colors; palette "
+                    "2*Delta should always leave an option"
+                )
+            choices = sorted(palette)
+            tentative[i] = choices[int(rng.integers(0, len(choices)))]
+        # Step A exchange: flood tentative draws two hops.
+        network = self.network
+        assert network is not None
+        payloads: List[Dict[Edge, int]] = [{} for _ in range(network.n)]
+        for i, color in tentative.items():
+            payloads[lg.simulator[i]][lg.edges[i]] = color
+        heard_a = self._flood_two_hops(payloads, f"{phase_label}.A", ledger)
+        decided: Dict[int, int] = {}
+        for i, color in tentative.items():
+            my_edge = lg.edges[i]
+            view = heard_a[lg.simulator[i]]
+            conflict = any(
+                other_color == color
+                and self._edges_adjacent(my_edge, other_edge)
+                for other_edge, other_color in view.items()
+            )
+            if not conflict:
+                decided[i] = color
+        # Step B exchange: flood decided colors two hops; prune.
+        payloads = [{} for _ in range(network.n)]
+        for i, color in decided.items():
+            payloads[lg.simulator[i]][lg.edges[i]] = color
+        heard_b = self._flood_two_hops(payloads, f"{phase_label}.B", ledger)
+        for i, color in decided.items():
+            final[i] = color
+            active.discard(i)
+        for j in sorted(active):
+            my_edge = lg.edges[j]
+            view = heard_b[lg.simulator[j]]
+            for other_edge, other_color in view.items():
+                if self._edges_adjacent(my_edge, other_edge):
+                    palettes[j].discard(other_color)

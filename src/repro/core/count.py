@@ -1,0 +1,160 @@
+"""COUNT — the broadcaster-counting procedure (Lemma 1, Appendix A).
+
+Problem: on a channel there is one listener and an unknown number
+``m <= Delta`` of broadcasters; the listener wants a constant-factor
+estimate of ``m``.
+
+Structure (paper, Appendix A): ``lg Delta`` rounds of ``Theta(lg n)``
+slots. In round ``i`` the working estimate is ``2^(i-1)``; every
+broadcaster transmits its identity with probability ``1 / 2^(i-1)`` per
+slot, and the listener counts clear receptions. The reception rate
+``m * p * (1-p)^(m-1)`` is unimodal in ``p`` and peaks when ``p ~ 1/m``,
+which is what both estimation rules exploit:
+
+* ``first_crossing`` (the paper's rule): accept the first round whose
+  clear-reception fraction exceeds ``(1 + delta) * 8 e^{-7}``; the
+  estimate is ``2^(i+1)`` and lands in ``[m, 4m]`` w.h.p. when rounds are
+  long enough.
+* ``argmax`` (robust variant for short rounds): accept the round with
+  the most clear receptions; the estimate ``2^(i-1)`` lands within a
+  small constant factor of ``m``.
+
+This module runs COUNT for the *whole network at once*: every listener
+concurrently runs the procedure on its own channel while every
+broadcaster follows the round schedule. That is exactly how CSEEK part
+one invokes it (one COUNT execution per part-one step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constants import ProtocolConstants
+from repro.model.errors import ProtocolError
+from repro.model.spec import ceil_log2
+from repro.sim.engine import StepOutcome, resolve_step
+
+__all__ = ["CountOutcome", "count_schedule", "run_count_step"]
+
+
+@dataclass(frozen=True)
+class CountOutcome:
+    """Result of one network-wide COUNT execution.
+
+    Attributes:
+        estimates: ``(n,)`` float array; listener ``u``'s broadcaster
+            estimate for its channel (0.0 when nothing was ever heard, or
+            when ``u`` was a broadcaster/idle).
+        step: The raw engine outcome (``heard_from`` has shape
+            ``(rounds * round_length, n)``), for identity harvesting and
+            tracing by the caller.
+        round_receptions: ``(rounds, n)`` int array of per-round clear
+            reception counts (diagnostic).
+        num_slots: Total slots consumed (``rounds * round_length``).
+    """
+
+    estimates: np.ndarray
+    step: StepOutcome
+    round_receptions: np.ndarray
+    num_slots: int
+
+
+def count_schedule(max_count: int, log_n: int, constants: ProtocolConstants) -> tuple[int, int]:
+    """Return ``(rounds, round_length)`` for a COUNT execution.
+
+    ``rounds = ceil(lg max_count) + 1`` so the probe probabilities
+    ``1/2^(i-1)`` sweep down to ``~1/max_count`` (the paper's ``lg Delta``
+    with its hidden constant made explicit); ``round_length =
+    ceil(a * lg n)``.
+    """
+    if max_count < 1:
+        raise ProtocolError(f"max_count must be >= 1, got {max_count}")
+    rounds = ceil_log2(max_count) + 1
+    return rounds, constants.count_round_length(log_n)
+
+
+def _estimate_first_crossing(
+    round_receptions: np.ndarray, round_length: int, threshold: float
+) -> np.ndarray:
+    """Paper rule: first round whose clear fraction exceeds the threshold.
+
+    The estimate is ``2^(i+1)`` for 1-based round ``i`` (Appendix A); a
+    listener that never crosses reports 0.
+    """
+    rounds, n = round_receptions.shape
+    # Required receptions; at least one message is always required.
+    needed = max(1.0, threshold * round_length)
+    crossed = round_receptions > needed
+    any_crossed = crossed.any(axis=0)
+    first = np.argmax(crossed, axis=0)  # 0-based round index
+    estimates = np.where(any_crossed, 2.0 ** (first.astype(float) + 2.0), 0.0)
+    return estimates
+
+
+def _estimate_argmax(round_receptions: np.ndarray) -> np.ndarray:
+    """Robust rule: the round with the most receptions names the estimate.
+
+    The estimate is that round's probe value ``2^(i-1)``; ties resolve to
+    the earliest round (the smaller estimate). Listeners that heard
+    nothing report 0.
+    """
+    heard_any = round_receptions.sum(axis=0) > 0
+    best = np.argmax(round_receptions, axis=0)  # first max wins ties
+    estimates = np.where(heard_any, 2.0 ** best.astype(float), 0.0)
+    return estimates
+
+
+def run_count_step(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    max_count: int,
+    log_n: int,
+    constants: ProtocolConstants,
+    rng: np.random.Generator,
+    jam: np.ndarray | None = None,
+) -> CountOutcome:
+    """Execute COUNT once, network-wide, on fixed channels and roles.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(n,)`` global channel per node (``-1`` idle), fixed
+            for the whole execution.
+        tx_role: ``(n,)`` boolean; True = broadcaster for the execution.
+        max_count: A-priori bound on the broadcaster count (the paper
+            uses the degree bound ``Delta``).
+        log_n: ``ceil(lg n)`` for round sizing.
+        constants: Schedule constants and estimation rule.
+        rng: Randomness for broadcaster coins.
+        jam: Optional ``(total_slots, n)`` primary-user reception-kill
+            mask (see :mod:`repro.sim.interference`).
+
+    Returns:
+        A :class:`CountOutcome`; ``estimates[u] > 0`` only for listeners
+        that heard at least one clear message.
+    """
+    n = adjacency.shape[0]
+    rounds, round_length = count_schedule(max_count, log_n, constants)
+    total_slots = rounds * round_length
+    # Per-slot transmission probability: 1/2^(i-1) in (1-based) round i.
+    probs = np.repeat(
+        2.0 ** -np.arange(rounds, dtype=float), round_length
+    )
+    coins = rng.random((total_slots, n)) < probs[:, None]
+    step = resolve_step(adjacency, channels, tx_role, coins, jam=jam)
+    received = (step.heard_from >= 0).astype(np.int64)
+    round_receptions = received.reshape(rounds, round_length, n).sum(axis=1)
+    if constants.count_rule == "first_crossing":
+        estimates = _estimate_first_crossing(
+            round_receptions, round_length, constants.count_threshold()
+        )
+    else:
+        estimates = _estimate_argmax(round_receptions)
+    return CountOutcome(
+        estimates=estimates,
+        step=step,
+        round_receptions=round_receptions,
+        num_slots=total_slots,
+    )

@@ -1,0 +1,102 @@
+"""Dedicated communication channels per edge (Section 5.2).
+
+CGCAST's dissemination stage needs every neighboring pair to have one
+agreed channel despite the absence of global channel labels. The paper's
+method: during the discovery run each node records the slot at which it
+first heard each neighbor; these slot numbers are exchanged (one extra
+CSEEK execution); the pair then picks the channel that was used in slot
+``min(t_{u,v}, t_{v,u})``. Both endpoints can resolve that slot to the
+same physical channel from their *own* records — the listener knows which
+channel it was listening on, and the broadcaster knows which channel it
+was broadcasting on, and in the very slot a message was heard those are
+the same frequency.
+
+The reproduction performs the agreement explicitly from each endpoint's
+view and asserts the two views name the same physical channel — a model
+soundness check rather than an extra assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cseek import CSeekResult
+from repro.model.errors import ProtocolError
+
+__all__ = ["agree_dedicated_channels", "first_heard_payloads"]
+
+Edge = Tuple[int, int]
+
+
+def first_heard_payloads(result: CSeekResult) -> List[Dict[int, int]]:
+    """Per-node payloads for the slot-number exchange.
+
+    ``payload[u] = {v: slot u first heard v}`` — exactly what the paper
+    attaches to identities in the extra CSEEK run.
+    """
+    n = len(result.discovered)
+    payloads: List[Dict[int, int]] = [{} for _ in range(n)]
+    for (listener, sender), event in result.trace.first_heard.items():
+        payloads[listener][sender] = event.slot
+    return payloads
+
+
+def agree_dedicated_channels(
+    result: CSeekResult,
+    edges: Sequence[Edge],
+    received_times: Sequence[Dict[int, Dict[int, int]]],
+) -> Dict[Edge, int]:
+    """Fix one dedicated (global) channel per mutual edge.
+
+    Args:
+        result: The discovery execution whose meetings define channels.
+        edges: Canonical mutual edges to fix channels for.
+        received_times: ``received_times[u][v]`` = the payload node ``u``
+            received from ``v`` in the exchange run, i.e. ``{w: t_{v,w}}``
+            (node ``v``'s first-heard table). From it ``u`` extracts
+            ``t_{v,u}``.
+
+    Returns:
+        Mapping edge -> global channel id.
+
+    Raises:
+        ProtocolError: if an edge has no recorded meeting in either
+            direction, or if the two endpoints' records disagree on the
+            physical channel (would indicate an engine bug).
+    """
+    channels: Dict[Edge, int] = {}
+    for u, v in edges:
+        if u >= v:
+            raise ProtocolError(f"edges must be canonical, got ({u}, {v})")
+        event_uv = result.trace.first_reception(u, v)
+        event_vu = result.trace.first_reception(v, u)
+        # u's view: t_{u,v} from its own trace, t_{v,u} from v's payload.
+        t_uv = event_uv.slot if event_uv is not None else None
+        t_vu_at_u = received_times[u].get(v, {}).get(u)
+        # v's symmetric view.
+        t_vu = event_vu.slot if event_vu is not None else None
+        t_uv_at_v = received_times[v].get(u, {}).get(v)
+        candidates = [t for t in (t_uv, t_vu_at_u) if t is not None]
+        candidates_v = [t for t in (t_vu, t_uv_at_v) if t is not None]
+        if not candidates or not candidates_v:
+            raise ProtocolError(
+                f"edge ({u}, {v}) has no usable meeting record; "
+                "discovery or the exchange must have failed for this pair"
+            )
+        slot_u = min(candidates)
+        slot_v = min(candidates_v)
+        if slot_u != slot_v:
+            # The two endpoints resolved different slots — can only
+            # happen if the exchange dropped a payload; fall back to the
+            # globally earliest record both can reconstruct.
+            slot_u = slot_v = min(slot_u, slot_v)
+        channel_u = result.channel_at_slot(u, slot_u)
+        channel_v = result.channel_at_slot(v, slot_v)
+        if channel_u != channel_v:
+            raise ProtocolError(
+                f"endpoints of edge ({u}, {v}) derived different channels "
+                f"({channel_u} vs {channel_v}) for slot {slot_u}; engine "
+                "invariant violated"
+            )
+        channels[(u, v)] = channel_u
+    return channels

@@ -1,0 +1,155 @@
+"""Line-graph construction for edge coloring (Section 5.2, Fact 7).
+
+CGCAST reduces edge coloring of the network graph ``G`` to node coloring
+of its line graph ``G_L``: every edge ``(u, v)`` of ``G`` becomes a
+virtual node ``w_{u,v}``, and two virtual nodes are adjacent iff their
+edges share an endpoint. Each virtual node is *simulated* by the physical
+endpoint with the smaller identity — possible because after neighbor
+discovery both endpoints know the edge exists, and consistent because
+identities are globally unique.
+
+Key structural facts reproduced here:
+
+* physical simulators of adjacent virtual nodes are at most two hops
+  apart in ``G`` (they are endpoints of edges sharing a vertex), and
+* ``G_L`` has maximum degree at most ``2*Delta - 2``, so a palette of
+  ``2*Delta`` colors always leaves an available color (Lemma 8's proof).
+
+The construction takes per-node *discovered* neighbor sets rather than
+ground truth: CGCAST colors the graph CSEEK actually found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.model.errors import ProtocolError
+
+__all__ = ["LineGraph", "edges_from_discovery"]
+
+Edge = Tuple[int, int]
+
+
+def edges_from_discovery(
+    discovered: Sequence[Set[int]], mutual: bool = True
+) -> List[Edge]:
+    """Extract canonical edges from per-node discovered neighbor sets.
+
+    Args:
+        discovered: ``discovered[u]`` = identities node ``u`` heard.
+        mutual: When True an edge requires both directions (the paper's
+            CSEEK ends with both endpoints knowing each other w.h.p.);
+            when False one direction suffices.
+
+    Returns:
+        Sorted list of ``(min, max)`` edges.
+    """
+    n = len(discovered)
+    edges: Set[Edge] = set()
+    for u in range(n):
+        for v in discovered[u]:
+            if not 0 <= v < n or v == u:
+                raise ProtocolError(
+                    f"node {u} discovered invalid identity {v}"
+                )
+            a, b = (u, v) if u < v else (v, u)
+            if mutual:
+                if u in discovered[v]:
+                    edges.add((a, b))
+            else:
+                edges.add((a, b))
+    return sorted(edges)
+
+
+@dataclass
+class LineGraph:
+    """The line graph ``G_L`` of a discovered edge set.
+
+    Attributes:
+        edges: Canonical ``(min, max)`` edges of ``G`` — the virtual
+            nodes, indexed by position.
+        neighbors: ``neighbors[i]`` = indices of virtual nodes adjacent
+            to virtual node ``i`` (edges sharing an endpoint).
+        simulator: ``simulator[i]`` = physical node simulating virtual
+            node ``i`` (the smaller endpoint).
+    """
+
+    edges: List[Edge]
+    neighbors: List[List[int]]
+    simulator: List[int]
+
+    @classmethod
+    def from_edges(cls, edges: Sequence[Edge]) -> "LineGraph":
+        """Build ``G_L`` from canonical edges.
+
+        Raises:
+            ProtocolError: on duplicate or non-canonical edges.
+        """
+        canon: List[Edge] = []
+        seen: Set[Edge] = set()
+        for u, v in edges:
+            if u >= v:
+                raise ProtocolError(
+                    f"edges must be canonical (u < v), got ({u}, {v})"
+                )
+            if (u, v) in seen:
+                raise ProtocolError(f"duplicate edge ({u}, {v})")
+            seen.add((u, v))
+            canon.append((u, v))
+        canon.sort()
+        incident: Dict[int, List[int]] = {}
+        for i, (u, v) in enumerate(canon):
+            incident.setdefault(u, []).append(i)
+            incident.setdefault(v, []).append(i)
+        neighbors: List[List[int]] = [[] for _ in canon]
+        for ids in incident.values():
+            for i in ids:
+                for j in ids:
+                    if i != j:
+                        neighbors[i].append(j)
+        # Two edges can share both endpoints only in multigraphs, which
+        # the model excludes, so no dedup beyond set() is needed; still,
+        # keep the lists sorted and unique for determinism.
+        neighbors = [sorted(set(adj)) for adj in neighbors]
+        simulator = [u for (u, v) in canon]
+        return cls(edges=canon, neighbors=neighbors, simulator=simulator)
+
+    @classmethod
+    def from_discovery(
+        cls, discovered: Sequence[Set[int]], mutual: bool = True
+    ) -> "LineGraph":
+        """Build ``G_L`` from per-node discovery results."""
+        return cls.from_edges(edges_from_discovery(discovered, mutual))
+
+    @property
+    def num_virtual(self) -> int:
+        """Number of virtual nodes (= discovered edges)."""
+        return len(self.edges)
+
+    def max_degree(self) -> int:
+        """Maximum degree of ``G_L`` (at most ``2*Delta - 2``)."""
+        if not self.neighbors:
+            return 0
+        return max(len(adj) for adj in self.neighbors)
+
+    def index_of(self, edge: Edge) -> int:
+        """Index of a canonical edge.
+
+        Raises:
+            ProtocolError: if the edge is not present.
+        """
+        try:
+            return self.edges.index(edge)
+        except ValueError:
+            raise ProtocolError(f"edge {edge} not in line graph") from None
+
+    def edges_simulated_by(self, node: int) -> List[int]:
+        """Virtual-node indices the physical ``node`` simulates."""
+        return [i for i, s in enumerate(self.simulator) if s == node]
+
+    def incident_to(self, node: int) -> List[int]:
+        """Virtual-node indices whose edge touches the physical ``node``."""
+        return [
+            i for i, (u, v) in enumerate(self.edges) if node in (u, v)
+        ]

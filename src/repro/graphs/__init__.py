@@ -1,0 +1,55 @@
+"""Topology and channel-assignment generators."""
+
+from repro.graphs.assignments import (
+    exact_uniform,
+    global_core,
+    heterogeneous_overlaps,
+    max_feasible_uniform_overlap,
+    per_edge_overlaps,
+    random_subsets,
+)
+from repro.graphs.builders import (
+    build_network,
+    build_random_subset_network,
+    build_theorem14_tree,
+    build_two_node_network,
+)
+from repro.graphs.topologies import (
+    GraphStats,
+    complete_tree,
+    cycle,
+    erdos_renyi_connected,
+    graph_stats,
+    grid,
+    path,
+    path_of_cliques,
+    random_geometric,
+    random_regular,
+    star,
+    two_node,
+)
+
+__all__ = [
+    "GraphStats",
+    "build_network",
+    "build_random_subset_network",
+    "build_theorem14_tree",
+    "build_two_node_network",
+    "complete_tree",
+    "cycle",
+    "erdos_renyi_connected",
+    "exact_uniform",
+    "global_core",
+    "graph_stats",
+    "grid",
+    "heterogeneous_overlaps",
+    "max_feasible_uniform_overlap",
+    "path",
+    "path_of_cliques",
+    "per_edge_overlaps",
+    "random_geometric",
+    "random_regular",
+    "random_subsets",
+    "star",
+    "two_node",
+]

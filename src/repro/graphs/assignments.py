@@ -1,0 +1,233 @@
+"""Channel-assignment generators.
+
+These generators place the paper's channel-overlap structure on top of a
+connectivity graph: every node receives exactly ``c`` global channels and
+every edge ``(u, v)`` ends up sharing between ``k`` and ``kmax`` of them.
+
+The core primitive is :func:`per_edge_overlaps`, which allocates a fresh,
+globally unique block of channels to every edge: the overlap of each
+neighboring pair is then *exactly* its requested target, and non-adjacent
+pairs share nothing. On top of it we offer:
+
+* :func:`exact_uniform` — every edge shares exactly ``k`` channels
+  (realized ``kmax = k``; the regime where CSEEK is provably near
+  optimal).
+* :func:`heterogeneous_overlaps` — per-edge targets drawn from
+  ``[k, kmax]``, exercising the ``kmax >> k`` gap discussed in Section 7.
+* :func:`global_core` — all nodes share one ``k``-channel core plus
+  private padding; every channel in the core is accessible to *every*
+  neighbor, which makes channels maximally crowded (drives CSEEK into its
+  part-two regime; also the natural "licensed band with k free channels"
+  scenario from the introduction).
+* :func:`random_subsets` — each node samples ``c`` channels uniformly
+  from a finite spectrum pool; the realistic white-space workload. Here
+  overlap is emergent, so the companion builder induces the graph from
+  the overlap pattern.
+
+All generators take a :class:`numpy.random.Generator` so experiments are
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.model.channels import ChannelAssignment
+from repro.model.errors import AssignmentError
+
+__all__ = [
+    "per_edge_overlaps",
+    "exact_uniform",
+    "heterogeneous_overlaps",
+    "global_core",
+    "random_subsets",
+    "max_feasible_uniform_overlap",
+]
+
+Edge = Tuple[int, int]
+
+
+def _canonical(edge: Edge) -> Edge:
+    u, v = edge
+    return (u, v) if u <= v else (v, u)
+
+
+def max_feasible_uniform_overlap(graph: nx.Graph, c: int) -> int:
+    """Largest uniform per-edge overlap placeable with ``c`` channels.
+
+    :func:`per_edge_overlaps` gives each node ``sum_of_incident_targets``
+    channels before padding, so a uniform target ``k`` is feasible iff
+    ``Delta * k <= c``.
+    """
+    max_degree = max(d for _, d in graph.degree())
+    if max_degree == 0:
+        raise AssignmentError("graph has no edges")
+    return c // max_degree
+
+
+def per_edge_overlaps(
+    graph: nx.Graph,
+    c: int,
+    targets: Mapping[Edge, int],
+    rng: np.random.Generator,
+) -> ChannelAssignment:
+    """Assign channels so each edge shares exactly its target count.
+
+    Every edge receives a block of fresh global channel ids of its target
+    size; both endpoints include the block. Nodes are then padded with
+    globally unique ids up to ``c`` channels. Because no id is ever
+    reused across edges or pads, the realized overlap of edge ``e`` is
+    exactly ``targets[e]`` and non-adjacent pairs share nothing.
+
+    Args:
+        graph: Connectivity graph on nodes ``0 .. n-1``.
+        c: Channels per node.
+        targets: Per-edge overlap targets (keys may be in either
+            orientation); every edge of ``graph`` must be covered.
+        rng: Randomness source for local label shuffling.
+
+    Raises:
+        AssignmentError: if an edge is missing a target, a target is
+            non-positive, or some node would need more than ``c``
+            channels.
+    """
+    n = graph.number_of_nodes()
+    canon_targets: Dict[Edge, int] = {}
+    for edge, t in targets.items():
+        canon_targets[_canonical(edge)] = int(t)
+    node_sets: List[Set[int]] = [set() for _ in range(n)]
+    next_id = 0
+    for edge in graph.edges():
+        u, v = _canonical(edge)
+        if (u, v) not in canon_targets:
+            raise AssignmentError(f"no overlap target for edge ({u}, {v})")
+        t = canon_targets[(u, v)]
+        if t < 1:
+            raise AssignmentError(
+                f"edge ({u}, {v}) target must be >= 1, got {t}"
+            )
+        block = range(next_id, next_id + t)
+        next_id += t
+        node_sets[u].update(block)
+        node_sets[v].update(block)
+    for u in range(n):
+        if len(node_sets[u]) > c:
+            raise AssignmentError(
+                f"node {u} needs {len(node_sets[u])} channels for its "
+                f"incident-edge targets but only c={c} are available"
+            )
+        while len(node_sets[u]) < c:
+            node_sets[u].add(next_id)
+            next_id += 1
+    return ChannelAssignment.from_sets(node_sets, rng=rng)
+
+
+def exact_uniform(
+    graph: nx.Graph,
+    c: int,
+    k: int,
+    rng: np.random.Generator,
+) -> ChannelAssignment:
+    """Every edge shares exactly ``k`` channels (realized ``kmax = k``).
+
+    This is the regime in which the paper's bounds are tight
+    (``kmax = Theta(k)``). Requires ``Delta * k <= c``.
+    """
+    targets = {_canonical(e): k for e in graph.edges()}
+    return per_edge_overlaps(graph, c, targets, rng)
+
+
+def heterogeneous_overlaps(
+    graph: nx.Graph,
+    c: int,
+    k: int,
+    kmax: int,
+    rng: np.random.Generator,
+    high_fraction: float = 0.5,
+) -> ChannelAssignment:
+    """Mix of weakly and strongly overlapping edges.
+
+    A ``high_fraction`` of edges (chosen uniformly at random) get overlap
+    ``kmax``; the rest get ``k``. This realizes the Section 7 regime
+    where CSEEK's part two is biased toward strongly overlapping
+    neighbors. Requires the incident targets of every node to fit in
+    ``c``.
+
+    Raises:
+        AssignmentError: on infeasible targets or a fraction outside
+            ``[0, 1]``.
+    """
+    if not 0.0 <= high_fraction <= 1.0:
+        raise AssignmentError(
+            f"high_fraction must be in [0, 1], got {high_fraction}"
+        )
+    if k > kmax:
+        raise AssignmentError(f"need k <= kmax, got k={k}, kmax={kmax}")
+    edges = [_canonical(e) for e in graph.edges()]
+    num_high = int(round(high_fraction * len(edges)))
+    order = rng.permutation(len(edges))
+    targets: Dict[Edge, int] = {}
+    for rank, idx in enumerate(order):
+        targets[edges[idx]] = kmax if rank < num_high else k
+    return per_edge_overlaps(graph, c, targets, rng)
+
+
+def global_core(
+    graph: nx.Graph,
+    c: int,
+    k: int,
+    rng: np.random.Generator,
+) -> ChannelAssignment:
+    """All nodes share one ``k``-channel core; padding is private.
+
+    Every pair of nodes (adjacent or not) shares exactly the ``k`` core
+    channels, so each core channel is shared with *all* of a node's
+    neighbors — the maximally crowded configuration that exercises CSEEK's
+    part two (Lemma 3's regime once degrees are large). Works for any
+    graph as long as ``k <= c``.
+    """
+    if k > c:
+        raise AssignmentError(f"core size k={k} exceeds c={c}")
+    n = graph.number_of_nodes()
+    core = set(range(k))
+    next_id = k
+    node_sets: List[Set[int]] = []
+    for _ in range(n):
+        chans = set(core)
+        while len(chans) < c:
+            chans.add(next_id)
+            next_id += 1
+        node_sets.append(chans)
+    return ChannelAssignment.from_sets(node_sets, rng=rng)
+
+
+def random_subsets(
+    n: int,
+    c: int,
+    pool_size: int,
+    rng: np.random.Generator,
+) -> ChannelAssignment:
+    """Each node samples ``c`` channels uniformly from a finite pool.
+
+    Models opportunistic white-space access: the spectrum has
+    ``pool_size`` usable channels and each radio's regulatory/interference
+    environment leaves it a random ``c``-subset. Overlap between any two
+    nodes is hypergeometric with mean ``c^2 / pool_size``; the companion
+    builder (:func:`repro.graphs.builders.build_random_subset_network`)
+    keeps only edges whose realized overlap reaches the required ``k``.
+
+    Raises:
+        AssignmentError: if the pool is smaller than ``c``.
+    """
+    if pool_size < c:
+        raise AssignmentError(
+            f"pool_size={pool_size} must be at least c={c}"
+        )
+    node_sets = [
+        set(int(g) for g in rng.choice(pool_size, size=c, replace=False))
+        for _ in range(n)
+    ]
+    return ChannelAssignment.from_sets(node_sets, rng=rng)

@@ -1,0 +1,168 @@
+"""Builders combining topologies with channel assignments.
+
+A builder produces a ready-to-simulate
+:class:`~repro.sim.network.CRNetwork` from a topology and an assignment
+strategy, and exposes the *realized* model parameters (``k``, ``kmax``,
+``Delta``, ``D``) — generators aim for target parameters, but experiments
+must always be reported against what was actually constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs import assignments, topologies
+from repro.model.errors import AssignmentError, TopologyError
+from repro.sim.network import CRNetwork
+
+__all__ = [
+    "build_network",
+    "build_two_node_network",
+    "build_random_subset_network",
+    "build_theorem14_tree",
+]
+
+AssignmentKind = Literal[
+    "exact_uniform", "heterogeneous", "global_core"
+]
+
+
+def build_network(
+    graph: nx.Graph,
+    c: int,
+    k: int,
+    seed: int,
+    kind: AssignmentKind = "exact_uniform",
+    kmax: Optional[int] = None,
+    high_fraction: float = 0.5,
+) -> CRNetwork:
+    """Layer a channel assignment over ``graph`` and wrap as a network.
+
+    Args:
+        graph: Connected graph on ``0 .. n-1``.
+        c: Channels per node.
+        k: Minimum per-edge overlap target.
+        seed: Randomness seed (labels, heterogeneous edge selection).
+        kind: Assignment strategy:
+            ``"exact_uniform"`` — every edge shares exactly ``k``
+            channels (needs ``Delta * k <= c``);
+            ``"heterogeneous"`` — edges share ``k`` or ``kmax``
+            channels (needs per-node targets to fit in ``c``);
+            ``"global_core"`` — all nodes share a ``k``-channel core
+            (maximally crowded channels; any graph).
+        kmax: Upper overlap target (heterogeneous only; default ``k``).
+        high_fraction: Fraction of strongly overlapping edges
+            (heterogeneous only).
+
+    Returns:
+        A :class:`CRNetwork` with realized parameters computable via
+        ``network.knowledge()``.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "exact_uniform":
+        assignment = assignments.exact_uniform(graph, c, k, rng)
+    elif kind == "heterogeneous":
+        assignment = assignments.heterogeneous_overlaps(
+            graph, c, k, kmax if kmax is not None else k, rng, high_fraction
+        )
+    elif kind == "global_core":
+        assignment = assignments.global_core(graph, c, k, rng)
+    else:
+        raise AssignmentError(f"unknown assignment kind: {kind!r}")
+    return CRNetwork(graph=graph, assignment=assignment)
+
+
+def build_two_node_network(c: int, k: int, seed: int) -> CRNetwork:
+    """The two-node network of the Lemma 11 reduction.
+
+    Nodes 0 and 1 each own ``c`` channels and share exactly ``k`` of
+    them; local labels are independent random permutations, exactly the
+    setting of the ``(c, k)``-bipartite hitting game.
+    """
+    graph = topologies.two_node()
+    rng = np.random.default_rng(seed)
+    assignment = assignments.per_edge_overlaps(graph, c, {(0, 1): k}, rng)
+    return CRNetwork(graph=graph, assignment=assignment)
+
+
+def build_random_subset_network(
+    n: int,
+    c: int,
+    k: int,
+    pool_size: int,
+    seed: int,
+    max_tries: int = 64,
+) -> CRNetwork:
+    """White-space workload: overlap-induced connectivity.
+
+    Every node samples ``c`` channels from a pool of ``pool_size``; two
+    nodes are neighbors iff they share at least ``k`` channels (all nodes
+    are assumed within radio range — a dense deployment). Re-samples until
+    the induced graph is connected.
+
+    Raises:
+        TopologyError: if no connected sample arises within ``max_tries``
+            (the pool is too large or ``k`` too strict).
+    """
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        assignment = assignments.random_subsets(n, c, pool_size, rng)
+        overlap = assignment.overlap_matrix()
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if overlap[u, v] >= k:
+                    graph.add_edge(u, v)
+        if graph.number_of_edges() > 0 and nx.is_connected(graph):
+            return CRNetwork(graph=graph, assignment=assignment)
+    raise TopologyError(
+        f"no connected overlap-induced network after {max_tries} tries "
+        f"(n={n}, c={c}, k={k}, pool={pool_size}); shrink the pool or k"
+    )
+
+
+@dataclass(frozen=True)
+class _TreeShape:
+    fanout: int
+    depth: int
+
+
+def build_theorem14_tree(c: int, depth: int, seed: int, delta: Optional[int] = None) -> CRNetwork:
+    """The Theorem 14 lower-bound instance.
+
+    A complete tree in which every internal node has
+    ``min(c, Delta) - 1`` children, siblings share **no** channels, and
+    each parent-child pair shares exactly one channel (``k = 1``). A
+    parent must therefore serialize its children: per slot it can inform
+    at most one of them.
+
+    Args:
+        c: Channels per node.
+        depth: Tree depth (diameter ``2 * depth``; the broadcast source is
+            the root, so the relevant distance is ``depth``).
+        seed: Label-shuffling seed.
+        delta: Optional degree bound; default ``c`` (so fanout is
+            ``c - 1``).
+
+    Returns:
+        The tree network; per-edge overlap is exactly 1 and sibling
+        channel sets are disjoint by construction
+        (:func:`repro.graphs.assignments.per_edge_overlaps` never reuses
+        ids across edges).
+    """
+    bound = min(c, delta) if delta is not None else c
+    fanout = bound - 1
+    if fanout < 1:
+        raise TopologyError(
+            f"min(c, Delta) - 1 must be >= 1, got c={c}, delta={delta}"
+        )
+    graph = topologies.complete_tree(fanout, depth)
+    rng = np.random.default_rng(seed)
+    targets = {edge: 1 for edge in graph.edges()}
+    assignment = assignments.per_edge_overlaps(graph, c, targets, rng)
+    return CRNetwork(graph=graph, assignment=assignment)

@@ -1,0 +1,230 @@
+"""Connectivity-graph generators.
+
+Every generator returns a connected :class:`networkx.Graph` on nodes
+``0 .. n-1``. These graphs play the role of the paper's network graph
+``G`` (Section 3): vertices are radios, edges mean "in transmission range
+and sharing enough channels". Channel assignments are layered on top by
+:mod:`repro.graphs.assignments`.
+
+The zoo covers the worst cases the paper argues about:
+
+* :func:`star` — the ``Omega(Delta)`` neighbor-discovery lower bound.
+* :func:`complete_tree` — the ``Omega(D * min(c, Delta))`` broadcast lower
+  bound (Theorem 14).
+* :func:`path_of_cliques` — diameter sweeps with bounded degree, used for
+  CGCAST scaling.
+* :func:`random_geometric` — the "radios scattered in the plane" workload
+  motivating the paper.
+* :func:`erdos_renyi_connected`, :func:`random_regular`, :func:`grid`,
+  :func:`path`, :func:`cycle` — standard shapes for property tests and
+  sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.model.errors import TopologyError
+from repro.structure import GraphStats, graph_stats
+
+__all__ = [
+    "GraphStats",
+    "graph_stats",
+    "star",
+    "path",
+    "cycle",
+    "grid",
+    "complete_tree",
+    "path_of_cliques",
+    "random_geometric",
+    "erdos_renyi_connected",
+    "random_regular",
+    "two_node",
+]
+
+
+def _relabel_contiguous(graph: nx.Graph) -> nx.Graph:
+    """Relabel arbitrary node names to ``0 .. n-1`` (sorted order)."""
+    mapping = {v: i for i, v in enumerate(sorted(graph.nodes()))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def two_node() -> nx.Graph:
+    """The two-node network used by the Lemma 11 reduction."""
+    graph = nx.Graph()
+    graph.add_edge(0, 1)
+    return graph
+
+
+def star(n: int) -> nx.Graph:
+    """Star on ``n`` nodes; node 0 is the hub with degree ``n - 1``."""
+    if n < 2:
+        raise TopologyError(f"star needs n >= 2, got {n}")
+    return nx.star_graph(n - 1)
+
+
+def path(n: int) -> nx.Graph:
+    """Path on ``n`` nodes (diameter ``n - 1``)."""
+    if n < 2:
+        raise TopologyError(f"path needs n >= 2, got {n}")
+    return nx.path_graph(n)
+
+
+def cycle(n: int) -> nx.Graph:
+    """Cycle on ``n`` nodes (diameter ``floor(n/2)``)."""
+    if n < 3:
+        raise TopologyError(f"cycle needs n >= 3, got {n}")
+    return nx.cycle_graph(n)
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """``rows x cols`` grid (4-neighborhood), relabeled to ``0..n-1``."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid needs positive dims, got {rows}x{cols}")
+    if rows * cols < 2:
+        raise TopologyError("grid needs at least two nodes")
+    graph = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, q): r * cols + q for r, q in graph.nodes()}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def complete_tree(fanout: int, depth: int) -> nx.Graph:
+    """Complete ``fanout``-ary tree of the given depth.
+
+    The root is node 0. Theorem 14 uses this shape with
+    ``fanout = min(c, Delta) - 1`` and channel-disjoint siblings.
+
+    Args:
+        fanout: Children per internal node (``>= 1``).
+        depth: Edge-depth of the tree (``>= 1``); the diameter is
+            ``2 * depth``.
+    """
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    if depth < 1:
+        raise TopologyError(f"depth must be >= 1, got {depth}")
+    graph = nx.balanced_tree(fanout, depth)
+    return _relabel_contiguous(graph)
+
+
+def path_of_cliques(num_cliques: int, clique_size: int) -> nx.Graph:
+    """A chain of cliques bridged by single edges.
+
+    Yields diameter ``Theta(num_cliques)`` while keeping the max degree at
+    ``clique_size`` (bridge endpoints have degree ``clique_size``),
+    which makes it ideal for sweeping ``D`` with ``Delta`` held fixed in
+    CGCAST experiments.
+
+    Args:
+        num_cliques: Number of cliques in the chain (``>= 1``).
+        clique_size: Nodes per clique (``>= 2``).
+    """
+    if num_cliques < 1:
+        raise TopologyError(f"need >= 1 cliques, got {num_cliques}")
+    if clique_size < 2:
+        raise TopologyError(f"cliques need >= 2 nodes, got {clique_size}")
+    graph = nx.Graph()
+    for i in range(num_cliques):
+        base = i * clique_size
+        members = list(range(base, base + clique_size))
+        graph.add_edges_from(
+            (members[a], members[b])
+            for a in range(clique_size)
+            for b in range(a + 1, clique_size)
+        )
+        if i > 0:
+            # Bridge from the last node of the previous clique to the
+            # first node of this one.
+            graph.add_edge(base - 1, base)
+    return graph
+
+
+def random_geometric(
+    n: int,
+    radius: float | None = None,
+    seed: int = 0,
+    max_tries: int = 64,
+) -> nx.Graph:
+    """Connected random geometric graph (radios in the unit square).
+
+    Nodes are placed uniformly at random; two nodes are joined when
+    within ``radius``. When ``radius`` is omitted we use the standard
+    connectivity threshold ``sqrt(2 * ln(n) / n)`` and re-sample until the
+    graph is connected.
+
+    Raises:
+        TopologyError: if no connected sample is found in ``max_tries``.
+    """
+    if n < 2:
+        raise TopologyError(f"need n >= 2, got {n}")
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(n, 2)) / n)
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.random_geometric_graph(n, radius, seed=sub_seed)
+        if nx.is_connected(graph):
+            return _relabel_contiguous(graph)
+    raise TopologyError(
+        f"no connected geometric graph with n={n}, radius={radius:.3f} "
+        f"after {max_tries} tries; increase the radius"
+    )
+
+
+def erdos_renyi_connected(
+    n: int,
+    p: float | None = None,
+    seed: int = 0,
+    max_tries: int = 64,
+) -> nx.Graph:
+    """Connected Erdos-Renyi graph ``G(n, p)``.
+
+    When ``p`` is omitted we use ``min(1, 3 * ln(n) / n)``, comfortably
+    above the connectivity threshold.
+
+    Raises:
+        TopologyError: if no connected sample is found in ``max_tries``.
+    """
+    if n < 2:
+        raise TopologyError(f"need n >= 2, got {n}")
+    if p is None:
+        p = min(1.0, 3.0 * math.log(max(n, 2)) / n)
+    if not 0.0 < p <= 1.0:
+        raise TopologyError(f"edge probability must be in (0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.gnp_random_graph(n, p, seed=sub_seed)
+        if graph.number_of_nodes() >= 2 and nx.is_connected(graph):
+            return _relabel_contiguous(graph)
+    raise TopologyError(
+        f"no connected G({n}, {p:.3f}) after {max_tries} tries; increase p"
+    )
+
+
+def random_regular(n: int, d: int, seed: int = 0, max_tries: int = 64) -> nx.Graph:
+    """Connected random ``d``-regular graph (an expander w.h.p.).
+
+    Raises:
+        TopologyError: on infeasible ``(n, d)`` or if no connected sample
+            is found in ``max_tries``.
+    """
+    if n < 2:
+        raise TopologyError(f"need n >= 2, got {n}")
+    if d < 1 or d >= n or (n * d) % 2 != 0:
+        raise TopologyError(
+            f"infeasible regular graph: n={n}, d={d} (need 1 <= d < n and "
+            "n*d even)"
+        )
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        sub_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(d, n, seed=sub_seed)
+        if nx.is_connected(graph):
+            return _relabel_contiguous(graph)
+    raise TopologyError(
+        f"no connected {d}-regular graph on {n} nodes after {max_tries} tries"
+    )

@@ -1,0 +1,19 @@
+"""Experiment harness: runners, tables, and E1-E10 definitions."""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    experiment_ids,
+    run_experiment,
+)
+from repro.harness.runner import ExperimentTable, run_trials
+from repro.harness.tables import render_markdown, write_csv
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentTable",
+    "experiment_ids",
+    "render_markdown",
+    "run_experiment",
+    "run_trials",
+    "write_csv",
+]

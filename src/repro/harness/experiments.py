@@ -1,0 +1,1094 @@
+"""Experiment definitions E1-E10 (see DESIGN.md §4).
+
+Each function regenerates one of the paper's claims as an empirical
+table. The paper is a theory paper — its "figures" are theorems — so a
+reproduction here means: run the algorithm the theorem describes, verify
+its guarantee (success frequency across seeds), and check the *shape* of
+its bound (scaling along sweeps, ratios and crossovers against
+baselines). Absolute constants are ours, not the paper's; shapes are
+comparable.
+
+All experiments take a ``trials`` knob (statistical confidence vs
+runtime) and a master ``seed`` and return an
+:class:`~repro.harness.runner.ExperimentTable`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.analysis import (
+    cgcast_bound,
+    ckseek_bound,
+    complete_game_floor,
+    cseek_bound,
+    fit_power_law,
+    hitting_game_floor,
+    naive_broadcast_bound,
+    naive_discovery_bound,
+    nd_lower_bound,
+    success_rate,
+    summarize,
+    zeng_discovery_bound,
+)
+from repro.baselines import (
+    NaiveBroadcast,
+    NaiveDiscovery,
+    broadcast_floor,
+    tree_broadcast_floor,
+)
+from repro.core import (
+    CGCast,
+    CKSeek,
+    CSeek,
+    LineGraph,
+    LubyEdgeColoring,
+    ProtocolConstants,
+    is_valid_edge_coloring,
+    run_count_step,
+    verify_discovery,
+    verify_k_discovery,
+)
+from repro.graphs import (
+    build_network,
+    build_theorem14_tree,
+    path_of_cliques,
+    random_regular,
+    star,
+)
+from repro.harness.runner import ExperimentTable, run_trials
+from repro.model.errors import HarnessError
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+Row = Dict[str, object]
+
+
+# ----------------------------------------------------------------------
+# E1 — COUNT accuracy (Lemma 1)
+# ----------------------------------------------------------------------
+def experiment_e1(trials: int = 30, seed: int = 0) -> ExperimentTable:
+    """Lemma 1: COUNT estimates the broadcaster count within constants.
+
+    One listener faces ``m`` broadcasters on a single channel; both
+    estimation rules run over independent trials. The paper's guarantee
+    is an estimate in ``[m, 4m]``; we report the median estimate/m ratio
+    and the frequency of landing within a factor-4 band.
+    """
+    rows: List[Row] = []
+    rules = [
+        ("argmax", ProtocolConstants(count_rule="argmax", count_round_slots=8.0)),
+        (
+            "first_crossing",
+            ProtocolConstants(
+                count_rule="first_crossing", count_round_slots=192.0
+            ),
+        ),
+    ]
+    for rule_name, consts in rules:
+        for m in (1, 2, 4, 8, 16, 32):
+            n = m + 1
+            adj = np.zeros((n, n), dtype=bool)
+            adj[0, 1:] = True
+            adj[1:, 0] = True
+            channels = np.zeros(n, dtype=np.int64)
+            tx_role = np.ones(n, dtype=bool)
+            tx_role[0] = False
+
+            def trial(s: int) -> float:
+                rng = np.random.default_rng(s)
+                out = run_count_step(
+                    adj,
+                    channels,
+                    tx_role,
+                    max_count=32,
+                    log_n=5,
+                    constants=consts,
+                    rng=rng,
+                )
+                return float(out.estimates[0])
+
+            estimates = run_trials(trial, trials, seed, label=f"e1-{rule_name}-{m}")
+            ratios = [e / m for e in estimates]
+            in_band = [m / 4 <= e <= 4 * m for e in estimates]
+            from repro.core import count_schedule
+
+            rounds, length = count_schedule(32, 5, consts)
+            rows.append(
+                {
+                    "rule": rule_name,
+                    "m": m,
+                    "median_ratio": float(np.median(ratios)),
+                    "band_rate(est in [m/4,4m])": success_rate(in_band),
+                    "slots": rounds * length,
+                }
+            )
+    return ExperimentTable(
+        experiment_id="E1",
+        title="COUNT accuracy (Lemma 1)",
+        rows=rows,
+        notes=(
+            "Paper claim: COUNT returns an estimate within a constant "
+            "factor of the true broadcaster count m, in O(lg^2 n) slots. "
+            "Both rules should hold median ratios within [1/4, 4] across "
+            "the m sweep; the paper-exact first-crossing rule needs the "
+            "long rounds its hidden constant implies."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — CSEEK scaling vs baselines (Theorem 4)
+# ----------------------------------------------------------------------
+def _discovery_times(net, trials: int, seed: int, label: str) -> Dict[str, object]:
+    """Measured completion slots + success rates for CSEEK and naive."""
+
+    def cseek_trial(s: int):
+        result = CSeek(net, seed=s).run()
+        report = verify_discovery(result, net)
+        return report.success, report.completion_slot, result.total_slots
+
+    def naive_trial(s: int):
+        nd = NaiveDiscovery(net, seed=s)
+        result = nd.run()
+        report = nd.verify(result)
+        return report.success, report.completion_slot, result.total_slots
+
+    cs = run_trials(cseek_trial, trials, seed, label=f"{label}-cseek")
+    nv = run_trials(naive_trial, trials, seed, label=f"{label}-naive")
+    cs_done = [t for ok, t, _ in cs if ok and t is not None]
+    nv_done = [t for ok, t, _ in nv if ok and t is not None]
+    return {
+        "cseek_success": success_rate([ok for ok, _, _ in cs]),
+        "naive_success": success_rate([ok for ok, _, _ in nv]),
+        "cseek_completion": (
+            summarize(cs_done).mean if cs_done else None
+        ),
+        "naive_completion": (
+            summarize(nv_done).mean if nv_done else None
+        ),
+        "cseek_schedule": cs[0][2],
+        "naive_schedule": nv[0][2],
+    }
+
+
+def experiment_e2(trials: int = 5, seed: int = 0) -> ExperimentTable:
+    """Theorem 4: CSEEK's c-, Delta- and k-scaling against the naive
+    baseline and the analytic bound curves."""
+    rows: List[Row] = []
+    # --- (a) sweep c with k, Delta fixed (need Delta * k <= c) ------
+    for c in (8, 12, 16, 20):
+        graph = random_regular(20, 4, seed=seed + c)
+        net = build_network(graph, c=c, k=2, seed=seed + c)
+        kn = net.knowledge()
+        stats = _discovery_times(net, trials, seed + c, f"e2c{c}")
+        rows.append(
+            {
+                "sweep": "c",
+                "x": c,
+                **stats,
+                "cseek_bound": cseek_bound(kn.c, kn.k, kn.kmax, kn.max_degree),
+                "naive_bound": naive_discovery_bound(kn.c, kn.k, kn.max_degree),
+                "zeng_bound": zeng_discovery_bound(kn.c, kn.k, kn.max_degree),
+            }
+        )
+    # --- (b) sweep Delta on crowded stars ---------------------------
+    # Delta is the axis on which the bounds diverge (additive for CSEEK,
+    # multiplicative for naive); the biggest point is capped at fewer
+    # trials to keep the sweep laptop-sized.
+    for delta in (8, 32, 128):
+        net = build_network(
+            star(delta + 1), c=8, k=2, seed=seed + delta, kind="global_core"
+        )
+        kn = net.knowledge()
+        point_trials = trials if delta < 128 else min(trials, 2)
+        stats = _discovery_times(
+            net, point_trials, seed + 100 + delta, f"e2d{delta}"
+        )
+        rows.append(
+            {
+                "sweep": "Delta",
+                "x": delta,
+                **stats,
+                "cseek_bound": cseek_bound(
+                    kn.c, kn.k, kn.kmax, kn.max_degree, n=kn.n
+                ),
+                "naive_bound": naive_discovery_bound(
+                    kn.c, kn.k, kn.max_degree, n=kn.n
+                ),
+                "zeng_bound": zeng_discovery_bound(
+                    kn.c, kn.k, kn.max_degree, n=kn.n
+                ),
+            }
+        )
+    # --- (c) sweep k with c fixed -----------------------------------
+    for k in (1, 2, 4):
+        graph = random_regular(20, 4, seed=seed + 7)
+        net = build_network(graph, c=16, k=k, seed=seed + k)
+        kn = net.knowledge()
+        stats = _discovery_times(net, trials, seed + 200 + k, f"e2k{k}")
+        rows.append(
+            {
+                "sweep": "k",
+                "x": k,
+                **stats,
+                "cseek_bound": cseek_bound(kn.c, kn.k, kn.kmax, kn.max_degree),
+                "naive_bound": naive_discovery_bound(kn.c, kn.k, kn.max_degree),
+                "zeng_bound": zeng_discovery_bound(kn.c, kn.k, kn.max_degree),
+            }
+        )
+    slope_note = ""
+    c_rows = [r for r in rows if r["sweep"] == "c" and r["cseek_completion"]]
+    if len(c_rows) >= 2:
+        fit = fit_power_law(
+            [r["x"] for r in c_rows], [r["cseek_completion"] for r in c_rows]
+        )
+        slope_note += (
+            f" Measured CSEEK completion-vs-c log-log slope: "
+            f"{fit.slope:.2f} (bound predicts ~2 once the c^2/k term "
+            "dominates)."
+        )
+    d_rows = [
+        r
+        for r in rows
+        if r["sweep"] == "Delta"
+        and r["cseek_completion"]
+        and r["naive_completion"]
+    ]
+    if len(d_rows) >= 2:
+        cs_fit = fit_power_law(
+            [r["x"] for r in d_rows], [r["cseek_completion"] for r in d_rows]
+        )
+        nv_fit = fit_power_law(
+            [r["x"] for r in d_rows], [r["naive_completion"] for r in d_rows]
+        )
+        ratios = [
+            r["naive_completion"] / r["cseek_completion"] for r in d_rows
+        ]
+        slope_note += (
+            f" Delta-sweep slopes: CSEEK {cs_fit.slope:.2f} (additive "
+            f"Delta term, sub-linear at these sizes), naive "
+            f"{nv_fit.slope:.2f} (multiplicative Delta). Naive/CSEEK "
+            f"completion ratio along the sweep: "
+            + ", ".join(f"{r:.2f}" for r in ratios)
+            + " — rising with Delta as the bounds predict. At laptop "
+            "sizes the lg^2 n slots inside every COUNT step keep CSEEK's "
+            "absolute numbers above naive's; the bound-side crossover "
+            "(Delta >~ lg^2 n x constants) extrapolates to Delta in the "
+            "several hundreds, beyond this sweep."
+        )
+    return ExperimentTable(
+        experiment_id="E2",
+        title="CSEEK vs naive discovery scaling (Theorem 4)",
+        rows=rows,
+        notes=(
+            "Paper claim: CSEEK needs O~(c^2/k + (kmax/k) Delta) slots vs "
+            "the naive strawman's O~((c^2/k) Delta); CSEEK's advantage "
+            "grows with Delta (additive vs multiplicative) and both scale "
+            "as c^2/k in c and 1/k in k." + slope_note
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — part-one vs part-two discovery split (Lemmas 2 and 3)
+# ----------------------------------------------------------------------
+def experiment_e3(trials: int = 5, seed: int = 0) -> ExperimentTable:
+    """Lemma 2/3: part one suffices on un-crowded channels; on crowded
+    channels part two's density-weighted listening does the work."""
+    rows: List[Row] = []
+    # (a) full budgets: Lemma 2 says part one alone already finds
+    # everything when channels are un-crowded.
+    cases = [
+        (
+            "full budget, sparse (exact k, regular)",
+            build_network(
+                random_regular(20, 4, seed=seed + 1), c=8, k=2, seed=seed + 1
+            ),
+        ),
+        (
+            "full budget, crowded (global core, star)",
+            build_network(
+                star(25), c=6, k=2, seed=seed + 2, kind="global_core"
+            ),
+        ),
+    ]
+    for name, net in cases:
+        truth = net.true_neighbor_sets()
+        total_pairs = sum(len(s) for s in truth)
+
+        def trial(s: int):
+            result = CSeek(net, seed=s).run()
+            part1 = sum(
+                len(result.discovered_part_one[u] & set(truth[u]))
+                for u in range(net.n)
+            )
+            both = sum(
+                len(result.discovered[u] & set(truth[u]))
+                for u in range(net.n)
+            )
+            return part1 / total_pairs, both / total_pairs
+
+        outcomes = run_trials(trial, trials, seed, label=f"e3-{name}")
+        rows.append(
+            {
+                "workload": name,
+                "part2_listener": "weighted",
+                "pairs": total_pairs,
+                "part1_fraction": summarize([a for a, _ in outcomes]).mean,
+                "final_fraction": summarize([b for _, b in outcomes]).mean,
+            }
+        )
+    # (b) starved part one on a heavily crowded star: part two must
+    # rescue the remaining pairs, and its density-weighted listener is
+    # what makes the rescue fast (Lemma 3's mechanism).
+    net = build_network(
+        star(65), c=6, k=2, seed=seed + 3, kind="global_core"
+    )
+    truth = net.true_neighbor_sets()
+    total_pairs = sum(len(s) for s in truth)
+    for policy in ("weighted", "uniform"):
+
+        def trial(s: int):
+            result = CSeek(
+                net,
+                seed=s,
+                part1_steps=40,
+                part2_steps=150,
+                part2_listener=policy,
+            ).run()
+            part1 = sum(
+                len(result.discovered_part_one[u] & set(truth[u]))
+                for u in range(net.n)
+            )
+            both = sum(
+                len(result.discovered[u] & set(truth[u]))
+                for u in range(net.n)
+            )
+            return part1 / total_pairs, both / total_pairs
+
+        outcomes = run_trials(trial, trials, seed + 5, label=f"e3b-{policy}")
+        rows.append(
+            {
+                "workload": "starved part one, crowded star",
+                "part2_listener": policy,
+                "pairs": total_pairs,
+                "part1_fraction": summarize([a for a, _ in outcomes]).mean,
+                "final_fraction": summarize([b for _, b in outcomes]).mean,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E3",
+        title="Discovery split across CSEEK's parts (Lemmas 2-3)",
+        rows=rows,
+        notes=(
+            "Paper claims: (Lemma 2) part one alone finds neighbors on "
+            "un-crowded channels — full-budget rows show part1_fraction "
+            "~1.0; (Lemma 3) on crowded channels the part-two listener, "
+            "by revisiting channels proportionally to sampled density, "
+            "recovers the rest — in the starved rows the weighted "
+            "listener's final_fraction beats the uniform ablation at the "
+            "same slot budget."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — CKSEEK filter (Theorem 6)
+# ----------------------------------------------------------------------
+def experiment_e4(trials: int = 5, seed: int = 0) -> ExperimentTable:
+    """Theorem 6: k-hat discovery gets strictly cheaper as k-hat grows."""
+    graph = random_regular(20, 4, seed=seed + 3)
+    net = build_network(
+        graph, c=16, k=2, seed=seed + 3, kind="heterogeneous", kmax=4
+    )
+    kn = net.knowledge()
+    rows: List[Row] = []
+    for khat in range(kn.k, kn.kmax + 1):
+        delta_khat = net.max_good_degree(khat)
+
+        def trial(s: int):
+            algo = CKSeek(net, khat=khat, delta_khat=delta_khat, seed=s)
+            result = algo.run()
+            report = verify_k_discovery(result, net, khat=khat)
+            return report.success, result.total_slots
+
+        outcomes = run_trials(trial, trials, seed + khat, label=f"e4-{khat}")
+        rows.append(
+            {
+                "khat": khat,
+                "delta_khat": delta_khat,
+                "success": success_rate([ok for ok, _ in outcomes]),
+                "schedule_slots": outcomes[0][1],
+                "bound": ckseek_bound(
+                    kn.c, khat, kn.kmax, delta_khat, kn.max_degree
+                ),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E4",
+        title="CKSEEK k-hat filter (Theorem 6)",
+        rows=rows,
+        notes=(
+            "Paper claim: finding only neighbors sharing >= khat channels "
+            "costs O~(c^2/khat + (kmax/khat) Delta_khat + Delta) — "
+            "strictly less than full CSEEK once khat > k. Expect "
+            "schedule_slots to fall monotonically with khat while success "
+            "stays 1.0."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — Luby line-graph coloring (Lemma 8)
+# ----------------------------------------------------------------------
+def experiment_e5(trials: int = 8, seed: int = 0) -> ExperimentTable:
+    """Lemma 8: 2*Delta-coloring completes in O(lg n) phases, always
+    proper."""
+    rows: List[Row] = []
+    for n in (8, 16, 32, 64, 128):
+        graph = random_regular(n, 4, seed=seed + n)
+        net = build_network(graph, c=8, k=2, seed=seed + n)
+        lg = LineGraph.from_edges(net.edges())
+        kn = net.knowledge()
+
+        def trial(s: int):
+            result = LubyEdgeColoring(lg, kn, seed=s).run()
+            valid = result.complete and is_valid_edge_coloring(
+                result.colors, lg.edges
+            )
+            return valid, result.phases_used
+
+        outcomes = run_trials(trial, trials, seed + n, label=f"e5-{n}")
+        rows.append(
+            {
+                "n": n,
+                "edges": lg.num_virtual,
+                "valid_rate": success_rate([ok for ok, _ in outcomes]),
+                "mean_phases": summarize(
+                    [p for _, p in outcomes]
+                ).mean,
+                "lg_n": math.ceil(math.log2(n)),
+            }
+        )
+    phase_fit = fit_power_law(
+        [r["lg_n"] for r in rows], [max(r["mean_phases"], 0.5) for r in rows]
+    )
+    return ExperimentTable(
+        experiment_id="E5",
+        title="Line-graph Luby coloring (Lemma 8, Fact 7)",
+        rows=rows,
+        notes=(
+            "Paper claim: the phased coloring 2*Delta-colors the line "
+            "graph (hence properly edge-colors G, Fact 7) within O(lg n) "
+            "phases w.h.p. Expect valid_rate 1.0 and mean_phases growing "
+            f"at most like lg n (measured phases-vs-lg n slope: "
+            f"{phase_fit.slope:.2f}; sub-linear growth in lg n is "
+            "consistent with the bound's generous constant)."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E6 — CGCAST scaling vs naive broadcast (Theorem 9)
+# ----------------------------------------------------------------------
+def experiment_e6(trials: int = 3, seed: int = 0) -> ExperimentTable:
+    """Theorem 9: CGCAST's per-hop dissemination cost is O~(Delta) while
+    naive broadcast pays O~(c^2/k) per hop."""
+    rows: List[Row] = []
+    for num_cliques in (2, 4, 8, 12):
+        graph = path_of_cliques(num_cliques, 4)
+        net = build_network(graph, c=8, k=1, seed=seed + num_cliques)
+        kn = net.knowledge()
+
+        def cg_trial(s: int):
+            result = CGCast(net, source=0, seed=s).run()
+            return (
+                result.success,
+                result.ledger.get("dissemination"),
+                result.total_slots,
+            )
+
+        def nv_trial(s: int):
+            result = NaiveBroadcast(net, source=0, seed=s).run()
+            return result.success, result.completion_slot
+
+        cg = run_trials(cg_trial, trials, seed + num_cliques, label="e6cg")
+        nv = run_trials(nv_trial, trials, seed + num_cliques, label="e6nv")
+        cg_diss = [d for ok, d, _ in cg if ok]
+        nv_done = [t for ok, t in nv if ok and t is not None]
+        cg_mean = summarize(cg_diss).mean if cg_diss else None
+        nv_mean = summarize(nv_done).mean if nv_done else None
+        rows.append(
+            {
+                "cliques": num_cliques,
+                "D": kn.diameter,
+                "Delta": kn.max_degree,
+                "cgcast_success": success_rate([ok for ok, _, _ in cg]),
+                "cgcast_dissemination": cg_mean,
+                "cgcast_per_hop": (
+                    cg_mean / kn.diameter if cg_mean else None
+                ),
+                "cgcast_total": cg[0][2],
+                "naive_success": success_rate([ok for ok, _ in nv]),
+                "naive_completion": nv_mean,
+                "naive_per_hop": (
+                    nv_mean / kn.diameter if nv_mean else None
+                ),
+                "cgcast_bound": cgcast_bound(
+                    kn.c, kn.k, kn.kmax, kn.max_degree, kn.diameter
+                ),
+                "naive_bound": naive_broadcast_bound(
+                    kn.c, kn.k, kn.diameter
+                ),
+            }
+        )
+    diss = [
+        r for r in rows if r["cgcast_dissemination"] and r["naive_completion"]
+    ]
+    note = ""
+    if len(diss) >= 2:
+        cg_fit = fit_power_law(
+            [r["D"] for r in diss], [r["cgcast_dissemination"] for r in diss]
+        )
+        nv_fit = fit_power_law(
+            [r["D"] for r in diss], [r["naive_completion"] for r in diss]
+        )
+        note = (
+            f" Dissemination-vs-D slopes: CGCAST {cg_fit.slope:.2f}, "
+            f"naive {nv_fit.slope:.2f} (both ~linear in D, as the bounds "
+            "predict); the naive curve carries the larger c^2/k per-hop "
+            "constant, the CGCAST curve only Delta*polylog."
+        )
+    return ExperimentTable(
+        experiment_id="E6",
+        title="CGCAST vs naive broadcast (Theorem 9)",
+        rows=rows,
+        notes=(
+            "Paper claim: CGCAST spends O~(c^2/k + (kmax/k) Delta) once "
+            "on setup, then disseminates at O~(Delta) per hop; the naive "
+            "strawman pays O~(c^2/k) per hop. On long thin networks "
+            "(growing D) the per-hop comparison favors CGCAST whenever "
+            "Delta << c^2/k (here Delta=4 vs c^2/k=64). The one-shot "
+            "total still favors naive at these sizes because CGCAST's "
+            "setup (discovery + coloring exchanges) is paid once — the "
+            "paper's regime is a long-lived network where the schedule "
+            "is reused across many broadcasts." + note
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E7 — hitting-game lower bounds (Lemmas 10 and 12)
+# ----------------------------------------------------------------------
+def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
+    """Lemmas 10/12: measured hitting times sit above the game floors."""
+    from repro.lowerbounds import (
+        FreshRandomPlayer,
+        HittingGame,
+        UniformRandomPlayer,
+        play,
+    )
+
+    rows: List[Row] = []
+    for c in (8, 16, 32):
+        for k in (1, 2, 4):
+            for player_name, factory in (
+                ("fresh", lambda s: FreshRandomPlayer(seed=s)),
+                ("uniform", lambda s: UniformRandomPlayer(seed=s)),
+            ):
+
+                def trial(s: int) -> int:
+                    game = HittingGame(c=c, k=k, seed=s)
+                    transcript = play(
+                        game, factory(s + 1), max_rounds=50 * c * c
+                    )
+                    if not transcript.won:
+                        raise HarnessError(
+                            "player failed within the generous cap"
+                        )
+                    return transcript.rounds
+
+                rounds = run_trials(
+                    trial, trials, seed + c * 10 + k, label=f"e7-{player_name}"
+                )
+                floor = hitting_game_floor(c, k) if k <= c / 2 else None
+                rows.append(
+                    {
+                        "c": c,
+                        "k": k,
+                        "player": player_name,
+                        "mean_rounds": summarize(rounds).mean,
+                        "median_rounds": summarize(rounds).median,
+                        "floor(c^2/8k)": floor,
+                        "c^2/k": c * c / k,
+                    }
+                )
+    # Complete game (k = c): Lemma 12.
+    from repro.lowerbounds import FreshRandomPlayer as _FRP
+
+    for c in (9, 27):
+
+        def trial(s: int) -> int:
+            game = HittingGame(c=c, k=c, seed=s)
+            transcript = play(game, _FRP(seed=s + 1))
+            return transcript.rounds
+
+        rounds = run_trials(trial, trials, seed + c, label="e7-complete")
+        rows.append(
+            {
+                "c": c,
+                "k": c,
+                "player": "fresh(complete)",
+                "mean_rounds": summarize(rounds).mean,
+                "median_rounds": summarize(rounds).median,
+                "floor(c^2/8k)": complete_game_floor(c),
+                "c^2/k": float(c),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E7",
+        title="Bipartite hitting games (Lemmas 10 and 12)",
+        rows=rows,
+        notes=(
+            "Paper claim: no player beats c^2/(8k) rounds (k <= c/2) or "
+            "c/3 rounds (complete game) with probability 1/2. Expect "
+            "every measured mean >= the floor, with the near-optimal "
+            "fresh player within the constant-8 gap of c^2/k."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E8 — the reduction and Theorem 13
+# ----------------------------------------------------------------------
+def experiment_e8(trials: int = 15, seed: int = 0) -> ExperimentTable:
+    """Lemma 11 + Theorem 13: discovery algorithms, played through the
+    reduction, respect the game floor; stars enforce the Omega(Delta)
+    term."""
+    from repro.lowerbounds import CSeekReductionPlayer, HittingGame, play
+
+    rows: List[Row] = []
+    for c in (8, 16, 32):
+        k = 2
+
+        def trial(s: int) -> int:
+            player = CSeekReductionPlayer(k=k, seed=s)
+            game = HittingGame(c=c, k=k, seed=s + 17)
+            budget = 4 * player.schedule_slots(c)
+            transcript = play(game, player, max_rounds=budget)
+            if not transcript.won:
+                raise HarnessError("reduction player failed to meet")
+            return transcript.rounds
+
+        rounds = run_trials(trial, trials, seed + c, label=f"e8-{c}")
+        player = CSeekReductionPlayer(k=k, seed=0)
+        rows.append(
+            {
+                "case": "reduction(CSEEK)",
+                "x": c,
+                "mean_rounds_to_meet": summarize(rounds).mean,
+                "game_floor": hitting_game_floor(c, k),
+                "cseek_schedule": player.schedule_slots(c),
+            }
+        )
+    # Omega(Delta): discovery completion on stars is at least Delta.
+    for delta in (4, 8, 16):
+        net = build_network(
+            star(delta + 1), c=8, k=2, seed=seed + delta, kind="global_core"
+        )
+
+        def star_trial(s: int):
+            result = CSeek(net, seed=s).run()
+            report = verify_discovery(result, net)
+            return report.success, report.completion_slot
+
+        outcomes = run_trials(
+            star_trial, max(3, trials // 3), seed + delta, label="e8-star"
+        )
+        done = [t for ok, t in outcomes if ok and t is not None]
+        rows.append(
+            {
+                "case": "star Omega(Delta)",
+                "x": delta,
+                "mean_rounds_to_meet": summarize(done).mean if done else None,
+                "game_floor": float(delta),
+                "cseek_schedule": None,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E8",
+        title="Reduction to the game + Omega(Delta) (Lemma 11, Theorem 13)",
+        rows=rows,
+        notes=(
+            "Paper claim: any discovery algorithm's first meeting, viewed "
+            "through the Lemma 11 reduction, needs >= c^2/(8k) game "
+            "rounds, and a star hub cannot finish before Delta receptions. "
+            "Expect mean_rounds_to_meet >= game_floor in every row."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E9 — broadcast lower bound on trees (Theorem 14)
+# ----------------------------------------------------------------------
+def experiment_e9(trials: int = 3, seed: int = 0) -> ExperimentTable:
+    """Theorem 14: channel-disjoint trees force min(c, Delta)-1 slots per
+    hop on any broadcast, CGCAST included."""
+    rows: List[Row] = []
+    c = 4
+    for depth in (2, 3, 4):
+        net = build_theorem14_tree(c=c, depth=depth, seed=seed + depth)
+        kn = net.knowledge()
+        floor = tree_broadcast_floor(c=c, delta=kn.max_degree, depth=depth)
+        greedy = broadcast_floor(net, source=0)
+
+        def cg_trial(s: int):
+            result = CGCast(net, source=0, seed=s).run()
+            return result.success, result.ledger.get("dissemination")
+
+        def nv_trial(s: int):
+            result = NaiveBroadcast(net, source=0, seed=s).run()
+            return result.success, result.completion_slot
+
+        cg = run_trials(cg_trial, trials, seed + depth, label="e9cg")
+        nv = run_trials(nv_trial, trials, seed + depth, label="e9nv")
+        cg_done = [d for ok, d in cg if ok]
+        nv_done = [t for ok, t in nv if ok and t is not None]
+        rows.append(
+            {
+                "depth": depth,
+                "n": net.n,
+                "analytic_floor": floor,
+                "greedy_oracle": greedy,
+                "cgcast_success": success_rate([ok for ok, _ in cg]),
+                "cgcast_dissemination": (
+                    summarize(cg_done).mean if cg_done else None
+                ),
+                "naive_success": success_rate([ok for ok, _ in nv]),
+                "naive_completion": (
+                    summarize(nv_done).mean if nv_done else None
+                ),
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E9",
+        title="Broadcast floor on channel-disjoint trees (Theorem 14)",
+        rows=rows,
+        notes=(
+            "Paper claim: with siblings sharing no channels, every "
+            "broadcast needs >= depth * (min(c, Delta) - 1) slots. Expect "
+            "both protocols' measured times above the analytic floor and "
+            "the greedy omniscient schedule to match it exactly "
+            "(greedy_oracle >= analytic_floor, with equality up to the "
+            "root's head start)."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 — heterogeneity + part-two ablation (Section 7)
+# ----------------------------------------------------------------------
+def experiment_e10(trials: int = 5, seed: int = 0) -> ExperimentTable:
+    """Section 7: CSEEK's part two is biased toward strongly overlapping
+    neighbors — the source of the upper/lower bound gap when
+    kmax >> k."""
+    rows: List[Row] = []
+    # (a) under starved budgets, discovery probability splits by pair
+    # class: high-overlap (k_uv = kmax) pairs are found far more often
+    # than low-overlap (k_uv = k) pairs, and the gap widens with kmax/k.
+    for kmax in (2, 4, 8):
+        graph = random_regular(16, 3, seed=seed + 3)
+        net = build_network(
+            graph, c=32, k=1, seed=seed + kmax, kind="heterogeneous",
+            kmax=kmax,
+        )
+        lo_pairs = [
+            e for e in net.edges() if net.edge_overlap(*e) == 1
+        ]
+        hi_pairs = [
+            e for e in net.edges() if net.edge_overlap(*e) == kmax
+        ]
+
+        def trial(s: int):
+            result = CSeek(
+                net, seed=s, part1_steps=300, part2_steps=400
+            ).run()
+            lo = sum(
+                (v in result.discovered[u]) + (u in result.discovered[v])
+                for u, v in lo_pairs
+            ) / (2 * len(lo_pairs))
+            hi = sum(
+                (v in result.discovered[u]) + (u in result.discovered[v])
+                for u, v in hi_pairs
+            ) / (2 * len(hi_pairs))
+            return lo, hi
+
+        outcomes = run_trials(trial, trials, seed + kmax, label=f"e10h{kmax}")
+        lo_mean = summarize([a for a, _ in outcomes]).mean
+        hi_mean = summarize([b for _, b in outcomes]).mean
+        rows.append(
+            {
+                "case": f"starved budget, kmax/k={kmax}",
+                "low_overlap_found": lo_mean,
+                "high_overlap_found": hi_mean,
+                "bias(high/low)": hi_mean / lo_mean if lo_mean else None,
+                "success": None,
+                "schedule": None,
+            }
+        )
+    # (b) full budgets: the schedule formula stretches with kmax/k and
+    # full discovery still succeeds (Theorem 4's budget absorbs the gap).
+    for kmax in (1, 2, 4):
+        graph = random_regular(16, 3, seed=seed + 3)
+        kind = "exact_uniform" if kmax == 1 else "heterogeneous"
+        net = build_network(
+            graph, c=16, k=1, seed=seed + kmax, kind=kind, kmax=kmax
+        )
+
+        def full_trial(s: int):
+            result = CSeek(net, seed=s).run()
+            report = verify_discovery(result, net)
+            return report.success, result.total_slots
+
+        outcomes = run_trials(
+            full_trial, trials, seed + 40 + kmax, label=f"e10f{kmax}"
+        )
+        rows.append(
+            {
+                "case": f"full budget, kmax/k={kmax}",
+                "low_overlap_found": None,
+                "high_overlap_found": None,
+                "bias(high/low)": None,
+                "success": success_rate([ok for ok, _ in outcomes]),
+                "schedule": outcomes[0][1],
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E10",
+        title="Heterogeneity bias in part two (Section 7)",
+        rows=rows,
+        notes=(
+            "Paper discussion (Section 7): part two gives priority to "
+            "crowded channels, so under a fixed (starved) budget, "
+            "neighbors sharing kmax channels are discovered far more "
+            "often than those sharing only k — the bias(high/low) column "
+            "grows with kmax/k, which is exactly why the paper's upper "
+            "and lower bounds diverge in this regime. Full-budget rows "
+            "confirm Theorem 4's schedule (which stretches with kmax/k) "
+            "still delivers complete discovery."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E11 — amortized repeated broadcast (extension; Theorem 9's regime)
+# ----------------------------------------------------------------------
+def experiment_e11(trials: int = 3, seed: int = 0) -> ExperimentTable:
+    """Extension: CGCAST's setup is reusable, so over repeated
+    broadcasts its per-message cost drops to the dissemination stage
+    while naive flooding pays full price every time."""
+    from repro.core import redisseminate
+
+    # c^2/k = 256 >> Delta = 4: the regime where the per-hop advantage
+    # of the colored schedule is unambiguous.
+    graph = path_of_cliques(8, 4)
+    net = build_network(graph, c=16, k=1, seed=seed + 1)
+    kn = net.knowledge()
+    num_messages = 16
+
+    def trial(s: int):
+        setup = CGCast(net, source=0, seed=s).run()
+        if not setup.success:
+            return None
+        setup_slots = setup.total_slots - setup.ledger.get("dissemination")
+        per_message = [setup.ledger.get("dissemination")]
+        naive_per_message = []
+        for msg in range(1, num_messages):
+            source = (msg * 7) % net.n
+            diss = redisseminate(net, setup, source=source, seed=s + msg)
+            if not diss.success:
+                return None
+            per_message.append(diss.ledger.total)
+            nv = NaiveBroadcast(
+                net, source=source, seed=s + 100 + msg
+            ).run()
+            if not nv.success:
+                return None
+            naive_per_message.append(nv.completion_slot)
+        nv0 = NaiveBroadcast(net, source=0, seed=s + 500).run()
+        naive_per_message.insert(0, nv0.completion_slot)
+        return setup_slots, per_message, naive_per_message
+
+    outcomes = [o for o in run_trials(trial, trials, seed) if o]
+    if not outcomes:
+        raise HarnessError("no successful E11 trial")
+    rows: List[Row] = []
+    for budget in (1, 4, num_messages):
+        cg_totals = []
+        nv_totals = []
+        for setup_slots, per_message, naive_pm in outcomes:
+            cg_totals.append(setup_slots + sum(per_message[:budget]))
+            nv_totals.append(sum(naive_pm[:budget]))
+        cg_mean = summarize(cg_totals).mean
+        nv_mean = summarize(nv_totals).mean
+        rows.append(
+            {
+                "messages": budget,
+                "cgcast_total": cg_mean,
+                "cgcast_per_message": cg_mean / budget,
+                "naive_total": nv_mean,
+                "naive_per_message": nv_mean / budget,
+                "ratio(cgcast/naive)": cg_mean / nv_mean,
+            }
+        )
+    # Amortization point estimate: setup / (naive per msg - diss per msg).
+    setup_mean = summarize([o[0] for o in outcomes]).mean
+    diss_pm = summarize(
+        [sum(o[1][1:]) / max(1, len(o[1]) - 1) for o in outcomes]
+    ).mean
+    naive_pm = summarize(
+        [sum(o[2]) / len(o[2]) for o in outcomes]
+    ).mean
+    if naive_pm > diss_pm:
+        amortize = setup_mean / (naive_pm - diss_pm)
+        amortize_note = (
+            f" Per-message costs: re-dissemination {diss_pm:,.0f} vs "
+            f"naive {naive_pm:,.0f} slots; the setup "
+            f"({setup_mean:,.0f} slots) amortizes after "
+            f"~{amortize:,.0f} messages."
+        )
+    else:
+        amortize_note = (
+            " At this size the re-dissemination cost does not undercut "
+            "naive flooding, so the setup never amortizes — the "
+            "asymptotic regime needs Delta*polylog << c^2/k."
+        )
+    return ExperimentTable(
+        experiment_id="E11",
+        title="Amortized repeated broadcast (extension of Theorem 9)",
+        rows=rows,
+        notes=(
+            "Extension experiment (not a numbered claim): the paper's "
+            "CGCAST builds a reusable schedule — discovery, dedicated "
+            "channels and the edge coloring survive across broadcasts. "
+            "Re-dissemination costs only the O~(D Delta) stage, so the "
+            "per-message cost collapses as messages accumulate while "
+            "naive flooding pays O~((c^2/k) D) every time; the "
+            "cgcast/naive ratio falls toward the pure dissemination "
+            f"ratio (D={net.knowledge().diameter}, Delta="
+            f"{kn.max_degree}, c^2/k={kn.c * kn.c // kn.k})."
+            + amortize_note
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E12 — primary-user interference robustness (extension)
+# ----------------------------------------------------------------------
+def experiment_e12(trials: int = 4, seed: int = 0) -> ExperimentTable:
+    """Extension: discovery under primary-user channel occupancy.
+
+    The paper motivates heterogeneous availability with licensed
+    primary users but analyzes a static, interference-free model; this
+    experiment measures how much of CSEEK's w.h.p. schedule slack
+    survives dynamic occupancy, for short bursts (absorbed by COUNT's
+    within-step redundancy) and long bursts (whole meetings lost).
+    """
+    from repro.sim import PrimaryUserTraffic
+
+    graph = random_regular(20, 4, seed=seed + 7)
+    net = build_network(graph, c=8, k=2, seed=seed + 11)
+    all_channels = sorted(net.assignment.universe())
+    rows: List[Row] = []
+    cases = [("none", 0.0, 0.0)]
+    for activity in (0.3, 0.6, 0.8):
+        cases.append(("short bursts (dwell 4)", activity, 4.0))
+        cases.append(("long bursts (dwell 500)", activity, 500.0))
+    for name, activity, dwell in cases:
+
+        def trial(s: int):
+            jammer = (
+                PrimaryUserTraffic(
+                    all_channels,
+                    activity=activity,
+                    mean_dwell=dwell,
+                    seed=s + 1000,
+                )
+                if activity > 0
+                else None
+            )
+            result = CSeek(net, seed=s, jammer=jammer).run()
+            report = verify_discovery(result, net)
+            return report.success, report.completion_slot
+
+        outcomes = run_trials(
+            trial, trials, seed + int(activity * 10), label=f"e12-{name}"
+        )
+        done = [t for ok, t in outcomes if ok and t is not None]
+        rows.append(
+            {
+                "traffic": name,
+                "activity": activity,
+                "success": success_rate([ok for ok, _ in outcomes]),
+                "mean_completion": summarize(done).mean if done else None,
+            }
+        )
+    return ExperimentTable(
+        experiment_id="E12",
+        title="Primary-user interference robustness (extension)",
+        rows=rows,
+        notes=(
+            "Extension experiment: COUNT's many-slots-per-step structure "
+            "makes CSEEK nearly immune to short occupancy bursts (every "
+            "meeting step offers many reception chances), while bursts "
+            "longer than a step erase whole meetings — completion "
+            "stretches with occupancy and discovery finally fails when "
+            "most of the schedule is occupied. The paper's w.h.p. "
+            "budget constants are what buy this slack."
+        ),
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentTable]] = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+    "E9": experiment_e9,
+    "E10": experiment_e10,
+    "E11": experiment_e11,
+    "E12": experiment_e12,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids in DESIGN.md order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, trials: int | None = None, seed: int = 0
+) -> ExperimentTable:
+    """Run one experiment by id.
+
+    Raises:
+        HarnessError: for unknown ids.
+    """
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise HarnessError(
+            f"unknown experiment {experiment_id!r}; valid: "
+            f"{', '.join(EXPERIMENTS)}"
+        )
+    kwargs = {"seed": seed}
+    if trials is not None:
+        kwargs["trials"] = trials
+    return EXPERIMENTS[key](**kwargs)

@@ -1,0 +1,88 @@
+"""Experiment execution scaffolding.
+
+An :class:`ExperimentTable` is the standard deliverable of every
+experiment: an id (matching DESIGN.md's index), a title, flat dict rows,
+and free-text notes interpreting the rows against the paper's claim.
+:func:`run_trials` standardizes seeded repetition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.harness.tables import render_markdown, write_csv
+from repro.model.errors import HarnessError
+from repro.sim.rng import RngHub
+
+__all__ = ["ExperimentTable", "run_trials"]
+
+T = TypeVar("T")
+Row = Dict[str, object]
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's regenerated table.
+
+    Attributes:
+        experiment_id: DESIGN.md index id, e.g. ``"E2"``.
+        title: Human-readable claim summary.
+        rows: Flat result rows (consistent keys per experiment).
+        notes: Interpretation against the paper's claim.
+        columns: Optional explicit column order.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Row]
+    notes: str = ""
+    columns: Optional[Sequence[str]] = None
+
+    def to_markdown(self) -> str:
+        """Render the table (with title and notes) as markdown."""
+        body = render_markdown(
+            self.rows,
+            columns=self.columns,
+            title=f"{self.experiment_id} — {self.title}",
+        )
+        if self.notes:
+            body += f"\n\n{self.notes.strip()}\n"
+        return body
+
+    def save(self, directory: str | Path) -> Dict[str, Path]:
+        """Write ``<id>.md`` and ``<id>.csv`` into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        md_path = directory / f"{self.experiment_id.lower()}.md"
+        md_path.write_text(self.to_markdown() + "\n")
+        csv_path = write_csv(
+            directory / f"{self.experiment_id.lower()}.csv",
+            self.rows,
+            columns=self.columns,
+        )
+        return {"markdown": md_path, "csv": csv_path}
+
+
+def run_trials(
+    trial: Callable[[int], T],
+    trials: int,
+    seed: int,
+    label: str = "trials",
+) -> List[T]:
+    """Run ``trial`` with ``trials`` independent derived seeds.
+
+    Args:
+        trial: Callable taking a trial seed.
+        trials: Number of repetitions (``>= 1``).
+        seed: Master seed; per-trial seeds derive deterministically.
+        label: Seed-stream label (vary to decorrelate phases).
+
+    Returns:
+        The list of per-trial results, in trial order.
+    """
+    if trials < 1:
+        raise HarnessError(f"trials must be >= 1, got {trials}")
+    seeds = RngHub(seed).spawn_seeds(trials, name=label)
+    return [trial(s) for s in seeds]

@@ -1,0 +1,36 @@
+"""Section 6 lower bounds: hitting games, reductions, tree instances."""
+
+from repro.lowerbounds.games import GameTranscript, HittingGame
+from repro.lowerbounds.players import (
+    FreshRandomPlayer,
+    Player,
+    SweepPlayer,
+    UniformRandomPlayer,
+    play,
+)
+from repro.lowerbounds.reduction import (
+    CSeekReductionPlayer,
+    NaiveReductionPlayer,
+    two_node_knowledge,
+)
+from repro.lowerbounds.tree import (
+    LevelTiming,
+    level_completion_slots,
+    per_hop_costs,
+)
+
+__all__ = [
+    "CSeekReductionPlayer",
+    "FreshRandomPlayer",
+    "GameTranscript",
+    "HittingGame",
+    "LevelTiming",
+    "NaiveReductionPlayer",
+    "Player",
+    "SweepPlayer",
+    "UniformRandomPlayer",
+    "level_completion_slots",
+    "per_hop_costs",
+    "play",
+    "two_node_knowledge",
+]

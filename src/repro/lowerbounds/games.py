@@ -1,0 +1,115 @@
+"""The bipartite hitting games (Section 6.1).
+
+The ``(c, k)``-bipartite hitting game: the referee privately selects a
+matching ``M`` of size ``k`` in the complete bipartite graph on two
+``c``-vertex sides ``A`` and ``B``; the player proposes one edge per
+round and wins on the first proposal inside ``M``. Lemma 10: any player
+winning with probability ≥ 1/2 needs ``≥ c²/(αk)`` rounds when
+``k ≤ c/β`` (``α = 2(β/(β−1))² ≤ 8``).
+
+The ``c``-complete bipartite hitting game is the ``k = c`` special case
+(the referee hides a *maximum* matching); Lemma 12 gives ``≥ c/3``
+rounds.
+
+Semantics of the game map directly onto neighbor discovery between two
+nodes with ``c`` local channel labels each and ``k`` shared channels:
+the hidden matching *is* the overlap pattern, and proposing ``(a_i,
+b_j)`` is "node u tunes to its label i while node v tunes to its label
+j" (see :mod:`repro.lowerbounds.reduction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.model.errors import GameError
+
+__all__ = ["HittingGame", "GameTranscript"]
+
+
+@dataclass(frozen=True)
+class GameTranscript:
+    """Record of one completed game.
+
+    Attributes:
+        rounds: Proposals made (the win, if any, is the last one).
+        won: Whether the final proposal hit the hidden matching.
+        c: Side size of the bipartite graph.
+        k: Hidden matching size.
+    """
+
+    rounds: int
+    won: bool
+    c: int
+    k: int
+
+
+class HittingGame:
+    """One instance of the ``(c, k)``-bipartite hitting game.
+
+    The referee's matching pairs ``k`` distinct ``A``-vertices with ``k``
+    distinct ``B``-vertices, drawn uniformly at random — matching the
+    reduction's uniformly permuted local channel labels.
+
+    Args:
+        c: Vertices per side (``>= 1``).
+        k: Matching size (``1 <= k <= c``); ``k = c`` yields the
+            ``c``-complete bipartite hitting game of Lemma 12.
+        seed: Referee randomness.
+    """
+
+    def __init__(self, c: int, k: int, seed: int = 0) -> None:
+        if c < 1:
+            raise GameError(f"c must be >= 1, got {c}")
+        if not 1 <= k <= c:
+            raise GameError(f"k must satisfy 1 <= k <= c, got k={k}, c={c}")
+        self.c = c
+        self.k = k
+        rng = np.random.default_rng(seed)
+        a_side = rng.choice(c, size=k, replace=False)
+        b_side = rng.choice(c, size=k, replace=False)
+        self._matching: Dict[int, int] = {
+            int(a): int(b) for a, b in zip(a_side, b_side)
+        }
+        self._rounds = 0
+        self._won = False
+
+    @property
+    def rounds_played(self) -> int:
+        """Proposals made so far."""
+        return self._rounds
+
+    @property
+    def won(self) -> bool:
+        """Whether the player has already won."""
+        return self._won
+
+    def propose(self, a: int, b: int) -> bool:
+        """Propose edge ``(a_a, b_b)``; returns True on a hit.
+
+        Raises:
+            GameError: on out-of-range vertices or proposals after a win.
+        """
+        if self._won:
+            raise GameError("game already won; no further proposals")
+        if not 0 <= a < self.c or not 0 <= b < self.c:
+            raise GameError(
+                f"proposal ({a}, {b}) outside [0, {self.c}) x [0, {self.c})"
+            )
+        self._rounds += 1
+        if self._matching.get(a) == b:
+            self._won = True
+        return self._won
+
+    def transcript(self) -> GameTranscript:
+        """Snapshot of the game so far."""
+        return GameTranscript(
+            rounds=self._rounds, won=self._won, c=self.c, k=self.k
+        )
+
+    def reveal_matching(self) -> Dict[int, int]:
+        """The referee's hidden matching (testing/diagnostics only)."""
+        return dict(self._matching)

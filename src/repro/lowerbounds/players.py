@@ -1,0 +1,108 @@
+"""Players for the hitting games.
+
+Three reference strategies bracket the achievable range:
+
+* :class:`UniformRandomPlayer` — proposes a uniformly random edge each
+  round (with replacement); expected hitting time ``c²/k``.
+* :class:`FreshRandomPlayer` — uniformly random *without replacement*;
+  expected hitting time ``(c² + 1)/(k + 1)``, essentially the optimal
+  oblivious strategy against a uniform referee.
+* :class:`SweepPlayer` — deterministic row-major enumeration; worst case
+  ``c²`` but the same ``Θ(c²/k)`` expectation against a uniform hidden
+  matching.
+
+Experiment E7 plays these against Lemma 10's ``c²/(αk)`` floor: every
+strategy's measured rounds must sit above the floor and the best ones
+within the ``α ≤ 8`` constant of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.lowerbounds.games import GameTranscript, HittingGame
+from repro.model.errors import GameError
+
+__all__ = [
+    "Player",
+    "UniformRandomPlayer",
+    "FreshRandomPlayer",
+    "SweepPlayer",
+    "play",
+]
+
+
+class Player(Protocol):
+    """A hitting-game strategy: a stream of edge proposals."""
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(a, b)`` proposals for side size ``c``."""
+        ...  # pragma: no cover - protocol
+
+
+class UniformRandomPlayer:
+    """Uniformly random proposals, with replacement."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        while True:
+            yield (
+                int(self._rng.integers(0, c)),
+                int(self._rng.integers(0, c)),
+            )
+
+
+class FreshRandomPlayer:
+    """Uniformly random proposals, without replacement (then stops)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        order = self._rng.permutation(c * c)
+        for idx in order:
+            yield int(idx) // c, int(idx) % c
+
+
+class SweepPlayer:
+    """Deterministic row-major sweep of all ``c²`` edges."""
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        for a in range(c):
+            for b in range(c):
+                yield a, b
+
+
+def play(
+    game: HittingGame,
+    player: Player,
+    max_rounds: Optional[int] = None,
+) -> GameTranscript:
+    """Drive a player against a game until a win or the round cap.
+
+    Args:
+        game: A fresh game instance.
+        player: The strategy to drive.
+        max_rounds: Round cap; default ``4 * c²`` (enough for every
+            reference strategy to finish w.h.p.).
+
+    Returns:
+        The final transcript; ``won`` is False if the cap was hit or the
+        player's proposal stream ended.
+    """
+    if game.rounds_played:
+        raise GameError("game must be fresh (no proposals played yet)")
+    cap = max_rounds if max_rounds is not None else 4 * game.c * game.c
+    stream = player.proposals(game.c)
+    for _ in range(cap):
+        try:
+            a, b = next(stream)
+        except StopIteration:
+            break
+        if game.propose(a, b):
+            break
+    return game.transcript()

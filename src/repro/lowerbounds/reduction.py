@@ -1,0 +1,129 @@
+"""The Lemma 11 reduction: neighbor discovery plays the hitting game.
+
+Construction (paper, proof of Lemma 11): the player simulates a
+two-node network — node ``u`` with channel set ``A`` (its local labels
+``0..c-1``) and node ``v`` with channel set ``B`` — where the referee's
+hidden ``k``-matching over ``(A, B)`` *is* the pair's channel overlap.
+Each simulated slot, the player reads off the channels the algorithm
+tunes ``u`` and ``v`` to and proposes that pair. A missed proposal means
+the nodes were not on a shared channel, so the player can faithfully
+continue the simulation by reporting silence to both nodes; the first
+winning proposal is the first slot the nodes could possibly have
+communicated.
+
+Consequence: the slot at which a discovery algorithm first *meets* is
+lower-bounded by the game bound ``c²/(αk)`` (Lemma 10), which is how
+Theorem 13 transfers to every algorithm, CSEEK included.
+
+Because every reception before the first meeting is silence, a
+simulated algorithm's channel-choice sequence can be generated without
+running the engine: CSEEK's choices are uniform per part-one step and —
+with all counts still zero — uniform per part-two step; the naive
+baseline's are uniform per slot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.constants import ProtocolConstants
+from repro.core.count import count_schedule
+from repro.model.errors import GameError
+from repro.model.spec import ModelKnowledge
+
+__all__ = [
+    "two_node_knowledge",
+    "CSeekReductionPlayer",
+    "NaiveReductionPlayer",
+]
+
+
+def two_node_knowledge(c: int, k: int) -> ModelKnowledge:
+    """The knowledge both simulated nodes hold in the reduction."""
+    return ModelKnowledge(
+        n=2, c=c, k=k, kmax=k, max_degree=1, diameter=1
+    )
+
+
+class CSeekReductionPlayer:
+    """Plays the hitting game with CSEEK's silent channel sequence.
+
+    Per part-one step, both simulated nodes hold one uniformly random
+    channel for the whole COUNT execution (``(ceil(lg Δ)+1) * ceil(a lg n)``
+    slots with ``Δ = 1``, ``n = 2``); per part-two step they hold one
+    uniformly random channel for the ``lg Δ = 1``-slot back-off window
+    (listener weights are all zero under silence, so the uniform
+    fallback applies). When the schedule is exhausted without a meeting
+    the algorithm has failed; the player keeps proposing fresh part-two
+    style choices so the game can still terminate (counted rounds beyond
+    the schedule mark the failure).
+
+    Args:
+        k: Pair overlap the schedule is sized for.
+        constants: Schedule constants (defaults to the fast profile).
+        seed: Simulation randomness.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        constants: Optional[ProtocolConstants] = None,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise GameError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.constants = constants or ProtocolConstants.fast()
+        self._rng = np.random.default_rng(seed)
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        kn = two_node_knowledge(c, min(self.k, c))
+        consts = self.constants
+        rounds, round_len = count_schedule(
+            kn.max_degree, kn.log_n, consts
+        )
+        step_slots = rounds * round_len
+        part1 = consts.part1_steps(kn.c, kn.k, kn.log_n)
+        part2 = consts.part2_steps(kn.kmax, kn.k, kn.max_degree, kn.log_n)
+        rng = self._rng
+        for _ in range(part1):
+            a = int(rng.integers(0, c))
+            b = int(rng.integers(0, c))
+            for _ in range(step_slots):
+                yield a, b
+        backoff = kn.log_delta
+        for _ in range(part2):
+            a = int(rng.integers(0, c))
+            b = int(rng.integers(0, c))
+            for _ in range(backoff):
+                yield a, b
+        # Schedule exhausted: keep emitting fresh uniform pairs so the
+        # caller's round cap, not a StopIteration, ends the game.
+        while True:
+            yield int(rng.integers(0, c)), int(rng.integers(0, c))
+
+    def schedule_slots(self, c: int) -> int:
+        """Total slots of the simulated CSEEK schedule (for reporting)."""
+        kn = two_node_knowledge(c, min(self.k, c))
+        consts = self.constants
+        rounds, round_len = count_schedule(kn.max_degree, kn.log_n, consts)
+        part1 = consts.part1_steps(kn.c, kn.k, kn.log_n) * rounds * round_len
+        part2 = (
+            consts.part2_steps(kn.kmax, kn.k, kn.max_degree, kn.log_n)
+            * kn.log_delta
+        )
+        return part1 + part2
+
+
+class NaiveReductionPlayer:
+    """Plays the game with the naive baseline's per-slot uniform hops."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def proposals(self, c: int) -> Iterator[Tuple[int, int]]:
+        rng = self._rng
+        while True:
+            yield int(rng.integers(0, c)), int(rng.integers(0, c))

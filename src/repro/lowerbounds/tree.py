@@ -1,0 +1,93 @@
+"""Theorem 14 instrumentation: broadcast on channel-disjoint trees.
+
+Theorem 14's ``Ω(D · min(c, Δ))`` term comes from complete trees in
+which siblings share no channels: a parent can inform at most one child
+per slot, so every level costs ``min(c, Δ) - 1`` slots and the deepest
+leaf waits ``depth * (min(c, Δ) - 1)``.
+
+:func:`level_completion_slots` decomposes a broadcast execution's
+per-node informed slots into BFS levels so experiments can report the
+*per-hop* cost and compare it against the floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.model.errors import ProtocolError
+from repro.sim.network import CRNetwork
+
+__all__ = ["LevelTiming", "level_completion_slots", "per_hop_costs"]
+
+
+@dataclass(frozen=True)
+class LevelTiming:
+    """Per-BFS-level broadcast timing.
+
+    Attributes:
+        level: Hop distance from the source.
+        nodes: Number of nodes at this level.
+        last_informed_slot: Slot at which the level's last node was
+            informed (None if any node at the level stayed uninformed).
+    """
+
+    level: int
+    nodes: int
+    last_informed_slot: Optional[int]
+
+
+def level_completion_slots(
+    network: CRNetwork, source: int, informed_slot: np.ndarray
+) -> List[LevelTiming]:
+    """Group informed slots by BFS level from the source.
+
+    Args:
+        network: The network the broadcast ran on.
+        source: Broadcast source.
+        informed_slot: ``(n,)`` per-node first-reception slots (-1 =
+            never informed).
+
+    Returns:
+        One :class:`LevelTiming` per BFS level, ascending.
+    """
+    if informed_slot.shape != (network.n,):
+        raise ProtocolError(
+            f"informed_slot must have shape ({network.n},), "
+            f"got {informed_slot.shape}"
+        )
+    levels: Dict[int, List[int]] = {}
+    for node, dist in nx.single_source_shortest_path_length(
+        network.graph, source
+    ).items():
+        levels.setdefault(dist, []).append(node)
+    out: List[LevelTiming] = []
+    for level in sorted(levels):
+        members = levels[level]
+        slots = [int(informed_slot[v]) for v in members]
+        if any(s < 0 for s in slots):
+            last = None
+        else:
+            last = max(slots)
+        out.append(
+            LevelTiming(level=level, nodes=len(members), last_informed_slot=last)
+        )
+    return out
+
+
+def per_hop_costs(timings: List[LevelTiming]) -> List[Optional[int]]:
+    """Slot cost of each hop: level-completion deltas.
+
+    Entry ``i`` is the extra slots level ``i+1`` needed after level
+    ``i`` completed, or None when either level did not complete.
+    """
+    costs: List[Optional[int]] = []
+    for prev, cur in zip(timings, timings[1:]):
+        if prev.last_informed_slot is None or cur.last_informed_slot is None:
+            costs.append(None)
+        else:
+            costs.append(cur.last_informed_slot - prev.last_informed_slot)
+    return costs

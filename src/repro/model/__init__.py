@@ -1,0 +1,27 @@
+"""Model layer: network specifications, channel assignments, errors."""
+
+from repro.model.channels import ChannelAssignment
+from repro.model.errors import (
+    AssignmentError,
+    GameError,
+    HarnessError,
+    ProtocolError,
+    ReproError,
+    SpecError,
+    TopologyError,
+)
+from repro.model.spec import ModelKnowledge, NetworkSpec, ceil_log2
+
+__all__ = [
+    "AssignmentError",
+    "ChannelAssignment",
+    "GameError",
+    "HarnessError",
+    "ModelKnowledge",
+    "NetworkSpec",
+    "ProtocolError",
+    "ReproError",
+    "SpecError",
+    "TopologyError",
+    "ceil_log2",
+]

@@ -1,0 +1,227 @@
+"""Channel assignments with local labels.
+
+A :class:`ChannelAssignment` records, for each node, the ordered list of
+``c`` *global* channel ids the node's transceiver can tune to. The order
+of a node's list is that node's private, local labeling: algorithms refer
+to "my channel 0 .. c-1" and never observe global ids (paper, Section 3:
+"we do not assume a global channel label exists"). Generators shuffle each
+row independently so no information leaks through label order.
+
+Global channel ids exist only so the simulation engine can decide whether
+two transceivers are physically tuned to the same frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.errors import AssignmentError
+
+__all__ = ["ChannelAssignment"]
+
+
+@dataclass
+class ChannelAssignment:
+    """Per-node channel sets with local labeling.
+
+    Attributes:
+        table: Integer array of shape ``(n, c)``. ``table[u, j]`` is the
+            global id of node ``u``'s local channel ``j``. Each row must
+            contain ``c`` distinct non-negative ids.
+    """
+
+    table: np.ndarray
+    _sets: List[FrozenSet[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.table, dtype=np.int64)
+        if table.ndim != 2:
+            raise AssignmentError(
+                f"channel table must be 2-D (n, c), got shape {table.shape}"
+            )
+        if table.size == 0:
+            raise AssignmentError("channel table must be non-empty")
+        if (table < 0).any():
+            raise AssignmentError("global channel ids must be non-negative")
+        self.table = table
+        self._sets = [frozenset(int(g) for g in row) for row in table]
+        for u, chs in enumerate(self._sets):
+            if len(chs) != table.shape[1]:
+                raise AssignmentError(
+                    f"node {u} has duplicate channels in its row: "
+                    f"{sorted(table[u].tolist())}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic shape queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.table.shape[0])
+
+    @property
+    def c(self) -> int:
+        """Channels per node."""
+        return int(self.table.shape[1])
+
+    @property
+    def universe_size(self) -> int:
+        """Number of distinct global channel ids in use."""
+        return int(np.unique(self.table).size)
+
+    def universe(self) -> FrozenSet[int]:
+        """The set of all global channel ids appearing in the table."""
+        return frozenset(int(g) for g in np.unique(self.table))
+
+    # ------------------------------------------------------------------
+    # Per-node queries
+    # ------------------------------------------------------------------
+    def channels_of(self, u: int) -> FrozenSet[int]:
+        """Global channel ids node ``u`` can access (order-free)."""
+        return self._sets[u]
+
+    def local_row(self, u: int) -> Tuple[int, ...]:
+        """Node ``u``'s channels in local-label order (index = label)."""
+        return tuple(int(g) for g in self.table[u])
+
+    def local_label_of(self, u: int, global_id: int) -> int:
+        """Node ``u``'s local label for a global channel id.
+
+        Raises:
+            AssignmentError: if ``u`` cannot access ``global_id``.
+        """
+        matches = np.nonzero(self.table[u] == global_id)[0]
+        if matches.size == 0:
+            raise AssignmentError(
+                f"node {u} has no access to global channel {global_id}"
+            )
+        return int(matches[0])
+
+    def global_id_of(self, u: int, local_label: int) -> int:
+        """Global channel id behind node ``u``'s ``local_label``."""
+        if not 0 <= local_label < self.c:
+            raise AssignmentError(
+                f"local label {local_label} out of range [0, {self.c})"
+            )
+        return int(self.table[u, local_label])
+
+    # ------------------------------------------------------------------
+    # Pairwise overlap queries
+    # ------------------------------------------------------------------
+    def overlap(self, u: int, v: int) -> FrozenSet[int]:
+        """Global ids of the channels shared by ``u`` and ``v``."""
+        return self._sets[u] & self._sets[v]
+
+    def overlap_size(self, u: int, v: int) -> int:
+        """Number of channels shared by ``u`` and ``v`` (the paper's
+        ``k_{u,v}``)."""
+        return len(self._sets[u] & self._sets[v])
+
+    def overlap_matrix(self) -> np.ndarray:
+        """Dense ``(n, n)`` matrix of pairwise overlap sizes.
+
+        Entry ``[u, v]`` is ``|C_u intersect C_v|``; the diagonal is ``c``.
+        Intended for analysis and generator validation, not for algorithm
+        use (algorithms must discover overlaps themselves).
+        """
+        n, _ = self.table.shape
+        out = np.zeros((n, n), dtype=np.int64)
+        # One-hot encode rows over a compacted universe, then take the
+        # Gram matrix: entry (u, v) counts shared channels.
+        ids = np.unique(self.table)
+        remap = {int(g): i for i, g in enumerate(ids)}
+        onehot = np.zeros((n, ids.size), dtype=np.int64)
+        for u in range(n):
+            for g in self.table[u]:
+                onehot[u, remap[int(g)]] = 1
+        out = onehot @ onehot.T
+        return out
+
+    # ------------------------------------------------------------------
+    # Validation against a topology
+    # ------------------------------------------------------------------
+    def realized_overlap_bounds(
+        self, edges: Iterable[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Return ``(min, max)`` overlap over the given edges.
+
+        Raises:
+            AssignmentError: if the edge iterable is empty.
+        """
+        sizes = [self.overlap_size(u, v) for u, v in edges]
+        if not sizes:
+            raise AssignmentError("cannot compute overlap bounds of no edges")
+        return min(sizes), max(sizes)
+
+    def validate_edges(
+        self, edges: Iterable[Tuple[int, int]], k: int, kmax: int
+    ) -> None:
+        """Check every edge shares between ``k`` and ``kmax`` channels.
+
+        Raises:
+            AssignmentError: naming the first offending edge.
+        """
+        for u, v in edges:
+            size = self.overlap_size(u, v)
+            if size < k:
+                raise AssignmentError(
+                    f"edge ({u}, {v}) shares {size} < k = {k} channels"
+                )
+            if size > kmax:
+                raise AssignmentError(
+                    f"edge ({u}, {v}) shares {size} > kmax = {kmax} channels"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Sequence[Iterable[int]],
+        rng: np.random.Generator | None = None,
+    ) -> "ChannelAssignment":
+        """Build an assignment from per-node channel sets.
+
+        Each node's local labeling is a fresh random permutation of its
+        set when ``rng`` is given, otherwise sorted order (deterministic,
+        useful in tests).
+
+        Raises:
+            AssignmentError: if set sizes differ between nodes.
+        """
+        rows: List[List[int]] = [sorted(int(g) for g in s) for s in sets]
+        if not rows:
+            raise AssignmentError("need at least one node")
+        width = len(rows[0])
+        for u, row in enumerate(rows):
+            if len(row) != width:
+                raise AssignmentError(
+                    f"node {u} has {len(row)} channels, expected {width}"
+                )
+        table = np.array(rows, dtype=np.int64)
+        if rng is not None:
+            for u in range(table.shape[0]):
+                rng.shuffle(table[u])
+        return cls(table=table)
+
+    def relabel_locally(self, rng: np.random.Generator) -> "ChannelAssignment":
+        """Return a copy with every node's local labels re-shuffled."""
+        table = self.table.copy()
+        for u in range(table.shape[0]):
+            rng.shuffle(table[u])
+        return ChannelAssignment(table=table)
+
+    def membership_map(self) -> Dict[int, List[int]]:
+        """Map each global channel id to the sorted list of nodes on it."""
+        out: Dict[int, List[int]] = {}
+        for u, chs in enumerate(self._sets):
+            for g in chs:
+                out.setdefault(g, []).append(u)
+        for g in out:
+            out[g].sort()
+        return out

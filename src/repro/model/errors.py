@@ -1,0 +1,64 @@
+"""Exception hierarchy for the cognitive-radio-network reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything originating in this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SpecError(ReproError):
+    """A model specification is internally inconsistent.
+
+    Raised, for example, when ``k > kmax`` or ``kmax > c`` in a
+    :class:`repro.model.spec.NetworkSpec`.
+    """
+
+
+class AssignmentError(ReproError):
+    """A channel assignment violates the model constraints.
+
+    Raised when a generated (or user-supplied) channel assignment does not
+    satisfy the paper's model: every node owns exactly ``c`` distinct
+    channels and every neighboring pair shares between ``k`` and ``kmax``
+    channels.
+    """
+
+
+class TopologyError(ReproError):
+    """A topology request is infeasible or malformed.
+
+    Raised, for example, when a generator is asked for a connected graph
+    with incompatible parameters (``n < 2`` for a path, a non-square grid
+    size, a tree fanout that cannot reach the requested node count, ...).
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol was driven with invalid inputs or in an invalid order.
+
+    Raised, for example, when CGCAST's dissemination stage is started
+    before edge coloring has completed, or when a protocol is handed
+    knowledge inconsistent with the network it runs on.
+    """
+
+
+class GameError(ReproError):
+    """A lower-bound hitting game was used incorrectly.
+
+    Raised, for example, when a player proposes an edge outside the
+    bipartite graph, or when a referee is asked for a matching larger than
+    the channel count.
+    """
+
+
+class HarnessError(ReproError):
+    """An experiment-harness request is malformed.
+
+    Raised for unknown experiment ids, empty sweeps, or invalid repetition
+    counts.
+    """

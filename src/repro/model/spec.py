@@ -1,0 +1,164 @@
+"""Model specifications for cognitive radio networks.
+
+The paper (Section 3) parameterizes a network by:
+
+* ``n``    — number of nodes, each with a unique identity;
+* ``c``    — number of channels each transceiver can access (sets differ
+  between nodes, and labels are local — there is no global numbering);
+* ``k``    — minimum number of channels shared by every neighboring pair
+  (``k >= 1``);
+* ``kmax`` — maximum number of channels shared by any neighboring pair
+  (``kmax <= c``);
+* ``Delta`` (max degree) and ``D`` (diameter) of the connectivity graph.
+
+Two dataclasses carry these parameters:
+
+:class:`NetworkSpec`
+    The *generator-facing* description used to build synthetic networks.
+:class:`ModelKnowledge`
+    The *algorithm-facing* a-priori knowledge. Per the paper, nodes know
+    the global parameters (``n, c, k, kmax, Delta`` and, for CGCAST's
+    phase count, ``D``) but never the topology, neighbor identities, or
+    the channel-overlap pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.errors import SpecError
+
+__all__ = ["NetworkSpec", "ModelKnowledge", "ceil_log2"]
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer, with ``x = 1 -> 1``.
+
+    The paper's schedules use ``lg Delta`` rounds/slots with the implicit
+    convention that at least one round always runs; we adopt the same
+    convention so that degenerate parameters (``Delta = 1``) still yield
+    non-empty schedules.
+    """
+    if x < 1:
+        raise SpecError(f"ceil_log2 requires x >= 1, got {x}")
+    return max(1, math.ceil(math.log2(x)))
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Validated generator-facing parameters of a cognitive radio network.
+
+    Attributes:
+        n: Number of nodes (``n >= 2``; the network must be connected).
+        c: Channels accessible per transceiver (``c >= 1``).
+        k: Minimum pairwise channel overlap between neighbors
+            (``1 <= k <= kmax``).
+        kmax: Maximum pairwise channel overlap (``k <= kmax <= c``).
+    """
+
+    n: int
+    c: int
+    k: int
+    kmax: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise SpecError(f"need at least two nodes, got n={self.n}")
+        if self.c < 1:
+            raise SpecError(f"need at least one channel, got c={self.c}")
+        if not 1 <= self.k <= self.kmax <= self.c:
+            raise SpecError(
+                "overlap bounds must satisfy 1 <= k <= kmax <= c, got "
+                f"k={self.k}, kmax={self.kmax}, c={self.c}"
+            )
+
+    @property
+    def log_n(self) -> int:
+        """``ceil(lg n)``, the paper's ubiquitous ``lg n`` factor."""
+        return ceil_log2(self.n)
+
+    def knowledge(self, max_degree: int, diameter: int) -> "ModelKnowledge":
+        """Bundle this spec with realized graph parameters for algorithms."""
+        return ModelKnowledge(
+            n=self.n,
+            c=self.c,
+            k=self.k,
+            kmax=self.kmax,
+            max_degree=max_degree,
+            diameter=diameter,
+        )
+
+
+@dataclass(frozen=True)
+class ModelKnowledge:
+    """The a-priori knowledge available to every node.
+
+    The paper's algorithms use the global parameters to size their
+    schedules (e.g. CSEEK part one runs ``Theta((c^2/k) lg n)`` steps).
+    They never see the topology or channel-overlap pattern — that is the
+    whole point of neighbor discovery.
+
+    Attributes:
+        n: Number of nodes in the network.
+        c: Channels per transceiver.
+        k: Minimum pairwise neighbor overlap.
+        kmax: Maximum pairwise neighbor overlap.
+        max_degree: Upper bound ``Delta`` on the number of neighbors.
+        diameter: Upper bound ``D`` on the graph diameter (used only by
+            CGCAST's dissemination stage; discovery algorithms ignore it).
+    """
+
+    n: int
+    c: int
+    k: int
+    kmax: int
+    max_degree: int
+    diameter: int
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise SpecError(f"need at least two nodes, got n={self.n}")
+        if self.c < 1:
+            raise SpecError(f"need at least one channel, got c={self.c}")
+        if not 1 <= self.k <= self.kmax <= self.c:
+            raise SpecError(
+                "overlap bounds must satisfy 1 <= k <= kmax <= c, got "
+                f"k={self.k}, kmax={self.kmax}, c={self.c}"
+            )
+        if self.max_degree < 1:
+            raise SpecError(f"max_degree must be >= 1, got {self.max_degree}")
+        if self.max_degree > self.n - 1:
+            raise SpecError(
+                f"max_degree {self.max_degree} exceeds n-1 = {self.n - 1}"
+            )
+        if self.diameter < 1:
+            raise SpecError(f"diameter must be >= 1, got {self.diameter}")
+
+    @property
+    def log_n(self) -> int:
+        """``ceil(lg n)``."""
+        return ceil_log2(self.n)
+
+    @property
+    def log_delta(self) -> int:
+        """``ceil(lg Delta)``, the paper's back-off window length."""
+        return ceil_log2(self.max_degree)
+
+    @property
+    def spec(self) -> NetworkSpec:
+        """The generator-facing projection of this knowledge."""
+        return NetworkSpec(n=self.n, c=self.c, k=self.k, kmax=self.kmax)
+
+    def with_khat(self, khat: int) -> "ModelKnowledge":
+        """Validate a CKSEEK threshold ``khat`` against this knowledge.
+
+        Returns ``self`` unchanged (``khat`` travels separately); raises
+        :class:`SpecError` if ``khat`` is outside ``[k, kmax]``.
+        """
+        if not self.k <= khat <= self.kmax:
+            raise SpecError(
+                f"khat must lie in [k, kmax] = [{self.k}, {self.kmax}], "
+                f"got {khat}"
+            )
+        return self

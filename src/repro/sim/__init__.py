@@ -1,0 +1,28 @@
+"""Synchronous slot-level simulation engine."""
+
+from repro.sim.engine import (
+    SlotOutcome,
+    StepOutcome,
+    resolve_slot,
+    resolve_step,
+    resolve_varying,
+)
+from repro.sim.interference import PrimaryUserTraffic
+from repro.sim.metrics import SlotLedger
+from repro.sim.network import CRNetwork
+from repro.sim.rng import RngHub
+from repro.sim.trace import ReceptionEvent, TraceRecorder
+
+__all__ = [
+    "CRNetwork",
+    "PrimaryUserTraffic",
+    "ReceptionEvent",
+    "RngHub",
+    "SlotLedger",
+    "SlotOutcome",
+    "StepOutcome",
+    "TraceRecorder",
+    "resolve_slot",
+    "resolve_step",
+    "resolve_varying",
+]

@@ -1,0 +1,272 @@
+"""Vectorized synchronous slot engine.
+
+This module implements the paper's communication model (Section 3) as
+pure functions over numpy arrays:
+
+* time is divided into discrete slots;
+* in a slot, each transceiver tunes to (at most) one channel and either
+  broadcasts or listens;
+* a listener hears a message iff **exactly one** of its graph neighbors
+  broadcasts on its channel in that slot — silence and collisions are
+  indistinguishable (no collision detection);
+* broadcasters receive nothing (they only "hear" their own message).
+
+Two entry points:
+
+:func:`resolve_slot`
+    One slot with explicit per-node channel and broadcast decisions.
+:func:`resolve_step`
+    A *step*: a batch of ``T`` slots during which channels and roles are
+    fixed and only the per-slot broadcast coins vary (this is exactly the
+    structure of COUNT rounds and of CSEEK part-two back-off windows).
+    Resolved with two matrix products, which is what makes full protocol
+    executions tractable in pure Python.
+
+Identity convention: nodes are identified by their index ``0 .. n-1``;
+``-1`` means "heard nothing" (silence or collision) in outputs and
+"idle / no channel" in channel inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.errors import ProtocolError
+
+__all__ = [
+    "SlotOutcome",
+    "StepOutcome",
+    "resolve_slot",
+    "resolve_step",
+    "resolve_varying",
+]
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """Result of one slot.
+
+    Attributes:
+        heard_from: ``(n,)`` int array; ``heard_from[u]`` is the id of the
+            unique neighbor whose message ``u`` received this slot, or
+            ``-1`` (silence, collision, idle, or ``u`` was broadcasting).
+        contenders: ``(n,)`` int array; the number of neighbors of ``u``
+            broadcasting on ``u``'s channel (diagnostic ground truth —
+            nodes themselves can not observe it, they only see
+            message/no-message).
+    """
+
+    heard_from: np.ndarray
+    contenders: np.ndarray
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of a fixed-channel, fixed-role batch of ``T`` slots.
+
+    Attributes:
+        heard_from: ``(T, n)`` int array; entry ``[t, u]`` is the sender
+            ``u`` received in slot ``t`` of the step, or ``-1``.
+        contenders: ``(T, n)`` int array of broadcasting-neighbor counts
+            (ground-truth diagnostic).
+    """
+
+    heard_from: np.ndarray
+    contenders: np.ndarray
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.heard_from.shape[0])
+
+    def heard_sets(self) -> list[set[int]]:
+        """Per-node sets of distinct senders heard during the step."""
+        n = self.heard_from.shape[1]
+        out: list[set[int]] = []
+        for u in range(n):
+            col = self.heard_from[:, u]
+            out.append(set(int(s) for s in col[col >= 0]))
+        return out
+
+
+def _validate_common(
+    adjacency: np.ndarray, channels: np.ndarray, n_expected: int | None = None
+) -> int:
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ProtocolError(
+            f"adjacency must be square, got shape {adjacency.shape}"
+        )
+    n = adjacency.shape[0]
+    if channels.shape != (n,):
+        raise ProtocolError(
+            f"channels must have shape ({n},), got {channels.shape}"
+        )
+    if n_expected is not None and n != n_expected:
+        raise ProtocolError(f"expected {n_expected} nodes, got {n}")
+    return n
+
+
+def _reception_matrix(
+    adjacency: np.ndarray, channels: np.ndarray, tx_role: np.ndarray
+) -> np.ndarray:
+    """Boolean ``(n, n)``: ``[u, v]`` = "v's broadcasts reach u".
+
+    True iff ``v`` is a neighbor of ``u``, both are tuned to the same
+    (non-idle) channel, and ``v`` holds the broadcaster role this step.
+    """
+    tuned = channels >= 0
+    same = channels[:, None] == channels[None, :]
+    mask = adjacency & same
+    mask &= tuned[:, None] & tuned[None, :]
+    mask &= tx_role[None, :]
+    return mask
+
+
+def resolve_slot(
+    adjacency: np.ndarray, channels: np.ndarray, tx: np.ndarray
+) -> SlotOutcome:
+    """Resolve a single slot.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(n,)`` global channel per node, ``-1`` for idle.
+        tx: ``(n,)`` boolean; True = broadcasting this slot (on its
+            channel), False = listening.
+
+    Returns:
+        A :class:`SlotOutcome` with reception results.
+    """
+    n = _validate_common(adjacency, channels)
+    if tx.shape != (n,):
+        raise ProtocolError(f"tx must have shape ({n},), got {tx.shape}")
+    # A single slot is a step of length one in which every broadcaster's
+    # coin comes up "transmit"; reuse the batched path.
+    coins = np.ones((1, n), dtype=bool)
+    step = resolve_step(adjacency, channels, tx, coins)
+    return SlotOutcome(
+        heard_from=step.heard_from[0], contenders=step.contenders[0]
+    )
+
+
+def resolve_step(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    coins: np.ndarray,
+    jam: np.ndarray | None = None,
+) -> StepOutcome:
+    """Resolve a step of ``T`` slots with fixed channels and roles.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(n,)`` global channel per node (fixed for the step),
+            ``-1`` for idle.
+        tx_role: ``(n,)`` boolean; True = broadcaster for this step,
+            False = listener. Listeners listen in every slot;
+            broadcasters transmit in slot ``t`` iff ``coins[t, u]`` and
+            otherwise stay silent (they never listen mid-step, matching
+            COUNT and the part-two back-off of CSEEK).
+        coins: ``(T, n)`` boolean per-slot transmission coins.
+        jam: Optional ``(T, n)`` boolean; True kills node ``u``'s
+            reception in slot ``t`` (its channel is occupied by a
+            primary user — the signal is noise, indistinguishable from
+            silence).
+
+    Returns:
+        A :class:`StepOutcome`; ``heard_from[t, u] >= 0`` only for
+        listeners with exactly one broadcasting neighbor on their channel.
+    """
+    n = _validate_common(adjacency, channels)
+    if tx_role.shape != (n,):
+        raise ProtocolError(
+            f"tx_role must have shape ({n},), got {tx_role.shape}"
+        )
+    if coins.ndim != 2 or coins.shape[1] != n:
+        raise ProtocolError(
+            f"coins must have shape (T, {n}), got {coins.shape}"
+        )
+    if jam is not None and jam.shape != coins.shape:
+        raise ProtocolError(
+            f"jam must have shape {coins.shape}, got {jam.shape}"
+        )
+    reach = _reception_matrix(adjacency, channels, tx_role)
+    reach_int = reach.astype(np.int64)
+    coins_int = coins.astype(np.int64)
+    # contenders[t, u] = number of u's neighbors transmitting on u's
+    # channel in slot t.
+    contenders = coins_int @ reach_int.T
+    # id-sum trick: when exactly one neighbor transmits, the weighted sum
+    # of transmitting-neighbor ids *is* the sender's id.
+    ids = np.arange(n, dtype=np.int64)
+    idsum = coins_int @ (reach_int * ids[None, :]).T
+    listeners = (channels >= 0) & ~tx_role
+    receivable = listeners[None, :] & (contenders == 1)
+    if jam is not None:
+        receivable &= ~jam
+    heard = np.where(receivable, idsum, -1).astype(np.int64)
+    return StepOutcome(heard_from=heard, contenders=contenders)
+
+
+def resolve_varying(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx: np.ndarray,
+    chunk: int = 128,
+) -> StepOutcome:
+    """Resolve ``T`` slots in which channels change every slot.
+
+    Used by the naive baselines, whose nodes re-hop on every slot (no
+    fixed-channel step structure to batch over). Processed in chunks of
+    3-D boolean masks to bound memory at ``chunk * n^2``.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(T, n)`` global channel per node per slot (``-1``
+            idle).
+        tx: ``(T, n)`` boolean; True = broadcasting that slot.
+        chunk: Slots per processing chunk.
+
+    Returns:
+        A :class:`StepOutcome` over all ``T`` slots.
+    """
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ProtocolError(
+            f"adjacency must be square, got shape {adjacency.shape}"
+        )
+    n = adjacency.shape[0]
+    if channels.ndim != 2 or channels.shape[1] != n:
+        raise ProtocolError(
+            f"channels must have shape (T, {n}), got {channels.shape}"
+        )
+    if tx.shape != channels.shape:
+        raise ProtocolError(
+            f"tx shape {tx.shape} must match channels {channels.shape}"
+        )
+    if chunk < 1:
+        raise ProtocolError(f"chunk must be >= 1, got {chunk}")
+    total = channels.shape[0]
+    ids = np.arange(n, dtype=np.int64)
+    heard_parts = []
+    contender_parts = []
+    for start in range(0, total, chunk):
+        ch = channels[start : start + chunk]
+        tx_c = tx[start : start + chunk]
+        tuned = ch >= 0
+        # reach[t, u, v]: v's slot-t broadcast reaches u.
+        reach = (
+            (ch[:, :, None] == ch[:, None, :])
+            & adjacency[None, :, :]
+            & tuned[:, :, None]
+            & (tuned & tx_c)[:, None, :]
+        )
+        contenders = reach.sum(axis=2)
+        idsum = (reach * ids[None, None, :]).sum(axis=2)
+        listeners = tuned & ~tx_c
+        heard = np.where(listeners & (contenders == 1), idsum, -1)
+        heard_parts.append(heard.astype(np.int64))
+        contender_parts.append(contenders.astype(np.int64))
+    return StepOutcome(
+        heard_from=np.concatenate(heard_parts, axis=0),
+        contenders=np.concatenate(contender_parts, axis=0),
+    )

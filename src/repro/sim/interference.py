@@ -1,0 +1,124 @@
+"""Primary-user interference (the paper's motivating disruption).
+
+Cognitive radios are secondary users: licensed (primary) users may
+occupy channels at any time, and a slot on an occupied channel is lost
+— the listener perceives noise, indistinguishable from silence in the
+no-collision-detection model. The paper motivates heterogeneous channel
+availability with exactly this scenario (Section 1); the *algorithms*
+are analyzed on a static assignment, so interference here is a
+robustness extension: it lets experiments measure how much schedule
+slack CSEEK's w.h.p. budgets leave (experiment E11).
+
+:class:`PrimaryUserTraffic` models each channel as an independent
+ON/OFF Markov chain with a target stationary occupancy (``activity``)
+and geometric dwell times (``mean_dwell`` slots per ON burst),
+generating occupancy sequentially so protocol executions consume it
+slot by slot, reproducibly from one seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.model.errors import ProtocolError
+
+__all__ = ["PrimaryUserTraffic"]
+
+
+class PrimaryUserTraffic:
+    """Sequential ON/OFF occupancy over a set of global channels.
+
+    Args:
+        channel_ids: Global channel ids the primary users may occupy.
+        activity: Target stationary occupied fraction per channel, in
+            ``[0, 1)``.
+        mean_dwell: Mean ON-burst length in slots (``>= 1``); OFF
+            lengths follow from the stationarity constraint.
+        seed: Randomness seed.
+    """
+
+    def __init__(
+        self,
+        channel_ids: Sequence[int],
+        activity: float,
+        mean_dwell: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= activity < 1.0:
+            raise ProtocolError(
+                f"activity must be in [0, 1), got {activity}"
+            )
+        if mean_dwell < 1.0:
+            raise ProtocolError(
+                f"mean_dwell must be >= 1 slot, got {mean_dwell}"
+            )
+        ids = sorted(set(int(g) for g in channel_ids))
+        if not ids:
+            raise ProtocolError("need at least one channel id")
+        if any(g < 0 for g in ids):
+            raise ProtocolError("channel ids must be non-negative")
+        self.channel_ids = ids
+        self.activity = activity
+        self.mean_dwell = mean_dwell
+        self._column: Dict[int, int] = {g: i for i, g in enumerate(ids)}
+        self._rng = np.random.default_rng(seed)
+        # ON -> OFF with prob 1/dwell; OFF -> ON tuned for stationarity:
+        # p = on_rate / (on_rate + off_rate).
+        self._off_prob = 1.0 / mean_dwell
+        if activity == 0.0:
+            self._on_prob = 0.0
+        else:
+            self._on_prob = min(
+                1.0, activity * self._off_prob / (1.0 - activity)
+            )
+        # Start at stationarity.
+        self._state = self._rng.random(len(ids)) < activity
+
+    @property
+    def num_channels(self) -> int:
+        """Channels under primary-user control."""
+        return len(self.channel_ids)
+
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        """Advance the chains; return ``(num_slots, num_channels)`` bool.
+
+        Column order matches ``self.channel_ids``.
+        """
+        if num_slots < 1:
+            raise ProtocolError(f"num_slots must be >= 1, got {num_slots}")
+        out = np.empty((num_slots, self.num_channels), dtype=bool)
+        state = self._state
+        flips = self._rng.random((num_slots, self.num_channels))
+        for t in range(num_slots):
+            turn_off = state & (flips[t] < self._off_prob)
+            turn_on = ~state & (flips[t] < self._on_prob)
+            state = (state & ~turn_off) | turn_on
+            out[t] = state
+        self._state = state
+        return out
+
+    def jam_mask(
+        self, channels: np.ndarray, num_slots: int
+    ) -> np.ndarray:
+        """Per-node reception-kill mask for a fixed-channel step.
+
+        Args:
+            channels: ``(n,)`` global channel per node (``-1`` idle;
+                idle nodes are never jammed — they hear nothing anyway).
+            num_slots: Step length; the traffic advances by this much.
+
+        Returns:
+            ``(num_slots, n)`` boolean; True where the node's channel is
+            occupied that slot. Channels outside the primary users'
+            set are never occupied.
+        """
+        occupied = self.occupied_block(num_slots)
+        n = channels.shape[0]
+        mask = np.zeros((num_slots, n), dtype=bool)
+        for u in range(n):
+            column = self._column.get(int(channels[u]))
+            if column is not None:
+                mask[:, u] = occupied[:, column]
+        return mask

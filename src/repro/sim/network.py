@@ -1,0 +1,200 @@
+"""The simulated cognitive radio network.
+
+:class:`CRNetwork` bundles a connectivity graph with a channel assignment
+and precomputes everything the slot engine needs: the boolean adjacency
+matrix, neighbor lists, per-edge overlap sizes and the realized model
+parameters ``(k, kmax, Delta, D)``.
+
+A ``CRNetwork`` is the *ground truth* the algorithms run against. The
+algorithms themselves only ever receive a :class:`~repro.model.spec.ModelKnowledge`
+(global parameters) plus their own node's local channel labels — they
+never inspect the network object directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.model.channels import ChannelAssignment
+from repro.model.errors import AssignmentError, TopologyError
+from repro.model.spec import ModelKnowledge
+from repro.structure import GraphStats, graph_stats
+
+__all__ = ["CRNetwork"]
+
+
+@dataclass
+class CRNetwork:
+    """A connectivity graph plus channel assignment, ready to simulate.
+
+    Attributes:
+        graph: Connected :class:`networkx.Graph` on nodes ``0 .. n-1``.
+        assignment: Per-node channel sets with local labels.
+    """
+
+    graph: nx.Graph
+    assignment: ChannelAssignment
+
+    adjacency: np.ndarray = field(init=False, repr=False)
+    stats: GraphStats = field(init=False)
+    _neighbors: List[np.ndarray] = field(init=False, repr=False)
+    _edge_overlap: Dict[Tuple[int, int], int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n = self.graph.number_of_nodes()
+        if sorted(self.graph.nodes()) != list(range(n)):
+            raise TopologyError("graph nodes must be 0 .. n-1")
+        if self.assignment.n != n:
+            raise AssignmentError(
+                f"assignment covers {self.assignment.n} nodes, graph has {n}"
+            )
+        self.stats = graph_stats(self.graph)
+        adj = np.zeros((n, n), dtype=bool)
+        for u, v in self.graph.edges():
+            adj[u, v] = True
+            adj[v, u] = True
+        self.adjacency = adj
+        self._neighbors = [np.flatnonzero(adj[u]) for u in range(n)]
+        overlap: Dict[Tuple[int, int], int] = {}
+        for u, v in self.graph.edges():
+            a, b = (u, v) if u <= v else (v, u)
+            size = self.assignment.overlap_size(a, b)
+            if size < 1:
+                raise AssignmentError(
+                    f"neighbors ({a}, {b}) share no channels; the model "
+                    "requires k >= 1"
+                )
+            overlap[(a, b)] = size
+        self._edge_overlap = overlap
+
+    # ------------------------------------------------------------------
+    # Shape / parameter queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.stats.n
+
+    @property
+    def c(self) -> int:
+        """Channels per node."""
+        return self.assignment.c
+
+    @property
+    def max_degree(self) -> int:
+        """Realized ``Delta``."""
+        return self.stats.max_degree
+
+    @property
+    def diameter(self) -> int:
+        """Realized ``D``."""
+        return self.stats.diameter
+
+    @property
+    def realized_k(self) -> int:
+        """Realized minimum per-edge overlap."""
+        return min(self._edge_overlap.values())
+
+    @property
+    def realized_kmax(self) -> int:
+        """Realized maximum per-edge overlap."""
+        return max(self._edge_overlap.values())
+
+    def knowledge(self) -> ModelKnowledge:
+        """The a-priori knowledge handed to algorithms for this network."""
+        return ModelKnowledge(
+            n=self.n,
+            c=self.c,
+            k=self.realized_k,
+            kmax=self.realized_kmax,
+            max_degree=self.max_degree,
+            diameter=self.diameter,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology queries (ground truth; for the engine and for verification)
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted array of ``u``'s neighbor ids."""
+        return self._neighbors[u]
+
+    def degree(self, u: int) -> int:
+        """Number of neighbors of ``u``."""
+        return int(self._neighbors[u].size)
+
+    def is_edge(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are neighbors."""
+        return bool(self.adjacency[u, v])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges in canonical ``(min, max)`` orientation, sorted."""
+        return sorted(self._edge_overlap.keys())
+
+    def edge_overlap(self, u: int, v: int) -> int:
+        """The paper's ``k_{u,v}`` for a neighboring pair.
+
+        Raises:
+            TopologyError: if ``(u, v)`` is not an edge.
+        """
+        a, b = (u, v) if u <= v else (v, u)
+        if (a, b) not in self._edge_overlap:
+            raise TopologyError(f"({u}, {v}) is not an edge")
+        return self._edge_overlap[(a, b)]
+
+    def shared_channels(self, u: int, v: int) -> FrozenSet[int]:
+        """Global ids of channels shared by ``u`` and ``v``."""
+        return self.assignment.overlap(u, v)
+
+    def true_neighbor_sets(self) -> List[FrozenSet[int]]:
+        """Per-node ground-truth neighbor sets (for verifying discovery)."""
+        return [frozenset(int(v) for v in self._neighbors[u]) for u in range(self.n)]
+
+    def good_neighbor_sets(self, khat: int) -> List[FrozenSet[int]]:
+        """Per-node neighbors sharing at least ``khat`` channels.
+
+        These are the targets of the ``khat``-neighbor-discovery problem
+        (Section 4.4).
+        """
+        out: List[FrozenSet[int]] = []
+        for u in range(self.n):
+            good = frozenset(
+                int(v)
+                for v in self._neighbors[u]
+                if self.edge_overlap(u, int(v)) >= khat
+            )
+            out.append(good)
+        return out
+
+    def max_good_degree(self, khat: int) -> int:
+        """Realized ``Delta_khat``: max number of good neighbors."""
+        return max(len(s) for s in self.good_neighbor_sets(khat))
+
+    # ------------------------------------------------------------------
+    # Channel/physics helpers used by the engine
+    # ------------------------------------------------------------------
+    def global_channels(self, u: int, local_labels: np.ndarray) -> np.ndarray:
+        """Translate an array of ``u``'s local labels to global ids."""
+        return self.assignment.table[u, local_labels]
+
+    def channel_table(self) -> np.ndarray:
+        """The full ``(n, c)`` local-label -> global-id table."""
+        return self.assignment.table
+
+    def crowding(self, u: int) -> Dict[int, int]:
+        """For each global channel of ``u``: how many neighbors share it.
+
+        This is the paper's ``n_ch`` (analysis quantity; algorithms must
+        estimate it via COUNT).
+        """
+        out: Dict[int, int] = {}
+        for g in self.assignment.channels_of(u):
+            out[g] = sum(
+                1
+                for v in self._neighbors[u]
+                if g in self.assignment.channels_of(int(v))
+            )
+        return out

@@ -1,0 +1,54 @@
+"""Structural graph statistics.
+
+Lives at the package root (rather than in :mod:`repro.graphs`) because it
+is needed both by topology generators and by the simulation network
+wrapper, and must not create an import cycle between those packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.model.errors import TopologyError
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Realized structural parameters of a connectivity graph.
+
+    Attributes:
+        n: Number of nodes.
+        m: Number of edges.
+        max_degree: The paper's ``Delta``.
+        diameter: The paper's ``D``.
+    """
+
+    n: int
+    m: int
+    max_degree: int
+    diameter: int
+
+
+def graph_stats(graph: nx.Graph) -> GraphStats:
+    """Compute ``(n, m, Delta, D)`` for a connected graph.
+
+    Raises:
+        TopologyError: if the graph is empty or disconnected.
+    """
+    if graph.number_of_nodes() == 0:
+        raise TopologyError("graph has no nodes")
+    if graph.number_of_nodes() == 1:
+        return GraphStats(n=1, m=0, max_degree=0, diameter=0)
+    if not nx.is_connected(graph):
+        raise TopologyError("graph must be connected")
+    degrees = [d for _, d in graph.degree()]
+    return GraphStats(
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        max_degree=max(degrees),
+        diameter=nx.diameter(graph),
+    )

@@ -1,0 +1,60 @@
+"""Shared fixtures: small, fast, deterministic networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constants import ProtocolConstants
+from repro.graphs import (
+    build_network,
+    build_two_node_network,
+    path,
+    path_of_cliques,
+    random_regular,
+    star,
+)
+
+
+@pytest.fixture(scope="session")
+def fast_constants() -> ProtocolConstants:
+    return ProtocolConstants.fast()
+
+
+@pytest.fixture(scope="session")
+def small_regular_net():
+    """20-node 4-regular network, exact overlap k=2, c=8."""
+    graph = random_regular(20, 4, seed=7)
+    return build_network(graph, c=8, k=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_path_net():
+    """8-node path, exact overlap k=2, c=6."""
+    return build_network(path(8), c=6, k=2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def clique_chain_net():
+    """3 cliques of 4 bridged in a chain, exact overlap k=1, c=8."""
+    return build_network(path_of_cliques(3, 4), c=8, k=1, seed=5)
+
+
+@pytest.fixture(scope="session")
+def star_net():
+    """Star with 9 leaves, shared global core k=2, c=6 (crowded hub)."""
+    return build_network(star(10), c=6, k=2, seed=9, kind="global_core")
+
+
+@pytest.fixture(scope="session")
+def hetero_net():
+    """4-regular network with mixed overlaps k=2 / kmax=4, c=16."""
+    graph = random_regular(16, 4, seed=13)
+    return build_network(
+        graph, c=16, k=2, seed=17, kind="heterogeneous", kmax=4
+    )
+
+
+@pytest.fixture(scope="session")
+def two_node_net():
+    """The Lemma 11 two-node network: c=8, k=2."""
+    return build_two_node_network(c=8, k=2, seed=21)

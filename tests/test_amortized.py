@@ -1,0 +1,48 @@
+"""Unit tests for reusing a CGCAST schedule (redisseminate)."""
+
+import pytest
+
+from repro.core import CGCast, redisseminate
+from repro.model import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def setup_result(clique_chain_net):
+    result = CGCast(clique_chain_net, source=0, seed=1).run()
+    assert result.success
+    return result
+
+
+class TestRedisseminate:
+    def test_second_message_delivers(self, clique_chain_net, setup_result):
+        diss = redisseminate(clique_chain_net, setup_result, source=0, seed=2)
+        assert diss.success
+
+    def test_any_source_works(self, clique_chain_net, setup_result):
+        last = clique_chain_net.n - 1
+        diss = redisseminate(
+            clique_chain_net, setup_result, source=last, seed=3
+        )
+        assert diss.success
+        assert diss.informed_slot[last] == 0
+
+    def test_costs_only_dissemination(self, clique_chain_net, setup_result):
+        diss = redisseminate(clique_chain_net, setup_result, source=0, seed=4)
+        assert diss.ledger.total <= setup_result.ledger.get("dissemination") * 4
+        assert diss.ledger.total < setup_result.total_slots / 10
+
+    def test_deterministic(self, clique_chain_net, setup_result):
+        a = redisseminate(clique_chain_net, setup_result, source=2, seed=5)
+        b = redisseminate(clique_chain_net, setup_result, source=2, seed=5)
+        assert (a.informed_slot == b.informed_slot).all()
+
+    def test_rejects_invalid_setup(self, clique_chain_net, setup_result):
+        import dataclasses
+
+        broken = dataclasses.replace(setup_result, coloring_valid=False)
+        with pytest.raises(ProtocolError, match="invalid"):
+            redisseminate(clique_chain_net, broken, source=0)
+
+    def test_setup_artifacts_exposed(self, setup_result):
+        assert setup_result.edge_colors
+        assert set(setup_result.dedicated) == set(setup_result.edge_colors)

@@ -1,0 +1,154 @@
+"""Unit tests for channel-assignment generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cycle,
+    exact_uniform,
+    global_core,
+    grid,
+    heterogeneous_overlaps,
+    max_feasible_uniform_overlap,
+    path,
+    per_edge_overlaps,
+    random_subsets,
+    star,
+)
+from repro.model import AssignmentError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPerEdgeOverlaps:
+    def test_exact_targets(self, rng):
+        g = path(4)
+        targets = {(0, 1): 2, (1, 2): 3, (2, 3): 1}
+        a = per_edge_overlaps(g, c=6, targets=targets, rng=rng)
+        assert a.overlap_size(0, 1) == 2
+        assert a.overlap_size(1, 2) == 3
+        assert a.overlap_size(2, 3) == 1
+
+    def test_non_adjacent_share_nothing(self, rng):
+        g = path(4)
+        a = per_edge_overlaps(
+            g, c=6, targets={e: 2 for e in g.edges()}, rng=rng
+        )
+        assert a.overlap_size(0, 2) == 0
+        assert a.overlap_size(0, 3) == 0
+
+    def test_every_node_has_c_channels(self, rng):
+        g = cycle(5)
+        a = per_edge_overlaps(
+            g, c=7, targets={e: 2 for e in g.edges()}, rng=rng
+        )
+        assert a.c == 7
+
+    def test_reversed_edge_keys_accepted(self, rng):
+        g = path(3)
+        a = per_edge_overlaps(
+            g, c=4, targets={(1, 0): 1, (2, 1): 1}, rng=rng
+        )
+        assert a.overlap_size(0, 1) == 1
+
+    def test_missing_target_errors(self, rng):
+        g = path(3)
+        with pytest.raises(AssignmentError, match="no overlap target"):
+            per_edge_overlaps(g, c=4, targets={(0, 1): 1}, rng=rng)
+
+    def test_zero_target_errors(self, rng):
+        g = path(3)
+        with pytest.raises(AssignmentError, match=">= 1"):
+            per_edge_overlaps(
+                g, c=4, targets={(0, 1): 0, (1, 2): 1}, rng=rng
+            )
+
+    def test_infeasible_budget_errors(self, rng):
+        g = star(5)  # hub degree 4
+        with pytest.raises(AssignmentError, match="only c="):
+            per_edge_overlaps(
+                g, c=3, targets={e: 1 for e in g.edges()}, rng=rng
+            )
+
+
+class TestExactUniform:
+    def test_all_edges_share_k(self, rng):
+        g = grid(3, 3)
+        a = exact_uniform(g, c=9, k=2, rng=rng)
+        for u, v in g.edges():
+            assert a.overlap_size(u, v) == 2
+
+    def test_feasibility_helper(self):
+        g = star(5)
+        assert max_feasible_uniform_overlap(g, c=8) == 2
+
+    def test_feasibility_helper_rejects_edgeless(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(AssignmentError):
+            max_feasible_uniform_overlap(g, c=4)
+
+
+class TestHeterogeneous:
+    def test_overlaps_are_k_or_kmax(self, rng):
+        g = cycle(8)
+        a = heterogeneous_overlaps(
+            g, c=10, k=1, kmax=3, rng=rng, high_fraction=0.5
+        )
+        sizes = sorted({a.overlap_size(u, v) for u, v in g.edges()})
+        assert sizes == [1, 3]
+
+    def test_fraction_extremes(self, rng):
+        g = cycle(6)
+        a = heterogeneous_overlaps(
+            g, c=8, k=1, kmax=2, rng=rng, high_fraction=1.0
+        )
+        assert all(a.overlap_size(u, v) == 2 for u, v in g.edges())
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(AssignmentError):
+            heterogeneous_overlaps(
+                cycle(6), c=8, k=1, kmax=2, rng=rng, high_fraction=1.5
+            )
+
+    def test_rejects_k_above_kmax(self, rng):
+        with pytest.raises(AssignmentError):
+            heterogeneous_overlaps(cycle(6), c=8, k=3, kmax=2, rng=rng)
+
+
+class TestGlobalCore:
+    def test_all_pairs_share_core(self, rng):
+        g = star(6)
+        a = global_core(g, c=5, k=2, rng=rng)
+        for u in range(1, 6):
+            assert a.overlap_size(0, u) == 2
+        # Even non-adjacent leaves share exactly the core.
+        assert a.overlap_size(1, 2) == 2
+
+    def test_core_channels_are_crowded(self, rng):
+        g = star(6)
+        a = global_core(g, c=5, k=2, rng=rng)
+        members = a.membership_map()
+        crowded = [ch for ch, nodes in members.items() if len(nodes) == 6]
+        assert len(crowded) == 2
+
+    def test_rejects_core_above_c(self, rng):
+        with pytest.raises(AssignmentError):
+            global_core(star(4), c=3, k=4, rng=rng)
+
+
+class TestRandomSubsets:
+    def test_shapes(self, rng):
+        a = random_subsets(10, c=6, pool_size=20, rng=rng)
+        assert a.n == 10
+        assert a.c == 6
+        assert a.universe() <= frozenset(range(20))
+
+    def test_rejects_small_pool(self, rng):
+        with pytest.raises(AssignmentError):
+            random_subsets(5, c=10, pool_size=6, rng=rng)

@@ -1,0 +1,121 @@
+"""Unit tests for the naive baselines and omniscient floors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NaiveBroadcast,
+    NaiveDiscovery,
+    broadcast_floor,
+    discovery_floor,
+    tree_broadcast_floor,
+)
+from repro.graphs import build_theorem14_tree
+from repro.model import ProtocolError
+
+
+class TestNaiveDiscovery:
+    def test_full_discovery_within_schedule(self, small_path_net):
+        nd = NaiveDiscovery(small_path_net, seed=1)
+        result = nd.run()
+        report = nd.verify(result)
+        assert report.success, report.missing
+
+    def test_discovered_are_true_neighbors(self, small_path_net):
+        result = NaiveDiscovery(small_path_net, seed=2).run()
+        truth = small_path_net.true_neighbor_sets()
+        for u in range(small_path_net.n):
+            assert result.discovered[u] <= set(truth[u])
+
+    def test_max_slots_override(self, small_path_net):
+        nd = NaiveDiscovery(small_path_net, seed=3, max_slots=10)
+        assert nd.schedule_slots == 10
+        assert nd.run().total_slots == 10
+
+    def test_rejects_bad_max_slots(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            NaiveDiscovery(small_path_net, max_slots=0)
+
+    def test_deterministic(self, small_path_net):
+        r1 = NaiveDiscovery(small_path_net, seed=4).run()
+        r2 = NaiveDiscovery(small_path_net, seed=4).run()
+        assert r1.discovered == r2.discovered
+
+    def test_schedule_scales_with_delta(self, small_path_net, star_net):
+        path_nd = NaiveDiscovery(small_path_net, seed=0)
+        star_nd = NaiveDiscovery(star_net, seed=0)
+        # The star's Delta (9) dwarfs the path's (2); with comparable
+        # c^2/k the naive schedule must be much longer on the star.
+        assert star_nd.schedule_slots > path_nd.schedule_slots
+
+
+class TestNaiveBroadcast:
+    def test_full_delivery(self, small_path_net):
+        result = NaiveBroadcast(small_path_net, source=0, seed=1).run()
+        assert result.success
+        assert result.informed_slot[0] == 0
+
+    def test_early_stop_undershoots_schedule(self, small_path_net):
+        result = NaiveBroadcast(small_path_net, source=0, seed=2).run()
+        assert result.total_slots <= result.scheduled_slots
+
+    def test_no_early_stop_runs_schedule(self, small_path_net):
+        result = NaiveBroadcast(
+            small_path_net, source=0, seed=3, early_stop=False
+        ).run()
+        assert result.total_slots == result.scheduled_slots
+
+    def test_informed_slots_monotone_on_path(self, small_path_net):
+        result = NaiveBroadcast(small_path_net, source=0, seed=4).run()
+        slots = result.informed_slot
+        assert all(slots[i] <= slots[i + 1] for i in range(len(slots) - 1))
+
+    def test_causality_no_teleporting(self, small_path_net):
+        """A node is informed only after some neighbor was informed."""
+        result = NaiveBroadcast(small_path_net, source=0, seed=5).run()
+        slots = result.informed_slot
+        for u in range(1, small_path_net.n):
+            neighbor_slots = [
+                slots[int(v)] for v in small_path_net.neighbors(u)
+            ]
+            assert min(neighbor_slots) < slots[u]
+
+    def test_rejects_bad_source(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            NaiveBroadcast(small_path_net, source=-1)
+
+    def test_deterministic(self, small_path_net):
+        r1 = NaiveBroadcast(small_path_net, source=0, seed=6).run()
+        r2 = NaiveBroadcast(small_path_net, source=0, seed=6).run()
+        assert np.array_equal(r1.informed_slot, r2.informed_slot)
+
+
+class TestFloors:
+    def test_discovery_floor_is_delta(self, star_net):
+        assert discovery_floor(star_net) == star_net.max_degree
+
+    def test_broadcast_floor_on_path(self, small_path_net):
+        # Greedy serialization on a path: one new node per slot.
+        assert broadcast_floor(small_path_net, source=0) == (
+            small_path_net.n - 1
+        )
+
+    def test_broadcast_floor_on_tree(self):
+        net = build_theorem14_tree(c=4, depth=2, seed=1)
+        floor = broadcast_floor(net, source=0)
+        # Analytic floor: depth * (fanout) = 2 * 3.
+        assert floor >= tree_broadcast_floor(c=4, delta=4, depth=2)
+
+    def test_tree_floor_formula(self):
+        assert tree_broadcast_floor(c=4, delta=10, depth=3) == 9
+        assert tree_broadcast_floor(c=10, delta=4, depth=3) == 9
+
+    def test_tree_floor_rejects_degenerate(self):
+        with pytest.raises(ProtocolError):
+            tree_broadcast_floor(c=1, delta=5, depth=2)
+        with pytest.raises(ProtocolError):
+            tree_broadcast_floor(c=4, delta=4, depth=0)
+
+    def test_broadcast_floor_rejects_bad_source(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            broadcast_floor(small_path_net, source=99)

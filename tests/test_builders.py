@@ -1,0 +1,93 @@
+"""Unit tests for network builders."""
+
+import pytest
+
+from repro.graphs import (
+    build_network,
+    build_random_subset_network,
+    build_theorem14_tree,
+    build_two_node_network,
+    path,
+    star,
+)
+from repro.model import AssignmentError, TopologyError
+
+
+class TestBuildNetwork:
+    def test_exact_uniform_realized_params(self):
+        net = build_network(path(6), c=8, k=3, seed=1)
+        kn = net.knowledge()
+        assert kn.k == 3
+        assert kn.kmax == 3
+        assert kn.max_degree == 2
+        assert kn.diameter == 5
+
+    def test_heterogeneous_realizes_both_levels(self):
+        net = build_network(
+            path(8), c=10, k=1, seed=2, kind="heterogeneous", kmax=4
+        )
+        kn = net.knowledge()
+        assert kn.k == 1
+        assert kn.kmax == 4
+
+    def test_global_core_on_dense_graph(self):
+        net = build_network(star(12), c=6, k=2, seed=3, kind="global_core")
+        kn = net.knowledge()
+        assert kn.k == 2
+        assert kn.kmax == 2
+        assert kn.max_degree == 11
+
+    def test_unknown_kind_errors(self):
+        with pytest.raises(AssignmentError):
+            build_network(path(4), c=6, k=1, seed=0, kind="bogus")
+
+
+class TestTwoNodeNetwork:
+    def test_overlap_and_shape(self):
+        net = build_two_node_network(c=8, k=3, seed=4)
+        assert net.n == 2
+        assert net.edge_overlap(0, 1) == 3
+        assert net.knowledge().max_degree == 1
+
+
+class TestRandomSubsetNetwork:
+    def test_induced_edges_respect_k(self):
+        net = build_random_subset_network(
+            n=12, c=6, k=2, pool_size=12, seed=5
+        )
+        for u, v in net.edges():
+            assert net.edge_overlap(u, v) >= 2
+
+    def test_infeasible_pool_errors(self):
+        with pytest.raises(TopologyError):
+            build_random_subset_network(
+                n=8, c=3, k=3, pool_size=500, seed=6, max_tries=3
+            )
+
+
+class TestTheorem14Tree:
+    def test_structure(self):
+        net = build_theorem14_tree(c=4, depth=2, seed=7)
+        # fanout = c - 1 = 3: 1 + 3 + 9 nodes.
+        assert net.n == 13
+        assert net.max_degree == 4  # root 3 children; internal 1 + 3
+
+    def test_parent_child_overlap_one(self):
+        net = build_theorem14_tree(c=4, depth=2, seed=8)
+        for u, v in net.edges():
+            assert net.edge_overlap(u, v) == 1
+
+    def test_siblings_share_nothing(self):
+        net = build_theorem14_tree(c=4, depth=1, seed=9)
+        # Children of the root are 1..3 and pairwise non-adjacent.
+        for a in range(1, 4):
+            for b in range(a + 1, 4):
+                assert len(net.shared_channels(a, b)) == 0
+
+    def test_delta_bound_applies(self):
+        net = build_theorem14_tree(c=10, depth=1, seed=10, delta=3)
+        assert net.n == 3  # fanout min(10,3)-1 = 2
+
+    def test_rejects_degenerate_fanout(self):
+        with pytest.raises(TopologyError):
+            build_theorem14_tree(c=1, depth=2, seed=11)

@@ -1,0 +1,70 @@
+"""Unit and integration tests for CGCAST (Theorem 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CGCast, ProtocolConstants
+from repro.model import ProtocolError
+
+
+class TestCGCast:
+    def test_full_broadcast_on_path(self, small_path_net):
+        result = CGCast(small_path_net, source=0, seed=1).run()
+        assert result.success
+        assert result.coloring_valid
+
+    def test_full_broadcast_on_clique_chain(self, clique_chain_net):
+        result = CGCast(clique_chain_net, source=0, seed=2).run()
+        assert result.success
+
+    def test_full_broadcast_from_interior_source(self, small_path_net):
+        result = CGCast(small_path_net, source=4, seed=3).run()
+        assert result.success
+        assert result.informed_slot[4] == 0
+
+    def test_ledger_has_all_phases(self, small_path_net):
+        result = CGCast(small_path_net, source=0, seed=4).run()
+        ledger = result.ledger.as_dict()
+        assert ledger.get("discovery.part1", 0) > 0
+        assert ledger.get("discovery.part2", 0) > 0
+        assert ledger.get("exchange", 0) > 0
+        assert ledger.get("coloring", 0) > 0
+        assert ledger.get("dissemination", 0) > 0
+        assert result.total_slots == sum(ledger.values())
+
+    def test_informed_slots_offset_past_setup(self, small_path_net):
+        result = CGCast(small_path_net, source=0, seed=5).run()
+        setup = result.total_slots - result.ledger.get("dissemination")
+        others = np.delete(result.informed_slot, 0)
+        assert (others >= setup).all()
+        assert result.completion_slot == int(result.informed_slot.max())
+
+    def test_deterministic(self, small_path_net):
+        r1 = CGCast(small_path_net, source=0, seed=6).run()
+        r2 = CGCast(small_path_net, source=0, seed=6).run()
+        assert np.array_equal(r1.informed_slot, r2.informed_slot)
+        assert r1.ledger.as_dict() == r2.ledger.as_dict()
+
+    def test_rejects_bad_source(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            CGCast(small_path_net, source=99)
+
+    def test_rejects_bad_mode(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            CGCast(small_path_net, exchange_mode="psychic")
+
+    @pytest.mark.integration
+    def test_simulated_exchange_mode(self, small_path_net):
+        """Slot-level exchanges deliver the same pipeline outcome."""
+        result = CGCast(
+            small_path_net, source=0, seed=7, exchange_mode="simulated"
+        ).run()
+        assert result.success
+        assert result.coloring_valid
+        # Simulated exchanges cost real slots too.
+        assert result.ledger.get("exchange") > 0
+
+    @pytest.mark.integration
+    def test_star_broadcast(self, star_net):
+        result = CGCast(star_net, source=1, seed=8).run()
+        assert result.success

@@ -1,0 +1,126 @@
+"""Unit tests for channel assignments and local labels."""
+
+import numpy as np
+import pytest
+
+from repro.model import AssignmentError, ChannelAssignment
+
+
+def simple_assignment() -> ChannelAssignment:
+    # Node 0: {0,1,2}, node 1: {1,2,3}, node 2: {4,5,6}.
+    return ChannelAssignment(
+        table=np.array([[0, 1, 2], [1, 2, 3], [4, 5, 6]])
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        a = simple_assignment()
+        assert a.n == 3
+        assert a.c == 3
+        assert a.universe_size == 7
+
+    def test_rejects_duplicates_in_row(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment(table=np.array([[0, 1, 1], [2, 3, 4]]))
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment(table=np.array([[0, -1, 2], [3, 4, 5]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment(table=np.array([0, 1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment(table=np.zeros((0, 0), dtype=int))
+
+    def test_from_sets_sorted_without_rng(self):
+        a = ChannelAssignment.from_sets([{3, 1, 2}, {7, 5, 6}])
+        assert a.local_row(0) == (1, 2, 3)
+        assert a.local_row(1) == (5, 6, 7)
+
+    def test_from_sets_rejects_ragged(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment.from_sets([{1, 2}, {3, 4, 5}])
+
+    def test_from_sets_rejects_empty(self):
+        with pytest.raises(AssignmentError):
+            ChannelAssignment.from_sets([])
+
+
+class TestLabels:
+    def test_local_global_roundtrip(self):
+        a = simple_assignment()
+        for u in range(a.n):
+            for label in range(a.c):
+                g = a.global_id_of(u, label)
+                assert a.local_label_of(u, g) == label
+
+    def test_local_label_missing_channel(self):
+        a = simple_assignment()
+        with pytest.raises(AssignmentError):
+            a.local_label_of(0, 6)
+
+    def test_global_id_out_of_range(self):
+        a = simple_assignment()
+        with pytest.raises(AssignmentError):
+            a.global_id_of(0, 3)
+
+    def test_relabel_preserves_sets(self):
+        a = simple_assignment()
+        rng = np.random.default_rng(0)
+        b = a.relabel_locally(rng)
+        for u in range(a.n):
+            assert b.channels_of(u) == a.channels_of(u)
+
+
+class TestOverlap:
+    def test_overlap_sets(self):
+        a = simple_assignment()
+        assert a.overlap(0, 1) == frozenset({1, 2})
+        assert a.overlap_size(0, 1) == 2
+        assert a.overlap_size(0, 2) == 0
+
+    def test_overlap_matrix_matches_pairwise(self):
+        a = simple_assignment()
+        m = a.overlap_matrix()
+        assert m[0, 0] == a.c
+        for u in range(a.n):
+            for v in range(a.n):
+                if u != v:
+                    assert m[u, v] == a.overlap_size(u, v)
+
+    def test_realized_bounds(self):
+        a = simple_assignment()
+        lo, hi = a.realized_overlap_bounds([(0, 1)])
+        assert (lo, hi) == (2, 2)
+
+    def test_realized_bounds_empty_errors(self):
+        a = simple_assignment()
+        with pytest.raises(AssignmentError):
+            a.realized_overlap_bounds([])
+
+    def test_validate_edges_pass(self):
+        a = simple_assignment()
+        a.validate_edges([(0, 1)], k=1, kmax=2)
+
+    def test_validate_edges_below_k(self):
+        a = simple_assignment()
+        with pytest.raises(AssignmentError, match="< k"):
+            a.validate_edges([(0, 2)], k=1, kmax=3)
+
+    def test_validate_edges_above_kmax(self):
+        a = simple_assignment()
+        with pytest.raises(AssignmentError, match="> kmax"):
+            a.validate_edges([(0, 1)], k=1, kmax=1)
+
+
+class TestMembership:
+    def test_membership_map(self):
+        a = simple_assignment()
+        members = a.membership_map()
+        assert members[1] == [0, 1]
+        assert members[4] == [2]
+        assert set(members) == a.universe()

@@ -1,0 +1,52 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.experiment == "E1"
+        assert args.trials is None
+        assert args.seed == 0
+        assert args.out is None
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "E7", "--trials", "3", "--seed", "9", "--out", "o"]
+        )
+        assert args.trials == 3
+        assert args.seed == 9
+        assert args.out == "o"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == [f"E{i}" for i in range(1, 13)]
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.integration
+    def test_run_e1_with_output(self, tmp_path, capsys):
+        code = main(
+            ["run", "E1", "--trials", "2", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "e1.md").exists()
+        assert (tmp_path / "e1.csv").exists()
+        out = capsys.readouterr().out
+        assert "COUNT accuracy" in out

@@ -1,0 +1,120 @@
+"""Unit tests for the Luby line-graph coloring (Lemma 8)."""
+
+import pytest
+
+from repro.core import (
+    LineGraph,
+    LubyEdgeColoring,
+    ProtocolConstants,
+    is_valid_edge_coloring,
+)
+from repro.model import ModelKnowledge, ProtocolError
+
+
+def knowledge_for(net):
+    return net.knowledge()
+
+
+class TestValidityChecker:
+    def test_accepts_proper(self):
+        edges = [(0, 1), (1, 2)]
+        assert is_valid_edge_coloring({(0, 1): 0, (1, 2): 1}, edges)
+
+    def test_rejects_conflict(self):
+        edges = [(0, 1), (1, 2)]
+        assert not is_valid_edge_coloring({(0, 1): 0, (1, 2): 0}, edges)
+
+    def test_rejects_partial(self):
+        edges = [(0, 1), (1, 2)]
+        assert not is_valid_edge_coloring({(0, 1): 0}, edges)
+
+    def test_disjoint_edges_may_share_colors(self):
+        edges = [(0, 1), (2, 3)]
+        assert is_valid_edge_coloring({(0, 1): 0, (2, 3): 0}, edges)
+
+
+class TestLubyColoring:
+    def test_produces_valid_coloring(self, small_regular_net):
+        lg = LineGraph.from_edges(small_regular_net.edges())
+        kn = knowledge_for(small_regular_net)
+        result = LubyEdgeColoring(lg, kn, seed=1).run()
+        assert result.complete
+        assert is_valid_edge_coloring(result.colors, lg.edges)
+
+    def test_palette_is_two_delta(self, small_regular_net):
+        lg = LineGraph.from_edges(small_regular_net.edges())
+        kn = knowledge_for(small_regular_net)
+        result = LubyEdgeColoring(lg, kn, seed=2).run()
+        assert result.palette_size == 2 * kn.max_degree
+        assert all(
+            0 <= color < result.palette_size
+            for color in result.colors.values()
+        )
+
+    def test_phases_within_reasonable_budget(self, small_regular_net):
+        lg = LineGraph.from_edges(small_regular_net.edges())
+        kn = knowledge_for(small_regular_net)
+        result = LubyEdgeColoring(lg, kn, seed=3).run()
+        # Lemma 8: O(lg n) phases; the scheduled budget has the constant.
+        assert result.phases_used <= 2 * result.scheduled_phases
+
+    def test_slots_charged_per_step(self, small_path_net):
+        from repro.core import exchange_slot_cost
+
+        lg = LineGraph.from_edges(small_path_net.edges())
+        kn = knowledge_for(small_path_net)
+        consts = ProtocolConstants.fast()
+        result = LubyEdgeColoring(lg, kn, constants=consts, seed=4).run()
+        step_cost = 2 * exchange_slot_cost(kn, consts)
+        assert result.ledger.get("coloring") == (
+            result.phases_used * 2 * step_cost
+        )
+
+    def test_deterministic(self, small_path_net):
+        lg = LineGraph.from_edges(small_path_net.edges())
+        kn = knowledge_for(small_path_net)
+        r1 = LubyEdgeColoring(lg, kn, seed=5).run()
+        r2 = LubyEdgeColoring(lg, kn, seed=5).run()
+        assert r1.colors == r2.colors
+        assert r1.phases_used == r2.phases_used
+
+    def test_no_overrun_stops_at_budget(self, small_regular_net):
+        lg = LineGraph.from_edges(small_regular_net.edges())
+        kn = knowledge_for(small_regular_net)
+        result = LubyEdgeColoring(
+            lg, kn, seed=6, allow_overrun=False
+        ).run()
+        assert result.phases_used <= result.scheduled_phases
+
+    def test_rejects_bad_loss_rate(self, small_path_net):
+        lg = LineGraph.from_edges(small_path_net.edges())
+        kn = knowledge_for(small_path_net)
+        with pytest.raises(ProtocolError):
+            LubyEdgeColoring(lg, kn, loss_rate=1.0)
+
+    def test_loss_injection_can_break_validity(self, small_regular_net):
+        """With heavy exchange loss, conflicts slip through and the
+        checker reports them — the reproduction's failure-mode probe."""
+        lg = LineGraph.from_edges(small_regular_net.edges())
+        kn = knowledge_for(small_regular_net)
+        broken = 0
+        for seed in range(8):
+            result = LubyEdgeColoring(
+                lg, kn, seed=seed, loss_rate=0.6
+            ).run()
+            if not (
+                result.complete
+                and is_valid_edge_coloring(result.colors, lg.edges)
+            ):
+                broken += 1
+        assert broken > 0
+
+    def test_empty_line_graph(self):
+        lg = LineGraph.from_edges([])
+        kn = ModelKnowledge(
+            n=4, c=4, k=1, kmax=1, max_degree=1, diameter=1
+        )
+        result = LubyEdgeColoring(lg, kn, seed=7).run()
+        assert result.complete
+        assert result.colors == {}
+        assert result.phases_used == 0

@@ -1,0 +1,74 @@
+"""Unit tests for dedicated-channel agreement."""
+
+import pytest
+
+from repro.core import (
+    CSeek,
+    agree_dedicated_channels,
+    first_heard_payloads,
+    oracle_exchange,
+)
+from repro.model import ProtocolError
+
+
+def run_discovery_and_exchange(net, seed=0):
+    result = CSeek(net, seed=seed).run()
+    payloads = first_heard_payloads(result)
+    received = oracle_exchange(
+        result.discovered,
+        payloads,
+        net.knowledge(),
+        CSeek(net, seed=seed).constants,
+    )
+    return result, received
+
+
+class TestFirstHeardPayloads:
+    def test_payload_contents(self, small_path_net):
+        result = CSeek(small_path_net, seed=1).run()
+        payloads = first_heard_payloads(result)
+        for u, payload in enumerate(payloads):
+            for v, slot in payload.items():
+                event = result.trace.first_reception(u, v)
+                assert event is not None
+                assert event.slot == slot
+
+
+class TestAgreement:
+    def test_channels_are_shared_by_the_pair(self, small_path_net):
+        net = small_path_net
+        result, received = run_discovery_and_exchange(net, seed=2)
+        edges = net.edges()
+        dedicated = agree_dedicated_channels(result, edges, received)
+        assert set(dedicated) == set(edges)
+        for (u, v), channel in dedicated.items():
+            assert channel in net.shared_channels(u, v)
+
+    def test_agreement_deterministic(self, small_path_net):
+        net = small_path_net
+        r1, rx1 = run_discovery_and_exchange(net, seed=3)
+        r2, rx2 = run_discovery_and_exchange(net, seed=3)
+        edges = net.edges()
+        assert agree_dedicated_channels(
+            r1, edges, rx1
+        ) == agree_dedicated_channels(r2, edges, rx2)
+
+    def test_rejects_non_canonical_edges(self, small_path_net):
+        result, received = run_discovery_and_exchange(small_path_net, seed=4)
+        with pytest.raises(ProtocolError):
+            agree_dedicated_channels(result, [(1, 0)], received)
+
+    def test_rejects_unmet_pair(self, small_path_net):
+        net = small_path_net
+        # Empty discovery: no meetings recorded at all.
+        result = CSeek(net, seed=5, part1_steps=0, part2_steps=0).run()
+        received = [{} for _ in range(net.n)]
+        with pytest.raises(ProtocolError, match="no usable meeting"):
+            agree_dedicated_channels(result, net.edges(), received)
+
+    def test_works_on_regular_network(self, small_regular_net):
+        net = small_regular_net
+        result, received = run_discovery_and_exchange(net, seed=6)
+        dedicated = agree_dedicated_channels(result, net.edges(), received)
+        for (u, v), channel in dedicated.items():
+            assert channel in net.shared_channels(u, v)

@@ -1,0 +1,122 @@
+"""Unit tests for the color-scheduled dissemination stage."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CSeek,
+    LineGraph,
+    LubyEdgeColoring,
+    agree_dedicated_channels,
+    first_heard_payloads,
+    oracle_exchange,
+    run_dissemination,
+)
+from repro.model import ProtocolError
+
+
+def prepared_stage(net, seed=0):
+    """Discovery + coloring + dedicated channels for a network."""
+    result = CSeek(net, seed=seed).run()
+    received = oracle_exchange(
+        result.discovered,
+        first_heard_payloads(result),
+        net.knowledge(),
+        CSeek(net, seed=seed).constants,
+    )
+    edges = net.edges()
+    dedicated = agree_dedicated_channels(result, edges, received)
+    coloring = LubyEdgeColoring(
+        LineGraph.from_edges(edges), net.knowledge(), seed=seed
+    ).run()
+    return coloring.colors, dedicated
+
+
+class TestDissemination:
+    def test_full_delivery_on_path(self, small_path_net):
+        colors, dedicated = prepared_stage(small_path_net, seed=1)
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=1
+        )
+        assert result.success
+        assert result.informed_slot[0] == 0
+        assert (result.informed_slot >= 0).all()
+
+    def test_full_delivery_on_clique_chain(self, clique_chain_net):
+        colors, dedicated = prepared_stage(clique_chain_net, seed=2)
+        result = run_dissemination(
+            clique_chain_net, 0, colors, dedicated, seed=2
+        )
+        assert result.success
+
+    def test_informed_slots_increase_with_distance(self, small_path_net):
+        colors, dedicated = prepared_stage(small_path_net, seed=3)
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=3
+        )
+        slots = result.informed_slot
+        # On a path from node 0, farther nodes are informed no earlier
+        # (ties possible: a neighbor of the source can be informed in the
+        # very first slot, matching the source's conventional slot 0).
+        assert all(slots[i] <= slots[i + 1] for i in range(len(slots) - 1))
+
+    def test_early_stop_saves_slots(self, small_path_net):
+        colors, dedicated = prepared_stage(small_path_net, seed=4)
+        eager = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=4, early_stop=True
+        )
+        full = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=4, early_stop=False
+        )
+        assert eager.ledger.total <= full.ledger.total
+        assert full.ledger.total == full.scheduled_slots
+
+    def test_no_colors_no_delivery(self, small_path_net):
+        result = run_dissemination(small_path_net, 0, {}, {}, seed=5)
+        assert not result.success
+        assert result.informed.sum() == 1
+
+    def test_rejects_bad_source(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            run_dissemination(small_path_net, -1, {}, {}, seed=0)
+
+    def test_rejects_color_out_of_range(self, small_path_net):
+        kn = small_path_net.knowledge()
+        bad = {(0, 1): 2 * kn.max_degree}
+        with pytest.raises(ProtocolError):
+            run_dissemination(
+                small_path_net, 0, bad, {(0, 1): 0}, seed=0
+            )
+
+    def test_rejects_missing_dedicated_channel(self, small_path_net):
+        with pytest.raises(ProtocolError, match="dedicated"):
+            run_dissemination(small_path_net, 0, {(0, 1): 0}, {}, seed=0)
+
+    def test_rejects_improper_coloring(self, small_path_net):
+        # Edges (0,1) and (1,2) share node 1 but get the same color.
+        colors = {(0, 1): 0, (1, 2): 0}
+        dedicated = {
+            (0, 1): next(iter(small_path_net.shared_channels(0, 1))),
+            (1, 2): next(iter(small_path_net.shared_channels(1, 2))),
+        }
+        with pytest.raises(ProtocolError, match="not proper"):
+            run_dissemination(
+                small_path_net, 0, colors, dedicated, seed=0
+            )
+
+    def test_scheduled_budget_formula(self, small_path_net):
+        kn = small_path_net.knowledge()
+        colors, dedicated = prepared_stage(small_path_net, seed=6)
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=6
+        )
+        from repro.core import ProtocolConstants
+
+        consts = ProtocolConstants.fast()
+        expected = (
+            kn.diameter
+            * (2 * kn.max_degree)
+            * consts.dissemination_rounds(kn.log_n)
+            * kn.log_delta
+        )
+        assert result.scheduled_slots == expected

@@ -1,0 +1,87 @@
+"""Unit tests for the CSEEK exchange primitive."""
+
+import pytest
+
+from repro.core import (
+    ProtocolConstants,
+    exchange_slot_cost,
+    oracle_exchange,
+    simulated_exchange,
+)
+from repro.model import ProtocolError
+from repro.sim import SlotLedger
+
+
+class TestOracleExchange:
+    def test_delivery_along_known_pairs(self, small_path_net):
+        kn = small_path_net.knowledge()
+        neighbor_sets = [
+            set(int(v) for v in small_path_net.neighbors(u))
+            for u in range(small_path_net.n)
+        ]
+        payloads = [f"msg-{u}" for u in range(small_path_net.n)]
+        received = oracle_exchange(
+            neighbor_sets, payloads, kn, ProtocolConstants.fast()
+        )
+        assert received[0] == {1: "msg-1"}
+        assert received[1] == {0: "msg-0", 2: "msg-2"}
+
+    def test_charges_exchange_cost(self, small_path_net):
+        kn = small_path_net.knowledge()
+        consts = ProtocolConstants.fast()
+        ledger = SlotLedger()
+        oracle_exchange(
+            [set() for _ in range(small_path_net.n)],
+            [None] * small_path_net.n,
+            kn,
+            consts,
+            ledger=ledger,
+        )
+        assert ledger.get("exchange") == exchange_slot_cost(kn, consts)
+
+    def test_rejects_payload_mismatch(self, small_path_net):
+        kn = small_path_net.knowledge()
+        with pytest.raises(ProtocolError):
+            oracle_exchange(
+                [set()] * small_path_net.n, [1, 2], kn,
+                ProtocolConstants.fast(),
+            )
+
+
+class TestSimulatedExchange:
+    def test_neighbors_receive_payloads(self, small_path_net):
+        payloads = [u * 100 for u in range(small_path_net.n)]
+        ledger = SlotLedger()
+        received = simulated_exchange(
+            small_path_net, payloads, seed=5, ledger=ledger
+        )
+        # Every delivered payload must come from a true neighbor and
+        # carry that neighbor's value.
+        for u in range(small_path_net.n):
+            for v, value in received[u].items():
+                assert small_path_net.is_edge(u, v)
+                assert value == v * 100
+        assert ledger.get("exchange") > 0
+
+    def test_whp_full_coverage(self, small_path_net):
+        payloads = list(range(small_path_net.n))
+        received = simulated_exchange(small_path_net, payloads, seed=6)
+        for u in range(small_path_net.n):
+            expected = {int(v) for v in small_path_net.neighbors(u)}
+            assert set(received[u]) == expected
+
+    def test_rejects_payload_mismatch(self, small_path_net):
+        with pytest.raises(ProtocolError):
+            simulated_exchange(small_path_net, [1, 2, 3], seed=0)
+
+
+class TestExchangeCost:
+    def test_cost_positive_and_scales_with_c(self, small_path_net):
+        kn = small_path_net.knowledge()
+        consts = ProtocolConstants.fast()
+        base = exchange_slot_cost(kn, consts)
+        assert base > 0
+        from dataclasses import replace
+
+        bigger = replace(consts, part1_factor=2 * consts.part1_factor)
+        assert exchange_slot_cost(kn, bigger) > base

@@ -1,0 +1,117 @@
+"""Unit tests for fitting and trial statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    find_crossover,
+    fit_power_law,
+    ratio_curve,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+from repro.model import HarnessError
+
+
+class TestPowerFit:
+    def test_recovers_exact_law(self):
+        xs = [2.0, 4.0, 8.0, 16.0]
+        ys = [3 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.constant == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_recovers_noisy_slope(self):
+        rng = np.random.default_rng(1)
+        xs = np.linspace(4, 128, 12)
+        ys = 5 * xs**1.5 * np.exp(rng.normal(0, 0.05, xs.size))
+        fit = fit_power_law(xs, ys)
+        assert 1.35 <= fit.slope <= 1.65
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        assert fit.predict(8.0) == pytest.approx(16.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(HarnessError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(HarnessError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(HarnessError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+class TestRatioCurve:
+    def test_basic(self):
+        out = ratio_curve([10.0, 20.0], [2.0, 5.0])
+        assert out.tolist() == [5.0, 4.0]
+
+    def test_rejects_mismatch_and_zero(self):
+        with pytest.raises(HarnessError):
+            ratio_curve([1.0], [1.0, 2.0])
+        with pytest.raises(HarnessError):
+            ratio_curve([1.0], [0.0])
+
+
+class TestCrossover:
+    def test_interpolated_crossing(self):
+        xs = [1.0, 2.0, 3.0]
+        a = [0.0, 1.0, 4.0]
+        b = [2.0, 2.0, 2.0]
+        x = find_crossover(xs, a, b)
+        assert 2.0 < x < 3.0
+
+    def test_crossed_from_start(self):
+        assert find_crossover([1.0, 2.0], [5.0, 6.0], [1.0, 1.0]) == 1.0
+
+    def test_never_crosses(self):
+        assert find_crossover([1.0, 2.0], [0.0, 1.0], [5.0, 5.0]) is None
+
+    def test_validation(self):
+        with pytest.raises(HarnessError):
+            find_crossover([1.0], [1.0, 2.0], [1.0])
+        with pytest.raises(HarnessError):
+            find_crossover([], [], [])
+
+
+class TestTrialStats:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.std > 0
+
+    def test_summarize_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(HarnessError):
+            summarize([])
+
+    def test_success_rate(self):
+        assert success_rate([True, True, False, False]) == 0.5
+        with pytest.raises(HarnessError):
+            success_rate([])
+
+    def test_wilson_interval_contains_point(self):
+        lo, hi = wilson_interval(8, 10)
+        assert lo < 0.8 < hi
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_wilson_extremes_stay_in_unit(self):
+        lo, hi = wilson_interval(0, 5)
+        assert lo == 0.0
+        lo, hi = wilson_interval(5, 5)
+        assert hi == 1.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(HarnessError):
+            wilson_interval(1, 0)
+        with pytest.raises(HarnessError):
+            wilson_interval(6, 5)

@@ -1,0 +1,120 @@
+"""Unit tests for the hitting games and players (Lemmas 10 and 12)."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds import (
+    FreshRandomPlayer,
+    HittingGame,
+    SweepPlayer,
+    UniformRandomPlayer,
+    play,
+)
+from repro.model import GameError
+
+
+class TestHittingGame:
+    def test_matching_is_valid(self):
+        game = HittingGame(c=10, k=4, seed=1)
+        matching = game.reveal_matching()
+        assert len(matching) == 4
+        assert len(set(matching.values())) == 4
+        assert all(0 <= a < 10 for a in matching)
+        assert all(0 <= b < 10 for b in matching.values())
+
+    def test_complete_game_is_perfect_matching(self):
+        game = HittingGame(c=6, k=6, seed=2)
+        matching = game.reveal_matching()
+        assert sorted(matching) == list(range(6))
+        assert sorted(matching.values()) == list(range(6))
+
+    def test_propose_hit_and_miss(self):
+        game = HittingGame(c=5, k=5, seed=3)
+        matching = game.reveal_matching()
+        a = 0
+        b_hit = matching[a]
+        b_miss = (b_hit + 1) % 5
+        assert not game.propose(a, b_miss)
+        assert game.propose(a, b_hit)
+        assert game.won
+        assert game.rounds_played == 2
+
+    def test_no_proposals_after_win(self):
+        game = HittingGame(c=3, k=3, seed=4)
+        matching = game.reveal_matching()
+        game.propose(0, matching[0])
+        with pytest.raises(GameError):
+            game.propose(1, 1)
+
+    def test_rejects_out_of_range(self):
+        game = HittingGame(c=3, k=1, seed=5)
+        with pytest.raises(GameError):
+            game.propose(3, 0)
+        with pytest.raises(GameError):
+            game.propose(0, -1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GameError):
+            HittingGame(c=0, k=1)
+        with pytest.raises(GameError):
+            HittingGame(c=4, k=5)
+        with pytest.raises(GameError):
+            HittingGame(c=4, k=0)
+
+    def test_determinism(self):
+        m1 = HittingGame(c=8, k=3, seed=6).reveal_matching()
+        m2 = HittingGame(c=8, k=3, seed=6).reveal_matching()
+        assert m1 == m2
+
+
+class TestPlayers:
+    def test_sweep_always_wins_within_c_squared(self):
+        for seed in range(5):
+            game = HittingGame(c=6, k=2, seed=seed)
+            transcript = play(game, SweepPlayer())
+            assert transcript.won
+            assert transcript.rounds <= 36
+
+    def test_fresh_player_covers_all_edges(self):
+        seen = set(FreshRandomPlayer(seed=1).proposals(4))
+        assert len(seen) == 16
+
+    def test_fresh_player_always_wins(self):
+        for seed in range(5):
+            game = HittingGame(c=8, k=1, seed=seed)
+            transcript = play(game, FreshRandomPlayer(seed=seed + 100))
+            assert transcript.won
+
+    def test_uniform_player_wins_whp(self):
+        wins = 0
+        for seed in range(10):
+            game = HittingGame(c=6, k=3, seed=seed)
+            transcript = play(
+                game, UniformRandomPlayer(seed=seed + 50), max_rounds=2000
+            )
+            wins += transcript.won
+        assert wins >= 9
+
+    def test_play_requires_fresh_game(self):
+        game = HittingGame(c=4, k=2, seed=7)
+        game.propose(0, 0)
+        with pytest.raises(GameError):
+            play(game, SweepPlayer())
+
+    def test_round_cap_respected(self):
+        game = HittingGame(c=20, k=1, seed=8)
+        transcript = play(game, UniformRandomPlayer(seed=9), max_rounds=3)
+        assert transcript.rounds <= 3
+
+    def test_fresh_player_mean_near_theory(self):
+        """E[rounds] for sampling without replacement is
+        (c^2 + 1) / (k + 1); check within 30% over trials."""
+        c, k = 10, 4
+        expected = (c * c + 1) / (k + 1)
+        rounds = []
+        for seed in range(60):
+            game = HittingGame(c=c, k=k, seed=seed)
+            transcript = play(game, FreshRandomPlayer(seed=seed + 1000))
+            rounds.append(transcript.rounds)
+        mean = float(np.mean(rounds))
+        assert expected * 0.7 <= mean <= expected * 1.3

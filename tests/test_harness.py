@@ -1,0 +1,132 @@
+"""Unit tests for the experiment harness (tables, runner, registry)."""
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    ExperimentTable,
+    experiment_ids,
+    render_markdown,
+    run_experiment,
+    run_trials,
+    write_csv,
+)
+from repro.model import HarnessError
+
+
+class TestRenderMarkdown:
+    def test_basic_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": None}]
+        md = render_markdown(rows, title="T")
+        assert "### T" in md
+        assert "| a | b |" in md
+        assert "| 3 | - |" in md
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2}]
+        md = render_markdown(rows, columns=["b", "a"])
+        assert md.splitlines()[0] == "| b | a |"
+
+    def test_union_of_row_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        md = render_markdown(rows)
+        assert "| a | b |" in md
+
+    def test_rejects_empty(self):
+        with pytest.raises(HarnessError):
+            render_markdown([])
+
+    def test_rejects_missing_columns(self):
+        with pytest.raises(HarnessError):
+            render_markdown([{"a": 1}], columns=["nope"])
+
+    def test_float_formatting(self):
+        md = render_markdown([{"x": 123456.0, "y": 0.12345, "z": True}])
+        assert "123,456" in md
+        assert "0.123" in md
+        assert "yes" in md
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(tmp_path / "deep" / "out.csv", rows)
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert "2,y" in text
+
+
+class TestExperimentTable:
+    def make(self):
+        return ExperimentTable(
+            experiment_id="EX",
+            title="demo",
+            rows=[{"x": 1, "y": 2}],
+            notes="some interpretation",
+        )
+
+    def test_to_markdown_includes_notes(self):
+        md = self.make().to_markdown()
+        assert "EX — demo" in md
+        assert "some interpretation" in md
+
+    def test_save_writes_both_files(self, tmp_path):
+        paths = self.make().save(tmp_path)
+        assert paths["markdown"].exists()
+        assert paths["csv"].exists()
+        assert paths["markdown"].name == "ex.md"
+
+
+class TestRunTrials:
+    def test_trials_get_distinct_seeds(self):
+        seeds = run_trials(lambda s: s, trials=5, seed=1)
+        assert len(set(seeds)) == 5
+
+    def test_deterministic(self):
+        a = run_trials(lambda s: s, trials=4, seed=9)
+        b = run_trials(lambda s: s, trials=4, seed=9)
+        assert a == b
+
+    def test_label_decorrelates(self):
+        a = run_trials(lambda s: s, trials=4, seed=9, label="x")
+        b = run_trials(lambda s: s, trials=4, seed=9, label="y")
+        assert a != b
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(HarnessError):
+            run_trials(lambda s: s, trials=0, seed=0)
+
+
+class TestRegistry:
+    def test_ids_cover_design_index(self):
+        # E1-E10 regenerate the paper's claims; E11/E12 are extensions.
+        assert experiment_ids() == [f"E{i}" for i in range(1, 13)]
+
+    def test_unknown_id_errors(self):
+        with pytest.raises(HarnessError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        assert "E1" in EXPERIMENTS
+        table = run_experiment("e1", trials=2, seed=1)
+        assert table.experiment_id == "E1"
+
+    @pytest.mark.integration
+    def test_e1_smoke(self):
+        table = run_experiment("E1", trials=3, seed=2)
+        assert table.rows
+        assert {"rule", "m", "median_ratio"} <= set(table.rows[0])
+
+    @pytest.mark.integration
+    def test_e7_smoke(self):
+        table = run_experiment("E7", trials=10, seed=3)
+        # Lemma 10 rows (k <= c/2): the fresh/uniform players' medians
+        # sit comfortably above the c^2/(8k) floor even at few trials.
+        checked = 0
+        for row in table.rows:
+            floor = row["floor(c^2/8k)"]
+            if floor is None or row["k"] > row["c"] / 2:
+                continue
+            assert row["median_rounds"] >= floor, row
+            checked += 1
+        assert checked > 0

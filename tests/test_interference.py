@@ -1,0 +1,134 @@
+"""Unit tests for primary-user interference and jam-aware resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core import CSeek, verify_discovery
+from repro.model import ProtocolError
+from repro.sim import PrimaryUserTraffic, resolve_step
+
+
+class TestPrimaryUserTraffic:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ProtocolError):
+            PrimaryUserTraffic([0, 1], activity=1.0)
+        with pytest.raises(ProtocolError):
+            PrimaryUserTraffic([0, 1], activity=-0.1)
+        with pytest.raises(ProtocolError):
+            PrimaryUserTraffic([0, 1], activity=0.5, mean_dwell=0.5)
+        with pytest.raises(ProtocolError):
+            PrimaryUserTraffic([], activity=0.5)
+        with pytest.raises(ProtocolError):
+            PrimaryUserTraffic([-1], activity=0.5)
+
+    def test_zero_activity_never_occupies(self):
+        traffic = PrimaryUserTraffic([0, 1, 2], activity=0.0, seed=1)
+        assert not traffic.occupied_block(200).any()
+
+    def test_stationary_occupancy_near_target(self):
+        traffic = PrimaryUserTraffic(
+            list(range(20)), activity=0.4, mean_dwell=5.0, seed=2
+        )
+        block = traffic.occupied_block(4000)
+        assert 0.3 <= block.mean() <= 0.5
+
+    def test_bursts_have_requested_dwell(self):
+        traffic = PrimaryUserTraffic([0], activity=0.3, mean_dwell=10.0, seed=3)
+        series = traffic.occupied_block(20000)[:, 0]
+        # Mean run length of ON bursts should be near mean_dwell.
+        runs = []
+        current = 0
+        for on in series:
+            if on:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected some ON bursts"
+        mean_run = float(np.mean(runs))
+        assert 5.0 <= mean_run <= 20.0
+
+    def test_sequential_blocks_advance_state(self):
+        t1 = PrimaryUserTraffic([0, 1], activity=0.5, seed=4)
+        a = t1.occupied_block(50)
+        b = t1.occupied_block(50)
+        t2 = PrimaryUserTraffic([0, 1], activity=0.5, seed=4)
+        c = t2.occupied_block(100)
+        assert np.array_equal(np.vstack([a, b]), c)
+
+    def test_jam_mask_covers_tuned_channels_only(self):
+        traffic = PrimaryUserTraffic([5], activity=0.9, mean_dwell=2.0, seed=5)
+        channels = np.array([5, 7, -1])
+        mask = traffic.jam_mask(channels, 300)
+        assert mask[:, 0].mean() > 0.3  # channel 5 is managed
+        assert not mask[:, 1].any()  # channel 7 is outside the set
+        assert not mask[:, 2].any()  # idle node never jammed
+
+    def test_jam_mask_rejects_bad_slots(self):
+        traffic = PrimaryUserTraffic([0], activity=0.1)
+        with pytest.raises(ProtocolError):
+            traffic.occupied_block(0)
+
+
+class TestJamAwareEngine:
+    def test_full_jam_silences_reception(self):
+        adj = np.array([[False, True], [True, False]])
+        channels = np.array([3, 3])
+        tx_role = np.array([True, False])
+        coins = np.ones((5, 2), dtype=bool)
+        jam = np.ones((5, 2), dtype=bool)
+        out = resolve_step(adj, channels, tx_role, coins, jam=jam)
+        assert (out.heard_from == -1).all()
+
+    def test_partial_jam_kills_exact_slots(self):
+        adj = np.array([[False, True], [True, False]])
+        channels = np.array([3, 3])
+        tx_role = np.array([True, False])
+        coins = np.ones((4, 2), dtype=bool)
+        jam = np.zeros((4, 2), dtype=bool)
+        jam[1, 1] = True
+        out = resolve_step(adj, channels, tx_role, coins, jam=jam)
+        assert out.heard_from[0, 1] == 0
+        assert out.heard_from[1, 1] == -1
+        assert out.heard_from[2, 1] == 0
+
+    def test_jam_shape_validated(self):
+        adj = np.array([[False, True], [True, False]])
+        with pytest.raises(ProtocolError):
+            resolve_step(
+                adj,
+                np.array([1, 1]),
+                np.array([True, False]),
+                np.ones((3, 2), dtype=bool),
+                jam=np.ones((2, 2), dtype=bool),
+            )
+
+
+class TestCSeekUnderInterference:
+    @pytest.mark.integration
+    def test_short_bursts_are_absorbed(self, small_regular_net):
+        net = small_regular_net
+        traffic = PrimaryUserTraffic(
+            sorted(net.assignment.universe()),
+            activity=0.3,
+            mean_dwell=4.0,
+            seed=7,
+        )
+        result = CSeek(net, seed=1, jammer=traffic).run()
+        assert verify_discovery(result, net).success
+
+    @pytest.mark.integration
+    def test_heavy_long_bursts_break_discovery(self, small_regular_net):
+        net = small_regular_net
+        failures = 0
+        for s in range(3):
+            traffic = PrimaryUserTraffic(
+                sorted(net.assignment.universe()),
+                activity=0.9,
+                mean_dwell=2000.0,
+                seed=s,
+            )
+            result = CSeek(net, seed=s, jammer=traffic).run()
+            if not verify_discovery(result, net).success:
+                failures += 1
+        assert failures > 0

@@ -1,0 +1,81 @@
+"""Unit tests for line-graph construction (Fact 7 substrate)."""
+
+import pytest
+
+from repro.core import LineGraph, edges_from_discovery
+from repro.model import ProtocolError
+
+
+class TestEdgesFromDiscovery:
+    def test_mutual_requires_both_directions(self):
+        discovered = [{1}, set(), set()]
+        assert edges_from_discovery(discovered, mutual=True) == []
+        assert edges_from_discovery(discovered, mutual=False) == [(0, 1)]
+
+    def test_canonicalization(self):
+        discovered = [{1}, {0}]
+        assert edges_from_discovery(discovered) == [(0, 1)]
+
+    def test_rejects_invalid_identity(self):
+        with pytest.raises(ProtocolError):
+            edges_from_discovery([{5}, set()])
+        with pytest.raises(ProtocolError):
+            edges_from_discovery([{0}, set()])
+
+
+class TestLineGraph:
+    def triangle(self):
+        return LineGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+    def test_triangle_structure(self):
+        lg = self.triangle()
+        assert lg.num_virtual == 3
+        # In a triangle every pair of edges shares an endpoint.
+        for adj in lg.neighbors:
+            assert len(adj) == 2
+        assert lg.max_degree() == 2
+
+    def test_path_line_graph_is_path(self):
+        lg = LineGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert lg.neighbors[0] == [1]
+        assert lg.neighbors[1] == [0, 2]
+        assert lg.neighbors[2] == [1]
+
+    def test_simulator_is_smaller_endpoint(self):
+        lg = self.triangle()
+        assert lg.simulator == [0, 0, 1]
+
+    def test_max_degree_bound(self, small_regular_net):
+        """Line-graph degree is at most 2*Delta - 2 (Lemma 8 setup)."""
+        edges = small_regular_net.edges()
+        lg = LineGraph.from_edges(edges)
+        delta = small_regular_net.max_degree
+        assert lg.max_degree() <= 2 * delta - 2
+
+    def test_star_line_graph_is_clique(self):
+        edges = [(0, v) for v in range(1, 5)]
+        lg = LineGraph.from_edges(edges)
+        assert lg.max_degree() == 3
+        for adj in lg.neighbors:
+            assert len(adj) == 3
+
+    def test_index_and_membership_queries(self):
+        lg = self.triangle()
+        assert lg.index_of((0, 2)) == 1
+        with pytest.raises(ProtocolError):
+            lg.index_of((2, 3))
+        assert lg.edges_simulated_by(0) == [0, 1]
+        assert lg.incident_to(2) == [1, 2]
+
+    def test_rejects_non_canonical(self):
+        with pytest.raises(ProtocolError):
+            LineGraph.from_edges([(1, 0)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ProtocolError):
+            LineGraph.from_edges([(0, 1), (0, 1)])
+
+    def test_from_discovery_roundtrip(self):
+        discovered = [{1, 2}, {0, 2}, {0, 1}]
+        lg = LineGraph.from_discovery(discovered)
+        assert lg.edges == [(0, 1), (0, 2), (1, 2)]

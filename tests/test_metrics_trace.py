@@ -1,0 +1,110 @@
+"""Unit tests for slot ledgers and reception traces."""
+
+import numpy as np
+import pytest
+
+from repro.model import ProtocolError
+from repro.sim import SlotLedger, TraceRecorder
+from repro.sim.engine import StepOutcome
+
+
+class TestSlotLedger:
+    def test_charge_and_total(self):
+        ledger = SlotLedger()
+        ledger.charge("a", 10)
+        ledger.charge("a", 5)
+        ledger.charge("b", 2)
+        assert ledger.get("a") == 15
+        assert ledger.total == 17
+
+    def test_get_unknown_phase(self):
+        assert SlotLedger().get("nope") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProtocolError):
+            SlotLedger().charge("a", -1)
+
+    def test_merge_with_prefix(self):
+        a = SlotLedger()
+        a.charge("part1", 3)
+        b = SlotLedger()
+        b.charge("x", 1)
+        b.merge(a, prefix="cseek.")
+        assert b.get("cseek.part1") == 3
+        assert b.total == 4
+
+    def test_as_dict_is_copy(self):
+        ledger = SlotLedger()
+        ledger.charge("a", 1)
+        d = ledger.as_dict()
+        d["a"] = 99
+        assert ledger.get("a") == 1
+
+    def test_items_ordered(self):
+        ledger = SlotLedger()
+        ledger.charge("z", 1)
+        ledger.charge("a", 1)
+        assert [k for k, _ in ledger.items()] == ["z", "a"]
+
+
+def make_outcome(heard):
+    heard = np.asarray(heard, dtype=np.int64)
+    return StepOutcome(
+        heard_from=heard, contenders=np.zeros_like(heard)
+    )
+
+
+class TestTraceRecorder:
+    def test_first_heard_earliest_slot(self):
+        trace = TraceRecorder()
+        # Slot 0: node 1 hears 0; slot 1: node 1 hears 0 again.
+        outcome = make_outcome([[-1, 0], [-1, 0]])
+        trace.record_step(outcome, start_slot=100, phase="p")
+        event = trace.first_reception(1, 0)
+        assert event is not None
+        assert event.slot == 100
+
+    def test_first_heard_not_overwritten_across_steps(self):
+        trace = TraceRecorder()
+        trace.record_step(make_outcome([[-1, 0]]), 5, "p")
+        trace.record_step(make_outcome([[-1, 0]]), 50, "p")
+        assert trace.first_reception(1, 0).slot == 5
+
+    def test_channels_annotation(self):
+        trace = TraceRecorder()
+        trace.record_step(
+            make_outcome([[-1, 0]]), 0, "p", channels=np.array([9, 9])
+        )
+        assert trace.first_reception(1, 0).channel == 9
+
+    def test_heard_by(self):
+        trace = TraceRecorder()
+        trace.record_step(make_outcome([[2, -1, 0]]), 0, "p")
+        assert trace.heard_by(0) == [2]
+        assert trace.heard_by(2) == [0]
+        assert trace.heard_by(1) == []
+
+    def test_completion_slot(self):
+        trace = TraceRecorder()
+        assert trace.completion_slot() is None
+        trace.record_step(
+            make_outcome([[-1, 0, -1], [2, -1, -1]]), 10, "p"
+        )
+        assert trace.completion_slot() == 11
+
+    def test_reception_count(self):
+        trace = TraceRecorder()
+        trace.record_step(
+            make_outcome([[-1, 0, -1], [-1, 0, -1], [2, -1, -1]]), 0, "p"
+        )
+        assert trace.reception_count() == 2
+
+    def test_verbose_keeps_every_event(self):
+        trace = TraceRecorder(verbose=True)
+        trace.record_step(make_outcome([[-1, 0], [-1, 0]]), 0, "p")
+        assert len(trace.events) == 2
+
+    def test_empty_step_noop(self):
+        trace = TraceRecorder()
+        trace.record_step(make_outcome([[-1, -1]]), 0, "p")
+        assert trace.reception_count() == 0

@@ -1,0 +1,92 @@
+"""Property-based tests: coloring validity and game invariants."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LineGraph, LubyEdgeColoring, is_valid_edge_coloring
+from repro.lowerbounds import HittingGame, SweepPlayer, play
+from repro.model import ModelKnowledge
+
+
+@st.composite
+def random_connected_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        graph.add_edge(int(rng.integers(0, v)), v)
+    extra = draw(st.integers(min_value=0, max_value=6))
+    for _ in range(extra):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            graph.add_edge(min(u, v), max(u, v))
+    return graph, seed
+
+
+class TestColoringProperties:
+    @given(random_connected_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_always_produces_valid_proper_coloring(self, case):
+        graph, seed = case
+        edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+        lg = LineGraph.from_edges(edges)
+        delta = max(d for _, d in graph.degree())
+        n = graph.number_of_nodes()
+        kn = ModelKnowledge(
+            n=max(n, 2),
+            c=4,
+            k=1,
+            kmax=1,
+            max_degree=max(delta, 1),
+            diameter=max(1, n - 1),
+        )
+        result = LubyEdgeColoring(lg, kn, seed=seed).run()
+        assert result.complete
+        assert is_valid_edge_coloring(result.colors, lg.edges)
+        assert all(
+            0 <= color < 2 * kn.max_degree
+            for color in result.colors.values()
+        )
+
+    @given(random_connected_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_line_graph_degree_bound(self, case):
+        graph, _ = case
+        edges = sorted((min(u, v), max(u, v)) for u, v in graph.edges())
+        lg = LineGraph.from_edges(edges)
+        delta = max(d for _, d in graph.degree())
+        assert lg.max_degree() <= 2 * delta - 2 or lg.num_virtual <= 1
+
+
+class TestGameProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**20),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matching_well_formed(self, c, seed, data):
+        k = data.draw(st.integers(min_value=1, max_value=c))
+        game = HittingGame(c=c, k=k, seed=seed)
+        matching = game.reveal_matching()
+        assert len(matching) == k
+        assert len(set(matching.keys())) == k
+        assert len(set(matching.values())) == k
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=2**20),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sweep_player_wins_in_at_most_c_squared(self, c, seed, data):
+        k = data.draw(st.integers(min_value=1, max_value=c))
+        game = HittingGame(c=c, k=k, seed=seed)
+        transcript = play(game, SweepPlayer())
+        assert transcript.won
+        assert transcript.rounds <= c * c

@@ -1,0 +1,105 @@
+"""Property-based tests for the model layer (hypothesis)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import per_edge_overlaps
+from repro.model import ChannelAssignment
+
+
+@st.composite
+def random_tree_and_targets(draw):
+    """A random tree plus feasible per-edge overlap targets."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, n):
+        parent = int(rng.integers(0, v))
+        graph.add_edge(parent, v)
+    targets = {}
+    for u, v in graph.edges():
+        targets[(min(u, v), max(u, v))] = draw(
+            st.integers(min_value=1, max_value=3)
+        )
+    max_need = max(
+        sum(t for e, t in targets.items() if node in e)
+        for node in graph.nodes()
+    )
+    c = draw(st.integers(min_value=max_need, max_value=max_need + 4))
+    return graph, targets, c, seed
+
+
+class TestPerEdgeOverlapProperties:
+    @given(random_tree_and_targets())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_overlaps_and_disjoint_nonedges(self, case):
+        graph, targets, c, seed = case
+        rng = np.random.default_rng(seed)
+        assignment = per_edge_overlaps(graph, c, targets, rng)
+        # Every edge shares exactly its target.
+        for (u, v), t in targets.items():
+            assert assignment.overlap_size(u, v) == t
+        # Non-adjacent pairs share nothing (fresh ids per edge).
+        nodes = sorted(graph.nodes())
+        for u in nodes:
+            for v in nodes:
+                if u < v and not graph.has_edge(u, v):
+                    assert assignment.overlap_size(u, v) == 0
+
+    @given(random_tree_and_targets())
+    @settings(max_examples=30, deadline=None)
+    def test_rows_have_exactly_c_distinct_channels(self, case):
+        graph, targets, c, seed = case
+        rng = np.random.default_rng(seed)
+        assignment = per_edge_overlaps(graph, c, targets, rng)
+        for u in sorted(graph.nodes()):
+            assert len(assignment.channels_of(u)) == c
+
+
+class TestLocalLabelProperties:
+    @given(
+        st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=50),
+                min_size=4,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_labels_are_permutations(self, sets, seed):
+        rng = np.random.default_rng(seed)
+        assignment = ChannelAssignment.from_sets(sets, rng=rng)
+        for u, chans in enumerate(sets):
+            row = assignment.local_row(u)
+            assert sorted(row) == sorted(chans)
+            # Round-trip label <-> global id.
+            for label, g in enumerate(row):
+                assert assignment.local_label_of(u, g) == label
+
+    @given(
+        st.lists(
+            st.sets(
+                st.integers(min_value=0, max_value=30),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=6,
+        ),
+        st.integers(min_value=0, max_value=2**20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_matrix_symmetric(self, sets, seed):
+        rng = np.random.default_rng(seed)
+        assignment = ChannelAssignment.from_sets(sets, rng=rng)
+        m = assignment.overlap_matrix()
+        assert (m == m.T).all()
+        assert (np.diag(m) == assignment.c).all()

@@ -1,0 +1,82 @@
+"""Unit tests for the Lemma 11 reduction players."""
+
+import pytest
+
+from repro.core import ProtocolConstants
+from repro.lowerbounds import (
+    CSeekReductionPlayer,
+    HittingGame,
+    NaiveReductionPlayer,
+    play,
+    two_node_knowledge,
+)
+from repro.model import GameError
+
+
+class TestTwoNodeKnowledge:
+    def test_parameters(self):
+        kn = two_node_knowledge(c=8, k=3)
+        assert kn.n == 2
+        assert kn.max_degree == 1
+        assert kn.kmax == 3
+
+
+class TestCSeekReductionPlayer:
+    def test_proposals_repeat_within_steps(self):
+        """Part-one proposals are constant across a COUNT execution."""
+        player = CSeekReductionPlayer(k=2, seed=1)
+        consts = player.constants
+        from repro.core import count_schedule
+
+        kn = two_node_knowledge(8, 2)
+        rounds, length = count_schedule(1, kn.log_n, consts)
+        step_slots = rounds * length
+        stream = player.proposals(8)
+        first_step = [next(stream) for _ in range(step_slots)]
+        assert len(set(first_step)) == 1
+
+    def test_schedule_slots_positive_and_scaling(self):
+        player = CSeekReductionPlayer(k=2, seed=0)
+        assert player.schedule_slots(8) > 0
+        assert player.schedule_slots(16) > player.schedule_slots(8)
+
+    def test_wins_within_schedule_whp(self):
+        """The CSEEK-driven player meets within its own schedule."""
+        wins_in_schedule = 0
+        trials = 8
+        for seed in range(trials):
+            player = CSeekReductionPlayer(k=2, seed=seed)
+            budget = player.schedule_slots(8)
+            game = HittingGame(c=8, k=2, seed=seed + 100)
+            transcript = play(game, player, max_rounds=budget)
+            wins_in_schedule += transcript.won
+        assert wins_in_schedule >= trials - 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(GameError):
+            CSeekReductionPlayer(k=0)
+
+    def test_stream_never_ends(self):
+        player = CSeekReductionPlayer(
+            k=1, seed=2, constants=ProtocolConstants.fast()
+        )
+        stream = player.proposals(2)
+        budget = player.schedule_slots(2)
+        for _ in range(budget + 10):
+            a, b = next(stream)
+            assert 0 <= a < 2 and 0 <= b < 2
+
+
+class TestNaiveReductionPlayer:
+    def test_proposals_in_range(self):
+        stream = NaiveReductionPlayer(seed=3).proposals(5)
+        for _ in range(100):
+            a, b = next(stream)
+            assert 0 <= a < 5 and 0 <= b < 5
+
+    def test_wins_eventually(self):
+        game = HittingGame(c=6, k=2, seed=4)
+        transcript = play(
+            game, NaiveReductionPlayer(seed=5), max_rounds=5000
+        )
+        assert transcript.won

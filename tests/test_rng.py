@@ -1,0 +1,57 @@
+"""Unit tests for seeded randomness management."""
+
+from repro.sim import RngHub
+
+
+class TestRngHub:
+    def test_same_seed_same_stream(self):
+        a = RngHub(7).generator("x")
+        b = RngHub(7).generator("x")
+        assert a.integers(0, 1000, 10).tolist() == b.integers(
+            0, 1000, 10
+        ).tolist()
+
+    def test_different_names_differ(self):
+        a = RngHub(7).generator("x")
+        b = RngHub(7).generator("y")
+        assert a.integers(0, 2**40, 8).tolist() != b.integers(
+            0, 2**40, 8
+        ).tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngHub(1).generator("x")
+        b = RngHub(2).generator("x")
+        assert a.integers(0, 2**40, 8).tolist() != b.integers(
+            0, 2**40, 8
+        ).tolist()
+
+    def test_child_scoping(self):
+        root = RngHub(9)
+        direct = root.generator("leaf")
+        nested = root.child("phase").generator("leaf")
+        assert direct.integers(0, 2**40, 8).tolist() != nested.integers(
+            0, 2**40, 8
+        ).tolist()
+
+    def test_node_streams_independent(self):
+        hub = RngHub(11).child("phase")
+        g0 = hub.node_generator(0)
+        g1 = hub.node_generator(1)
+        assert g0.integers(0, 2**40, 8).tolist() != g1.integers(
+            0, 2**40, 8
+        ).tolist()
+
+    def test_node_generators_iterates_all(self):
+        hub = RngHub(3)
+        gens = list(hub.node_generators(5))
+        assert len(gens) == 5
+
+    def test_spawn_seeds_deterministic(self):
+        s1 = RngHub(13).spawn_seeds(5)
+        s2 = RngHub(13).spawn_seeds(5)
+        assert s1 == s2
+        assert len(set(s1)) == 5
+
+    def test_seed_property(self):
+        assert RngHub(21).seed == 21
+        assert RngHub(21).child("a").seed == 21

@@ -1,0 +1,99 @@
+"""Unit tests for model specifications."""
+
+import pytest
+
+from repro.model import ModelKnowledge, NetworkSpec, SpecError, ceil_log2
+
+
+class TestCeilLog2:
+    def test_one_maps_to_one(self):
+        assert ceil_log2(1) == 1
+
+    def test_powers_of_two(self):
+        assert ceil_log2(2) == 1
+        assert ceil_log2(4) == 2
+        assert ceil_log2(1024) == 10
+
+    def test_rounds_up(self):
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1000) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SpecError):
+            ceil_log2(0)
+        with pytest.raises(SpecError):
+            ceil_log2(-3)
+
+
+class TestNetworkSpec:
+    def test_valid_spec(self):
+        spec = NetworkSpec(n=10, c=8, k=2, kmax=4)
+        assert spec.log_n == 4
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(SpecError):
+            NetworkSpec(n=1, c=4, k=1, kmax=1)
+
+    def test_rejects_no_channels(self):
+        with pytest.raises(SpecError):
+            NetworkSpec(n=4, c=0, k=1, kmax=1)
+
+    def test_rejects_k_above_kmax(self):
+        with pytest.raises(SpecError):
+            NetworkSpec(n=4, c=8, k=5, kmax=4)
+
+    def test_rejects_kmax_above_c(self):
+        with pytest.raises(SpecError):
+            NetworkSpec(n=4, c=4, k=2, kmax=5)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(SpecError):
+            NetworkSpec(n=4, c=4, k=0, kmax=2)
+
+    def test_knowledge_factory(self):
+        spec = NetworkSpec(n=16, c=8, k=2, kmax=2)
+        kn = spec.knowledge(max_degree=3, diameter=5)
+        assert kn.n == 16
+        assert kn.max_degree == 3
+        assert kn.diameter == 5
+        assert kn.spec == spec
+
+
+class TestModelKnowledge:
+    def make(self, **overrides):
+        base = dict(n=16, c=8, k=2, kmax=4, max_degree=3, diameter=5)
+        base.update(overrides)
+        return ModelKnowledge(**base)
+
+    def test_log_helpers(self):
+        kn = self.make()
+        assert kn.log_n == 4
+        assert kn.log_delta == 2
+
+    def test_log_delta_floor_one(self):
+        kn = self.make(max_degree=1)
+        assert kn.log_delta == 1
+
+    def test_rejects_degree_above_n(self):
+        with pytest.raises(SpecError):
+            self.make(max_degree=16)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(SpecError):
+            self.make(max_degree=0)
+
+    def test_rejects_zero_diameter(self):
+        with pytest.raises(SpecError):
+            self.make(diameter=0)
+
+    def test_khat_validation(self):
+        kn = self.make()
+        assert kn.with_khat(3) is kn
+        with pytest.raises(SpecError):
+            kn.with_khat(1)
+        with pytest.raises(SpecError):
+            kn.with_khat(5)
+
+    def test_spec_projection_roundtrip(self):
+        kn = self.make()
+        assert kn.spec == NetworkSpec(n=16, c=8, k=2, kmax=4)

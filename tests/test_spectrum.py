@@ -1,0 +1,71 @@
+"""Unit tests for spectrum analytics."""
+
+import pytest
+
+from repro.analysis.spectrum import (
+    channel_usage,
+    density_estimate_quality,
+    reception_histogram,
+)
+from repro.core import CSeek
+from repro.model import HarnessError
+
+
+@pytest.fixture(scope="module")
+def star_run(star_net):
+    return CSeek(star_net, seed=3).run()
+
+
+class TestReceptionHistogram:
+    def test_counts_match_trace(self, star_net, star_run):
+        hist = reception_histogram(star_run)
+        assert sum(hist.values()) == star_run.trace.reception_count()
+
+    def test_channels_are_physical(self, star_net, star_run):
+        universe = star_net.assignment.universe()
+        assert set(reception_histogram(star_run)) <= universe
+
+
+class TestChannelUsage:
+    def test_covers_whole_universe(self, star_net, star_run):
+        usage = channel_usage(star_net, star_run)
+        assert len(usage) == star_net.assignment.universe_size
+
+    def test_sorted_by_receptions(self, star_net, star_run):
+        usage = channel_usage(star_net, star_run)
+        receptions = [u.receptions for u in usage]
+        assert receptions == sorted(receptions, reverse=True)
+
+    def test_core_channels_dominate_on_global_core_star(
+        self, star_net, star_run
+    ):
+        """All discovery traffic must flow over the 2 shared core
+        channels — private padding channels carry nothing."""
+        usage = channel_usage(star_net, star_run)
+        core = star_net.shared_channels(0, 1)
+        busy = {u.global_id for u in usage if u.receptions > 0}
+        assert busy <= set(core)
+
+    def test_crowding_matches_ground_truth(self, star_net, star_run):
+        usage = {u.global_id: u for u in channel_usage(star_net, star_run)}
+        hub_crowding = star_net.crowding(0)
+        for g, count in hub_crowding.items():
+            assert usage[g].max_crowding >= count
+
+
+class TestDensityQuality:
+    def test_scores_track_crowding_on_star(self, star_net, star_run):
+        """The hub's accumulated scores must rank core channels (9
+        neighbors each) above private ones (0 neighbors)."""
+        quality = density_estimate_quality(star_net, star_run, node=0)
+        crowded = [s for s, true in quality.values() if true > 0]
+        empty = [s for s, true in quality.values() if true == 0]
+        assert min(crowded) > max(empty)
+
+    def test_covers_all_node_channels(self, star_net, star_run):
+        quality = density_estimate_quality(star_net, star_run, node=1)
+        assert len(quality) == star_net.c
+
+    def test_rejects_bad_node(self, star_net, star_run):
+        with pytest.raises(HarnessError):
+            density_estimate_quality(star_net, star_run, node=99)

@@ -1,0 +1,147 @@
+"""Unit tests for topology generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    complete_tree,
+    cycle,
+    erdos_renyi_connected,
+    graph_stats,
+    grid,
+    path,
+    path_of_cliques,
+    random_geometric,
+    random_regular,
+    star,
+    two_node,
+)
+from repro.model import TopologyError
+
+
+class TestGraphStats:
+    def test_path_stats(self):
+        stats = graph_stats(path(5))
+        assert stats.n == 5
+        assert stats.m == 4
+        assert stats.max_degree == 2
+        assert stats.diameter == 4
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(TopologyError):
+            graph_stats(g)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            graph_stats(nx.Graph())
+
+
+class TestBasicShapes:
+    def test_star(self):
+        g = star(6)
+        assert g.degree(0) == 5
+        assert graph_stats(g).diameter == 2
+
+    def test_star_too_small(self):
+        with pytest.raises(TopologyError):
+            star(1)
+
+    def test_path_nodes_contiguous(self):
+        g = path(4)
+        assert sorted(g.nodes()) == [0, 1, 2, 3]
+
+    def test_cycle_diameter(self):
+        assert graph_stats(cycle(8)).diameter == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(TopologyError):
+            cycle(2)
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.number_of_nodes() == 12
+        stats = graph_stats(g)
+        assert stats.max_degree == 4
+        assert stats.diameter == 5
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(TopologyError):
+            grid(0, 4)
+        with pytest.raises(TopologyError):
+            grid(1, 1)
+
+    def test_two_node(self):
+        g = two_node()
+        assert g.number_of_edges() == 1
+
+
+class TestCompleteTree:
+    def test_node_count(self):
+        g = complete_tree(2, 3)
+        assert g.number_of_nodes() == 1 + 2 + 4 + 8
+
+    def test_diameter_is_twice_depth(self):
+        assert graph_stats(complete_tree(3, 2)).diameter == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            complete_tree(0, 2)
+        with pytest.raises(TopologyError):
+            complete_tree(2, 0)
+
+
+class TestPathOfCliques:
+    def test_shape(self):
+        g = path_of_cliques(3, 4)
+        assert g.number_of_nodes() == 12
+        stats = graph_stats(g)
+        assert stats.max_degree == 4  # bridge endpoints
+        # Crossing each clique takes at least one hop; diameter grows
+        # linearly in the number of cliques.
+        assert stats.diameter >= 3
+
+    def test_single_clique(self):
+        g = path_of_cliques(1, 3)
+        assert g.number_of_edges() == 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            path_of_cliques(0, 3)
+        with pytest.raises(TopologyError):
+            path_of_cliques(2, 1)
+
+
+class TestRandomFamilies:
+    def test_geometric_connected(self):
+        g = random_geometric(30, seed=1)
+        assert nx.is_connected(g)
+        assert sorted(g.nodes()) == list(range(30))
+
+    def test_geometric_impossible_radius(self):
+        with pytest.raises(TopologyError):
+            random_geometric(40, radius=0.01, seed=1, max_tries=3)
+
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi_connected(30, seed=2)
+        assert nx.is_connected(g)
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_connected(10, p=0.0)
+
+    def test_regular_degree(self):
+        g = random_regular(12, 3, seed=3)
+        assert all(d == 3 for _, d in g.degree())
+        assert nx.is_connected(g)
+
+    def test_regular_infeasible(self):
+        with pytest.raises(TopologyError):
+            random_regular(5, 3, seed=1)  # n*d odd
+
+    def test_determinism(self):
+        g1 = random_geometric(20, seed=9)
+        g2 = random_geometric(20, seed=9)
+        assert sorted(g1.edges()) == sorted(g2.edges())

@@ -1,0 +1,55 @@
+"""Unit tests for Theorem 14 tree instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_theorem14_tree
+from repro.lowerbounds import level_completion_slots, per_hop_costs
+from repro.model import ProtocolError
+
+
+class TestLevelTimings:
+    def test_levels_grouped_correctly(self):
+        net = build_theorem14_tree(c=3, depth=2, seed=1)
+        informed = np.arange(net.n, dtype=np.int64)
+        timings = level_completion_slots(net, source=0, informed_slot=informed)
+        assert [t.level for t in timings] == [0, 1, 2]
+        assert timings[0].nodes == 1
+        assert timings[1].nodes == 2
+        assert timings[2].nodes == 4
+
+    def test_last_informed_is_level_max(self):
+        net = build_theorem14_tree(c=3, depth=1, seed=2)
+        informed = np.array([0, 5, 9], dtype=np.int64)
+        timings = level_completion_slots(net, 0, informed)
+        assert timings[1].last_informed_slot == 9
+
+    def test_uninformed_level_reports_none(self):
+        net = build_theorem14_tree(c=3, depth=1, seed=3)
+        informed = np.array([0, 5, -1], dtype=np.int64)
+        timings = level_completion_slots(net, 0, informed)
+        assert timings[1].last_informed_slot is None
+
+    def test_shape_validation(self):
+        net = build_theorem14_tree(c=3, depth=1, seed=4)
+        with pytest.raises(ProtocolError):
+            level_completion_slots(net, 0, np.zeros(99, dtype=np.int64))
+
+
+class TestPerHopCosts:
+    def test_costs_are_deltas(self):
+        net = build_theorem14_tree(c=3, depth=2, seed=5)
+        informed = np.zeros(net.n, dtype=np.int64)
+        # Level 1 nodes informed by slot 4, level 2 by slot 10.
+        for node, dist in enumerate(
+            [0, 1, 1, 2, 2, 2, 2]
+        ):
+            informed[node] = {0: 0, 1: 4, 2: 10}[dist]
+        timings = level_completion_slots(net, 0, informed)
+        assert per_hop_costs(timings) == [4, 6]
+
+    def test_none_propagates(self):
+        net = build_theorem14_tree(c=3, depth=1, seed=6)
+        informed = np.array([0, 3, -1], dtype=np.int64)
+        timings = level_completion_slots(net, 0, informed)
+        assert per_hop_costs(timings) == [None]
