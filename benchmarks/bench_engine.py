@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sim.engine import resolve_step, resolve_varying
+from repro.sim.engine import resolve_step, resolve_step_batch, resolve_varying
 
 
 def _random_net(n, seed):
@@ -28,6 +28,29 @@ def bench_resolve_step_n100_t64(benchmark):
 
     out = benchmark(resolve_step, adj, channels, tx_role, coins)
     assert out.heard_from.shape == (64, 100)
+
+
+def bench_resolve_step_batch_b32_n100_t64(benchmark):
+    """Batched trial axis: 32 trials of a 64-slot step in one resolve."""
+    adj, rng = _random_net(100, 3)
+    channels = rng.integers(0, 8, size=100)
+    tx_role = rng.random(100) < 0.5
+    coins = rng.random((32, 64, 100)) < 0.3
+
+    out = benchmark(resolve_step_batch, adj, channels, tx_role, coins)
+    assert out.heard_from.shape == (32, 64, 100)
+
+
+def bench_heard_sets_n100_t512(benchmark):
+    """Distinct-sender extraction across a long step."""
+    adj, rng = _random_net(100, 4)
+    channels = rng.integers(0, 8, size=100)
+    tx_role = rng.random(100) < 0.5
+    coins = rng.random((512, 100)) < 0.3
+    out = resolve_step(adj, channels, tx_role, coins)
+
+    sets = benchmark(out.heard_sets)
+    assert len(sets) == 100
 
 
 def bench_resolve_varying_n100_t256(benchmark):

@@ -12,7 +12,6 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List
 
-import numpy as np
 
 from repro.core.cseek import CSeekResult
 from repro.model.errors import HarnessError

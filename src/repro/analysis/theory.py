@@ -24,8 +24,6 @@ Theorem 14     bcast floor ``Ω(c²/k + D·min(c, Δ))``
 
 from __future__ import annotations
 
-import math
-
 from repro.model.errors import SpecError
 from repro.model.spec import ModelKnowledge, ceil_log2
 

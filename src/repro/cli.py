@@ -4,7 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro run E2 --trials 5 --seed 0 --out results/
-    python -m repro run all --out results/
+    python -m repro run E2 --trials 64 --jobs 4          # process pool
+    python -m repro run E1 --trials 64 --jobs batch      # vectorized
+    python -m repro run all --out results/ --cache       # skip re-runs
+
+``--jobs`` selects the trial execution strategy (serial by default; an
+int fans trials out to that many worker processes, ``batch`` vectorizes
+homogeneous trial axes) and never changes the produced rows — per-trial
+seeds derive up front from the master seed. ``--cache`` consults the
+deterministic result cache in ``.repro_cache/`` (keyed on experiment,
+trials, seed and code version) before running anything.
 
 ``crn-repro`` (the console script declared in ``pyproject.toml``) is
 equivalent when the package is installed through a regular ``pip
@@ -23,6 +32,19 @@ from repro.harness import experiment_ids, run_experiment
 from repro.model.errors import ReproError
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_jobs(value: str) -> "int | str":
+    """``--jobs`` values: an int, or the strategy names."""
+    name = value.strip().lower()
+    if name in ("serial", "batch", "batched"):
+        return name
+    try:
+        return int(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, 'serial', or 'batch', got {value!r}"
+        ) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for <id>.md and <id>.csv outputs",
     )
+    run.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        help=(
+            "trial execution strategy: an int for that many worker "
+            "processes (0 = one per CPU), 'batch' for vectorized trial "
+            "axes, 'serial' (default); results are identical either way"
+        ),
+    )
+    run.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "reuse cached tables (and store fresh ones) keyed on "
+            "experiment id + trials + seed + code version"
+        ),
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro_cache/)",
+    )
     return parser
 
 
@@ -63,9 +108,19 @@ def _run_one(
     trials: Optional[int],
     seed: int,
     out: Optional[str],
+    jobs: "int | str | None" = None,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> None:
     start = time.time()
-    table = run_experiment(experiment_id, trials=trials, seed=seed)
+    table = run_experiment(
+        experiment_id,
+        trials=trials,
+        seed=seed,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
     elapsed = time.time() - start
     print(table.to_markdown())
     print(f"\n[{table.experiment_id} finished in {elapsed:.1f}s]")
@@ -91,7 +146,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     try:
         for experiment_id in targets:
-            _run_one(experiment_id, args.trials, args.seed, args.out)
+            _run_one(
+                experiment_id,
+                args.trials,
+                args.seed,
+                args.out,
+                jobs=args.jobs,
+                cache=args.cache,
+                cache_dir=args.cache_dir,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -8,11 +8,18 @@ from repro.core.coloring import (
     is_valid_edge_coloring,
 )
 from repro.core.constants import ProtocolConstants
-from repro.core.count import CountOutcome, count_schedule, run_count_step
+from repro.core.count import (
+    CountBatchOutcome,
+    CountOutcome,
+    count_schedule,
+    run_count_step,
+    run_count_step_batch,
+)
 from repro.core.cseek import (
     CSeek,
     CSeekResult,
     DiscoveryReport,
+    resolve_backoff_batch,
     verify_discovery,
 )
 from repro.core.dedicated import agree_dedicated_channels, first_heard_payloads
@@ -31,6 +38,7 @@ __all__ = [
     "CSeek",
     "CSeekResult",
     "ColoringResult",
+    "CountBatchOutcome",
     "CountOutcome",
     "DiscoveryReport",
     "DisseminationResult",
@@ -45,7 +53,9 @@ __all__ = [
     "is_valid_edge_coloring",
     "oracle_exchange",
     "redisseminate",
+    "resolve_backoff_batch",
     "run_count_step",
+    "run_count_step_batch",
     "run_dissemination",
     "simulated_exchange",
     "verify_discovery",

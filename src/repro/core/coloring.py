@@ -29,10 +29,8 @@ lossless CSEEK exchanges).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.core.constants import ProtocolConstants
 from repro.core.exchange import exchange_slot_cost, simulated_exchange

@@ -34,9 +34,20 @@ import numpy as np
 from repro.core.constants import ProtocolConstants
 from repro.model.errors import ProtocolError
 from repro.model.spec import ceil_log2
-from repro.sim.engine import StepOutcome, resolve_step
+from repro.sim.engine import (
+    BatchStepOutcome,
+    StepOutcome,
+    resolve_step,
+    resolve_step_batch,
+)
 
-__all__ = ["CountOutcome", "count_schedule", "run_count_step"]
+__all__ = [
+    "CountBatchOutcome",
+    "CountOutcome",
+    "count_schedule",
+    "run_count_step",
+    "run_count_step_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,39 @@ class CountOutcome:
     step: StepOutcome
     round_receptions: np.ndarray
     num_slots: int
+
+
+@dataclass(frozen=True)
+class CountBatchOutcome:
+    """Result of ``B`` independent COUNT trials on one topology.
+
+    Attributes:
+        estimates: ``(B, n)`` float array; trial ``b``'s listener
+            estimates (see :class:`CountOutcome`).
+        step: The batched engine outcome (``heard_from`` has shape
+            ``(B, rounds * round_length, n)``).
+        round_receptions: ``(B, rounds, n)`` per-trial per-round clear
+            reception counts.
+        num_slots: Slots consumed *per trial*.
+    """
+
+    estimates: np.ndarray
+    step: BatchStepOutcome
+    round_receptions: np.ndarray
+    num_slots: int
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.estimates.shape[0])
+
+    def trial(self, b: int) -> CountOutcome:
+        """Trial ``b``'s slice as a plain :class:`CountOutcome`."""
+        return CountOutcome(
+            estimates=self.estimates[b],
+            step=self.step.trial(b),
+            round_receptions=self.round_receptions[b],
+            num_slots=self.num_slots,
+        )
 
 
 def count_schedule(max_count: int, log_n: int, constants: ProtocolConstants) -> tuple[int, int]:
@@ -153,6 +197,76 @@ def run_count_step(
     else:
         estimates = _estimate_argmax(round_receptions)
     return CountOutcome(
+        estimates=estimates,
+        step=step,
+        round_receptions=round_receptions,
+        num_slots=total_slots,
+    )
+
+
+def run_count_step_batch(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    max_count: int,
+    log_n: int,
+    constants: ProtocolConstants,
+    rngs: list[np.random.Generator],
+    jam: np.ndarray | None = None,
+) -> CountBatchOutcome:
+    """Execute ``B`` independent COUNT trials as one batched resolve.
+
+    The trials share the topology (adjacency, channels, roles and the
+    schedule) and differ only in their broadcaster coins, which is the
+    structure of every Monte Carlo sweep over a fixed configuration
+    (experiment E1's m-sweep points). Each trial's coins are drawn from
+    its own generator exactly as :func:`run_count_step` would draw them,
+    so trial ``b`` of the result is bit-identical to a serial call with
+    ``rngs[b]`` — batching is a pure throughput decision.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(n,)`` shared global channel per node (``-1`` idle).
+        tx_role: ``(n,)`` shared broadcaster roles.
+        max_count: A-priori bound on the broadcaster count.
+        log_n: ``ceil(lg n)`` for round sizing.
+        constants: Schedule constants and estimation rule.
+        rngs: One generator per trial (length ``B``).
+        jam: Optional ``(B, total_slots, n)`` per-trial reception-kill
+            mask.
+
+    Returns:
+        A :class:`CountBatchOutcome` over all ``B`` trials.
+    """
+    if not rngs:
+        raise ProtocolError("rngs must name at least one trial generator")
+    n = adjacency.shape[0]
+    rounds, round_length = count_schedule(max_count, log_n, constants)
+    total_slots = rounds * round_length
+    probs = np.repeat(
+        2.0 ** -np.arange(rounds, dtype=float), round_length
+    )
+    coins = np.stack(
+        [rng.random((total_slots, n)) < probs[:, None] for rng in rngs]
+    )
+    step = resolve_step_batch(adjacency, channels, tx_role, coins, jam=jam)
+    received = (step.heard_from >= 0).astype(np.int64)
+    round_receptions = received.reshape(
+        len(rngs), rounds, round_length, n
+    ).sum(axis=2)
+    if constants.count_rule == "first_crossing":
+        threshold = constants.count_threshold()
+        estimates = np.stack(
+            [
+                _estimate_first_crossing(rr, round_length, threshold)
+                for rr in round_receptions
+            ]
+        )
+    else:
+        estimates = np.stack(
+            [_estimate_argmax(rr) for rr in round_receptions]
+        )
+    return CountBatchOutcome(
         estimates=estimates,
         step=step,
         round_receptions=round_receptions,

@@ -29,8 +29,8 @@ receiving its current payload).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Set, Tuple
 
 import numpy as np
 
@@ -38,16 +38,74 @@ from repro.core.constants import ProtocolConstants
 from repro.core.count import run_count_step
 from repro.model.errors import ProtocolError
 from repro.model.spec import ModelKnowledge
-from repro.sim.engine import resolve_step
+from repro.sim.engine import BatchStepOutcome, resolve_step, resolve_step_batch
 from repro.sim.interference import PrimaryUserTraffic
 from repro.sim.metrics import SlotLedger
 from repro.sim.network import CRNetwork
 from repro.sim.rng import RngHub
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["CSeek", "CSeekResult", "DiscoveryReport", "verify_discovery"]
+__all__ = [
+    "CSeek",
+    "CSeekResult",
+    "DiscoveryReport",
+    "backoff_probabilities",
+    "resolve_backoff_batch",
+    "verify_discovery",
+]
 
 ListenerPolicy = Literal["weighted", "uniform"]
+
+
+def backoff_probabilities(backoff_len: int) -> np.ndarray:
+    """Figure 1 line 14's per-slot transmission probabilities.
+
+    Slot ``j = lg Delta .. 1`` of a part-two back-off window transmits
+    with probability ``1/2^j`` (ascending across the window).
+    """
+    if backoff_len < 1:
+        raise ProtocolError(
+            f"backoff_len must be >= 1, got {backoff_len}"
+        )
+    return 2.0 ** -np.arange(backoff_len, 0, -1, dtype=float)
+
+
+def resolve_backoff_batch(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    backoff_len: int,
+    rngs: List[np.random.Generator],
+    jam: np.ndarray | None = None,
+) -> BatchStepOutcome:
+    """Resolve ``B`` independent part-two back-off windows in one shot.
+
+    The trials share one adjacency; channels and roles may be shared
+    (1-D) or per-trial (2-D), and each trial's Figure-1 coins come from
+    its own generator — drawn exactly as :meth:`CSeek.run` draws them,
+    so trial ``b`` is bit-identical to the serial window it replaces.
+    This is the batched counterpart of a single part-two step for
+    homogeneous-trial experiments and benchmarks.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix.
+        channels: ``(n,)`` or ``(B, n)`` global channel per node.
+        tx_role: ``(n,)`` or ``(B, n)`` broadcaster roles.
+        backoff_len: Window length (``lg Delta`` in the paper).
+        rngs: One generator per trial (length ``B``).
+        jam: Optional ``(B, backoff_len, n)`` reception-kill mask.
+
+    Returns:
+        A :class:`~repro.sim.engine.BatchStepOutcome` over all trials.
+    """
+    if not rngs:
+        raise ProtocolError("rngs must name at least one trial generator")
+    n = adjacency.shape[0]
+    probs = backoff_probabilities(backoff_len)
+    coins = np.stack(
+        [rng.random((backoff_len, n)) < probs[:, None] for rng in rngs]
+    )
+    return resolve_step_batch(adjacency, channels, tx_role, coins, jam=jam)
 
 
 @dataclass
@@ -236,9 +294,7 @@ class CSeek:
 
         rng2 = self._hub.generator("part2")
         backoff_len = kn.log_delta
-        # Figure 1, line 13-14: slot j = lg Delta .. 1 transmits with
-        # probability 1/2^j (ascending probability across the window).
-        backoff_probs = 2.0 ** -np.arange(backoff_len, 0, -1, dtype=float)
+        backoff_probs = backoff_probabilities(backoff_len)
         for _ in range(self.part2_step_budget):
             tx_role = rng2.random(n) < 0.5
             labels = self._choose_part2_labels(rng2, tx_role, counts)

@@ -22,7 +22,7 @@ ground truth: CGCAST colors the graph CSEEK actually found.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.model.errors import ProtocolError
 

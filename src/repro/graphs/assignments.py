@@ -30,7 +30,7 @@ reproducible from a single seed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 import networkx as nx
 import numpy as np

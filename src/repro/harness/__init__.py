@@ -1,5 +1,27 @@
-"""Experiment harness: runners, tables, and E1-E10 definitions."""
+"""Experiment harness: runners, executors, cache, and E1-E12 definitions.
 
+Layering: :mod:`~repro.harness.runner` owns seeded repetition
+(:func:`run_trials`), :mod:`~repro.harness.executor` owns execution
+strategy (serial / process-parallel / vectorized-batch, all
+bit-identical for a given master seed), :mod:`~repro.harness.cache` owns
+the deterministic result cache, and :mod:`~repro.harness.experiments`
+defines the experiments and :func:`run_experiment`.
+"""
+
+from repro.harness.cache import (
+    DEFAULT_CACHE_DIR,
+    cache_key,
+    code_version,
+    load_table,
+    store_table,
+)
+from repro.harness.executor import (
+    BatchedExecutor,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+)
 from repro.harness.experiments import (
     EXPERIMENTS,
     experiment_ids,
@@ -9,11 +31,21 @@ from repro.harness.runner import ExperimentTable, run_trials
 from repro.harness.tables import render_markdown, write_csv
 
 __all__ = [
+    "BatchedExecutor",
+    "DEFAULT_CACHE_DIR",
     "EXPERIMENTS",
+    "Executor",
     "ExperimentTable",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "cache_key",
+    "code_version",
     "experiment_ids",
+    "get_executor",
+    "load_table",
     "render_markdown",
     "run_experiment",
     "run_trials",
+    "store_table",
     "write_csv",
 ]

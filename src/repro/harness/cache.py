@@ -1,0 +1,151 @@
+"""Deterministic experiment-table result cache.
+
+Every experiment is a pure function of ``(experiment id, trials, seed,
+code)`` — the executor layer guarantees the execution strategy does not
+perturb rows — so a finished table can be keyed by exactly those inputs
+and replayed from disk. Re-runs of a sweep (and CI benchmark jobs that
+regenerate tables on every push) then skip completed work.
+
+The cache key folds in a *code version*: a digest over the ``repro``
+package's source files. Any source change invalidates every entry, which
+is deliberately coarse — correctness over cleverness; stale tables must
+never survive an algorithm change.
+
+Entries live under ``.repro_cache/`` (override via ``cache_dir`` or the
+``REPRO_CACHE_DIR`` environment variable) as one JSON file per table.
+The ``jobs`` knob is deliberately *not* part of the key: serial,
+parallel and batched execution produce bit-identical rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.runner import ExperimentTable
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "cache_key",
+    "code_version",
+    "load_table",
+    "store_table",
+]
+
+DEFAULT_CACHE_DIR = Path(".repro_cache")
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package's source tree (cached per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def cache_key(
+    experiment_id: str, trials: Optional[int], seed: int
+) -> str:
+    """Stable key for one table: experiment + params + code version."""
+    payload = json.dumps(
+        {
+            "experiment": experiment_id.upper(),
+            "trials": trials,
+            "seed": seed,
+            "code": code_version(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _resolve_dir(cache_dir: "str | Path | None") -> Path:
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+
+def _entry_path(
+    experiment_id: str,
+    trials: Optional[int],
+    seed: int,
+    cache_dir: "str | Path | None",
+) -> Path:
+    key = cache_key(experiment_id, trials, seed)
+    return _resolve_dir(cache_dir) / f"{experiment_id.lower()}-{key}.json"
+
+
+def _jsonify(value: object) -> object:
+    """Coerce numpy scalars so rows serialize losslessly."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"unserializable cache value: {value!r}")
+
+
+def store_table(
+    table: ExperimentTable,
+    trials: Optional[int],
+    seed: int,
+    cache_dir: "str | Path | None" = None,
+) -> Path:
+    """Persist a finished table; returns the entry path."""
+    path = _entry_path(table.experiment_id, trials, seed, cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment_id": table.experiment_id,
+        "title": table.title,
+        "rows": table.rows,
+        "notes": table.notes,
+        "columns": list(table.columns) if table.columns else None,
+        "trials": trials,
+        "seed": seed,
+        "code": code_version(),
+    }
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(
+        json.dumps(payload, default=_jsonify, indent=1), encoding="utf-8"
+    )
+    tmp.replace(path)
+    return path
+
+
+def load_table(
+    experiment_id: str,
+    trials: Optional[int],
+    seed: int,
+    cache_dir: "str | Path | None" = None,
+) -> Optional[ExperimentTable]:
+    """Return the cached table for these inputs, or None.
+
+    Unreadable or corrupt entries are treated as misses (the caller
+    recomputes and overwrites), never as errors.
+    """
+    path = _entry_path(experiment_id, trials, seed, cache_dir)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        return ExperimentTable(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=payload["rows"],
+            notes=payload.get("notes", ""),
+            columns=payload.get("columns"),
+        )
+    except KeyError:
+        return None

@@ -1,0 +1,237 @@
+"""Pluggable trial executors — the harness's throughput layer.
+
+Every experiment reduces to "run this pure function of a seed N times"
+(:func:`repro.harness.runner.run_trials`). The per-trial seeds are
+derived *up front* from the master seed via
+:meth:`repro.sim.rng.RngHub.spawn_seeds`, so execution strategy is a
+pure throughput decision: the same master seed must produce bit-identical
+results whether trials run serially, across worker processes, or as one
+vectorized batch. The strategies:
+
+:class:`SerialExecutor`
+    The reference strategy: an in-process loop, one trial at a time.
+:class:`ParallelExecutor`
+    Fans trial chunks out to a fork-based process pool. Fork start is
+    required because experiment trials are closures over network objects;
+    forked workers inherit them without pickling, and only seeds and
+    results cross process boundaries. Falls back to serial where fork is
+    unavailable (non-POSIX platforms).
+:class:`BatchedExecutor`
+    Runs the whole trial axis as one vectorized call when the trial
+    callable advertises one (a ``run_batch`` attribute taking the seed
+    list — see :func:`repro.sim.engine.resolve_step_batch` and
+    :func:`repro.core.count.run_count_step_batch` for the sim-layer
+    primitives this rides on); falls back to serial otherwise.
+
+All strategies validate trial results eagerly: a raising trial surfaces
+as a :class:`~repro.model.errors.HarnessError` naming the trial seed
+that failed, so a failure deep inside a sweep is reproducible in
+isolation.
+
+:func:`get_executor` maps the user-facing ``jobs`` knob (CLI ``--jobs``,
+the ``jobs`` parameter on every experiment function) to a strategy.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import traceback
+from typing import Callable, List, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.model.errors import HarnessError
+
+__all__ = [
+    "BatchedExecutor",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "get_executor",
+]
+
+T = TypeVar("T")
+
+
+def call_trial(trial: Callable[[int], T], seed: int) -> T:
+    """Run one trial, wrapping any failure with its seed context."""
+    try:
+        return trial(seed)
+    except HarnessError as exc:
+        raise HarnessError(f"trial failed (seed={seed}): {exc}") from exc
+    except Exception as exc:  # noqa: BLE001 — seed context must survive
+        raise HarnessError(f"trial failed (seed={seed}): {exc!r}") from exc
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Strategy for running one trial function over many seeds.
+
+    Implementations must preserve seed order in the returned list and
+    must not perturb results relative to :class:`SerialExecutor` — the
+    determinism contract every equivalence test in ``tests/test_harness``
+    pins down.
+    """
+
+    def run(
+        self, trial: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        """Return ``[trial(s) for s in seeds]``, by whatever means."""
+        ...
+
+
+class SerialExecutor:
+    """The reference in-process strategy (``jobs=1``)."""
+
+    def run(
+        self, trial: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        return [call_trial(trial, s) for s in seeds]
+
+
+# ----------------------------------------------------------------------
+# Process-parallel execution
+# ----------------------------------------------------------------------
+# Worker-side state: the trial closure, inherited through fork at pool
+# creation (closures over network objects are not picklable, so it can
+# not travel through the task queue).
+_worker_trial: Callable[[int], object] | None = None
+
+
+def _worker_init(trial: Callable[[int], object]) -> None:
+    global _worker_trial
+    _worker_trial = trial
+
+
+def _worker_chunk(seeds: List[int]) -> List[tuple]:
+    """Run a chunk of seeds, returning per-seed (ok, payload) pairs."""
+    results = []
+    for seed in seeds:
+        try:
+            results.append((True, _worker_trial(seed)))
+        except Exception as exc:  # noqa: BLE001 — re-raised parent-side
+            results.append(
+                (False, (seed, f"{exc!r}\n{traceback.format_exc()}"))
+            )
+    return results
+
+
+class ParallelExecutor:
+    """Chunked fan-out over a fork-based process pool (``jobs>=2``).
+
+    Args:
+        jobs: Worker process count; ``0`` means one per CPU.
+        chunk_size: Seeds per submitted task; default sizes chunks so
+            each worker sees ~4 tasks (amortizing IPC while keeping the
+            pool load-balanced across uneven trial durations).
+    """
+
+    def __init__(self, jobs: int = 0, chunk_size: int | None = None) -> None:
+        if jobs < 0:
+            raise HarnessError(f"jobs must be >= 0, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise HarnessError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+
+    def run(
+        self, trial: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        seeds = list(seeds)
+        if len(seeds) <= 1 or self.jobs <= 1:
+            return SerialExecutor().run(trial, seeds)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX fallback
+            return SerialExecutor().run(trial, seeds)
+        jobs = min(self.jobs, len(seeds))
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(seeds) / (jobs * 4))
+        )
+        chunks = [
+            seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
+        ]
+        results: List[T] = []
+        with ctx.Pool(
+            jobs, initializer=_worker_init, initargs=(trial,)
+        ) as pool:
+            # imap preserves chunk order and surfaces a failed chunk as
+            # soon as it completes, instead of after the whole sweep.
+            for part in pool.imap(_worker_chunk, chunks):
+                for ok, payload in part:
+                    if not ok:
+                        seed, detail = payload
+                        raise HarnessError(
+                            f"trial failed (seed={seed}): {detail}"
+                        )
+                    results.append(payload)
+        return results
+
+
+class BatchedExecutor:
+    """Vectorized trial-axis execution (``jobs='batch'``).
+
+    A trial callable opts in by carrying a ``run_batch`` attribute —
+    ``run_batch(seeds) -> list of per-seed results`` — implemented on
+    the sim layer's batched resolvers. Trials without one fall back to
+    the serial reference strategy, so a batched executor is always safe
+    to pass to heterogeneous experiments.
+    """
+
+    def run(
+        self, trial: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        seeds = list(seeds)
+        run_batch = getattr(trial, "run_batch", None)
+        if run_batch is None:
+            return SerialExecutor().run(trial, seeds)
+        try:
+            results = list(run_batch(seeds))
+        except HarnessError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — seed context
+            raise HarnessError(
+                f"batched trial failed (seeds={seeds}): {exc!r}"
+            ) from exc
+        if len(results) != len(seeds):
+            raise HarnessError(
+                f"batched trial returned {len(results)} results for "
+                f"{len(seeds)} seeds"
+            )
+        return results
+
+
+def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
+    """Map a ``jobs`` knob value to an executor.
+
+    Accepts ``None``/``1``/``"serial"`` (serial), an int ``>= 2``
+    (process pool of that size), ``0`` (one worker per CPU),
+    ``"batch"``/``"batched"`` (vectorized trial axis), or an existing
+    :class:`Executor` instance (returned as-is, so experiment functions
+    can thread one executor through every ``run_trials`` call).
+    """
+    if jobs is None:
+        return SerialExecutor()
+    if isinstance(jobs, str):
+        name = jobs.strip().lower()
+        if name == "serial":
+            return SerialExecutor()
+        if name in ("batch", "batched"):
+            return BatchedExecutor()
+        if name.isdigit():
+            return get_executor(int(name))
+        raise HarnessError(
+            f"unknown jobs value {jobs!r}; expected an int, 'serial', "
+            "or 'batch'"
+        )
+    if isinstance(jobs, int) and not isinstance(jobs, bool):
+        if jobs < 0:
+            raise HarnessError(f"jobs must be >= 0, got {jobs}")
+        if jobs == 1:
+            return SerialExecutor()
+        return ParallelExecutor(jobs=jobs)
+    if isinstance(jobs, Executor):
+        return jobs
+    raise HarnessError(f"unknown jobs value {jobs!r}")

@@ -9,13 +9,21 @@ baselines). Absolute constants are ours, not the paper's; shapes are
 comparable.
 
 All experiments take a ``trials`` knob (statistical confidence vs
-runtime) and a master ``seed`` and return an
-:class:`~repro.harness.runner.ExperimentTable`.
+runtime), a master ``seed``, and a ``jobs`` knob selecting the execution
+strategy for their Monte Carlo trials (see
+:mod:`repro.harness.executor`: ``None``/1 serial, ``>= 2`` process
+workers, ``"batch"`` vectorized where the trial is homogeneous), and
+return an :class:`~repro.harness.runner.ExperimentTable`. Strategy never
+changes rows — per-trial seeds are derived up front, so serial, parallel
+and batched runs of the same master seed are bit-identical.
+:func:`run_experiment` additionally offers a deterministic result cache
+(see :mod:`repro.harness.cache`).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -29,7 +37,6 @@ from repro.analysis import (
     hitting_game_floor,
     naive_broadcast_bound,
     naive_discovery_bound,
-    nd_lower_bound,
     success_rate,
     summarize,
     zeng_discovery_bound,
@@ -59,6 +66,8 @@ from repro.graphs import (
     random_regular,
     star,
 )
+from repro.harness.cache import load_table, store_table
+from repro.harness.executor import Executor, get_executor
 from repro.harness.runner import ExperimentTable, run_trials
 from repro.model.errors import HarnessError
 
@@ -66,18 +75,27 @@ __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 Row = Dict[str, object]
 
+Jobs = int | str | Executor | None
+
 
 # ----------------------------------------------------------------------
 # E1 — COUNT accuracy (Lemma 1)
 # ----------------------------------------------------------------------
-def experiment_e1(trials: int = 30, seed: int = 0) -> ExperimentTable:
+def experiment_e1(
+    trials: int = 30, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Lemma 1: COUNT estimates the broadcaster count within constants.
 
     One listener faces ``m`` broadcasters on a single channel; both
     estimation rules run over independent trials. The paper's guarantee
     is an estimate in ``[m, 4m]``; we report the median estimate/m ratio
     and the frequency of landing within a factor-4 band.
+
+    The trials at each sweep point are homogeneous (one topology, only
+    coins vary), so under ``jobs="batch"`` the whole trial axis resolves
+    through :func:`repro.core.count.run_count_step_batch` in one shot.
     """
+    executor = get_executor(jobs)
     rows: List[Row] = []
     rules = [
         ("argmax", ProtocolConstants(count_rule="argmax", count_round_slots=8.0)),
@@ -98,7 +116,8 @@ def experiment_e1(trials: int = 30, seed: int = 0) -> ExperimentTable:
             tx_role = np.ones(n, dtype=bool)
             tx_role[0] = False
 
-            def trial(s: int) -> float:
+            def trial(s: int, consts=consts, adj=adj, channels=channels,
+                      tx_role=tx_role) -> float:
                 rng = np.random.default_rng(s)
                 out = run_count_step(
                     adj,
@@ -111,7 +130,29 @@ def experiment_e1(trials: int = 30, seed: int = 0) -> ExperimentTable:
                 )
                 return float(out.estimates[0])
 
-            estimates = run_trials(trial, trials, seed, label=f"e1-{rule_name}-{m}")
+            def trial_batch(seeds, consts=consts, adj=adj,
+                            channels=channels, tx_role=tx_role):
+                from repro.core import run_count_step_batch
+
+                out = run_count_step_batch(
+                    adj,
+                    channels,
+                    tx_role,
+                    max_count=32,
+                    log_n=5,
+                    constants=consts,
+                    rngs=[np.random.default_rng(s) for s in seeds],
+                )
+                return [float(e) for e in out.estimates[:, 0]]
+
+            trial.run_batch = trial_batch
+            estimates = run_trials(
+                trial,
+                trials,
+                seed,
+                label=f"e1-{rule_name}-{m}",
+                executor=executor,
+            )
             ratios = [e / m for e in estimates]
             in_band = [m / 4 <= e <= 4 * m for e in estimates]
             from repro.core import count_schedule
@@ -143,7 +184,10 @@ def experiment_e1(trials: int = 30, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E2 — CSEEK scaling vs baselines (Theorem 4)
 # ----------------------------------------------------------------------
-def _discovery_times(net, trials: int, seed: int, label: str) -> Dict[str, object]:
+def _discovery_times(
+    net, trials: int, seed: int, label: str,
+    executor: Executor | None = None,
+) -> Dict[str, object]:
     """Measured completion slots + success rates for CSEEK and naive."""
 
     def cseek_trial(s: int):
@@ -157,8 +201,12 @@ def _discovery_times(net, trials: int, seed: int, label: str) -> Dict[str, objec
         report = nd.verify(result)
         return report.success, report.completion_slot, result.total_slots
 
-    cs = run_trials(cseek_trial, trials, seed, label=f"{label}-cseek")
-    nv = run_trials(naive_trial, trials, seed, label=f"{label}-naive")
+    cs = run_trials(
+        cseek_trial, trials, seed, label=f"{label}-cseek", executor=executor
+    )
+    nv = run_trials(
+        naive_trial, trials, seed, label=f"{label}-naive", executor=executor
+    )
     cs_done = [t for ok, t, _ in cs if ok and t is not None]
     nv_done = [t for ok, t, _ in nv if ok and t is not None]
     return {
@@ -175,16 +223,21 @@ def _discovery_times(net, trials: int, seed: int, label: str) -> Dict[str, objec
     }
 
 
-def experiment_e2(trials: int = 5, seed: int = 0) -> ExperimentTable:
+def experiment_e2(
+    trials: int = 5, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Theorem 4: CSEEK's c-, Delta- and k-scaling against the naive
     baseline and the analytic bound curves."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     # --- (a) sweep c with k, Delta fixed (need Delta * k <= c) ------
     for c in (8, 12, 16, 20):
         graph = random_regular(20, 4, seed=seed + c)
         net = build_network(graph, c=c, k=2, seed=seed + c)
         kn = net.knowledge()
-        stats = _discovery_times(net, trials, seed + c, f"e2c{c}")
+        stats = _discovery_times(
+            net, trials, seed + c, f"e2c{c}", executor=executor
+        )
         rows.append(
             {
                 "sweep": "c",
@@ -206,7 +259,8 @@ def experiment_e2(trials: int = 5, seed: int = 0) -> ExperimentTable:
         kn = net.knowledge()
         point_trials = trials if delta < 128 else min(trials, 2)
         stats = _discovery_times(
-            net, point_trials, seed + 100 + delta, f"e2d{delta}"
+            net, point_trials, seed + 100 + delta, f"e2d{delta}",
+            executor=executor,
         )
         rows.append(
             {
@@ -229,7 +283,9 @@ def experiment_e2(trials: int = 5, seed: int = 0) -> ExperimentTable:
         graph = random_regular(20, 4, seed=seed + 7)
         net = build_network(graph, c=16, k=k, seed=seed + k)
         kn = net.knowledge()
-        stats = _discovery_times(net, trials, seed + 200 + k, f"e2k{k}")
+        stats = _discovery_times(
+            net, trials, seed + 200 + k, f"e2k{k}", executor=executor
+        )
         rows.append(
             {
                 "sweep": "k",
@@ -296,9 +352,12 @@ def experiment_e2(trials: int = 5, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E3 — part-one vs part-two discovery split (Lemmas 2 and 3)
 # ----------------------------------------------------------------------
-def experiment_e3(trials: int = 5, seed: int = 0) -> ExperimentTable:
+def experiment_e3(
+    trials: int = 5, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Lemma 2/3: part one suffices on un-crowded channels; on crowded
     channels part two's density-weighted listening does the work."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     # (a) full budgets: Lemma 2 says part one alone already finds
     # everything when channels are un-crowded.
@@ -332,7 +391,9 @@ def experiment_e3(trials: int = 5, seed: int = 0) -> ExperimentTable:
             )
             return part1 / total_pairs, both / total_pairs
 
-        outcomes = run_trials(trial, trials, seed, label=f"e3-{name}")
+        outcomes = run_trials(
+            trial, trials, seed, label=f"e3-{name}", executor=executor
+        )
         rows.append(
             {
                 "workload": name,
@@ -370,7 +431,9 @@ def experiment_e3(trials: int = 5, seed: int = 0) -> ExperimentTable:
             )
             return part1 / total_pairs, both / total_pairs
 
-        outcomes = run_trials(trial, trials, seed + 5, label=f"e3b-{policy}")
+        outcomes = run_trials(
+            trial, trials, seed + 5, label=f"e3b-{policy}", executor=executor
+        )
         rows.append(
             {
                 "workload": "starved part one, crowded star",
@@ -399,8 +462,11 @@ def experiment_e3(trials: int = 5, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E4 — CKSEEK filter (Theorem 6)
 # ----------------------------------------------------------------------
-def experiment_e4(trials: int = 5, seed: int = 0) -> ExperimentTable:
+def experiment_e4(
+    trials: int = 5, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Theorem 6: k-hat discovery gets strictly cheaper as k-hat grows."""
+    executor = get_executor(jobs)
     graph = random_regular(20, 4, seed=seed + 3)
     net = build_network(
         graph, c=16, k=2, seed=seed + 3, kind="heterogeneous", kmax=4
@@ -416,7 +482,9 @@ def experiment_e4(trials: int = 5, seed: int = 0) -> ExperimentTable:
             report = verify_k_discovery(result, net, khat=khat)
             return report.success, result.total_slots
 
-        outcomes = run_trials(trial, trials, seed + khat, label=f"e4-{khat}")
+        outcomes = run_trials(
+            trial, trials, seed + khat, label=f"e4-{khat}", executor=executor
+        )
         rows.append(
             {
                 "khat": khat,
@@ -445,9 +513,12 @@ def experiment_e4(trials: int = 5, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E5 — Luby line-graph coloring (Lemma 8)
 # ----------------------------------------------------------------------
-def experiment_e5(trials: int = 8, seed: int = 0) -> ExperimentTable:
+def experiment_e5(
+    trials: int = 8, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Lemma 8: 2*Delta-coloring completes in O(lg n) phases, always
     proper."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     for n in (8, 16, 32, 64, 128):
         graph = random_regular(n, 4, seed=seed + n)
@@ -462,7 +533,9 @@ def experiment_e5(trials: int = 8, seed: int = 0) -> ExperimentTable:
             )
             return valid, result.phases_used
 
-        outcomes = run_trials(trial, trials, seed + n, label=f"e5-{n}")
+        outcomes = run_trials(
+            trial, trials, seed + n, label=f"e5-{n}", executor=executor
+        )
         rows.append(
             {
                 "n": n,
@@ -495,9 +568,12 @@ def experiment_e5(trials: int = 8, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E6 — CGCAST scaling vs naive broadcast (Theorem 9)
 # ----------------------------------------------------------------------
-def experiment_e6(trials: int = 3, seed: int = 0) -> ExperimentTable:
+def experiment_e6(
+    trials: int = 3, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Theorem 9: CGCAST's per-hop dissemination cost is O~(Delta) while
     naive broadcast pays O~(c^2/k) per hop."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     for num_cliques in (2, 4, 8, 12):
         graph = path_of_cliques(num_cliques, 4)
@@ -516,8 +592,14 @@ def experiment_e6(trials: int = 3, seed: int = 0) -> ExperimentTable:
             result = NaiveBroadcast(net, source=0, seed=s).run()
             return result.success, result.completion_slot
 
-        cg = run_trials(cg_trial, trials, seed + num_cliques, label="e6cg")
-        nv = run_trials(nv_trial, trials, seed + num_cliques, label="e6nv")
+        cg = run_trials(
+            cg_trial, trials, seed + num_cliques, label="e6cg",
+            executor=executor,
+        )
+        nv = run_trials(
+            nv_trial, trials, seed + num_cliques, label="e6nv",
+            executor=executor,
+        )
         cg_diss = [d for ok, d, _ in cg if ok]
         nv_done = [t for ok, t in nv if ok and t is not None]
         cg_mean = summarize(cg_diss).mean if cg_diss else None
@@ -584,7 +666,9 @@ def experiment_e6(trials: int = 3, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E7 — hitting-game lower bounds (Lemmas 10 and 12)
 # ----------------------------------------------------------------------
-def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
+def experiment_e7(
+    trials: int = 30, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Lemmas 10/12: measured hitting times sit above the game floors."""
     from repro.lowerbounds import (
         FreshRandomPlayer,
@@ -593,6 +677,7 @@ def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
         play,
     )
 
+    executor = get_executor(jobs)
     rows: List[Row] = []
     for c in (8, 16, 32):
         for k in (1, 2, 4):
@@ -613,7 +698,11 @@ def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
                     return transcript.rounds
 
                 rounds = run_trials(
-                    trial, trials, seed + c * 10 + k, label=f"e7-{player_name}"
+                    trial,
+                    trials,
+                    seed + c * 10 + k,
+                    label=f"e7-{player_name}",
+                    executor=executor,
                 )
                 floor = hitting_game_floor(c, k) if k <= c / 2 else None
                 rows.append(
@@ -637,7 +726,9 @@ def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
             transcript = play(game, _FRP(seed=s + 1))
             return transcript.rounds
 
-        rounds = run_trials(trial, trials, seed + c, label="e7-complete")
+        rounds = run_trials(
+            trial, trials, seed + c, label="e7-complete", executor=executor
+        )
         rows.append(
             {
                 "c": c,
@@ -665,12 +756,15 @@ def experiment_e7(trials: int = 30, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E8 — the reduction and Theorem 13
 # ----------------------------------------------------------------------
-def experiment_e8(trials: int = 15, seed: int = 0) -> ExperimentTable:
+def experiment_e8(
+    trials: int = 15, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Lemma 11 + Theorem 13: discovery algorithms, played through the
     reduction, respect the game floor; stars enforce the Omega(Delta)
     term."""
     from repro.lowerbounds import CSeekReductionPlayer, HittingGame, play
 
+    executor = get_executor(jobs)
     rows: List[Row] = []
     for c in (8, 16, 32):
         k = 2
@@ -684,7 +778,9 @@ def experiment_e8(trials: int = 15, seed: int = 0) -> ExperimentTable:
                 raise HarnessError("reduction player failed to meet")
             return transcript.rounds
 
-        rounds = run_trials(trial, trials, seed + c, label=f"e8-{c}")
+        rounds = run_trials(
+            trial, trials, seed + c, label=f"e8-{c}", executor=executor
+        )
         player = CSeekReductionPlayer(k=k, seed=0)
         rows.append(
             {
@@ -707,7 +803,11 @@ def experiment_e8(trials: int = 15, seed: int = 0) -> ExperimentTable:
             return report.success, report.completion_slot
 
         outcomes = run_trials(
-            star_trial, max(3, trials // 3), seed + delta, label="e8-star"
+            star_trial,
+            max(3, trials // 3),
+            seed + delta,
+            label="e8-star",
+            executor=executor,
         )
         done = [t for ok, t in outcomes if ok and t is not None]
         rows.append(
@@ -735,9 +835,12 @@ def experiment_e8(trials: int = 15, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E9 — broadcast lower bound on trees (Theorem 14)
 # ----------------------------------------------------------------------
-def experiment_e9(trials: int = 3, seed: int = 0) -> ExperimentTable:
+def experiment_e9(
+    trials: int = 3, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Theorem 14: channel-disjoint trees force min(c, Delta)-1 slots per
     hop on any broadcast, CGCAST included."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     c = 4
     for depth in (2, 3, 4):
@@ -754,8 +857,12 @@ def experiment_e9(trials: int = 3, seed: int = 0) -> ExperimentTable:
             result = NaiveBroadcast(net, source=0, seed=s).run()
             return result.success, result.completion_slot
 
-        cg = run_trials(cg_trial, trials, seed + depth, label="e9cg")
-        nv = run_trials(nv_trial, trials, seed + depth, label="e9nv")
+        cg = run_trials(
+            cg_trial, trials, seed + depth, label="e9cg", executor=executor
+        )
+        nv = run_trials(
+            nv_trial, trials, seed + depth, label="e9nv", executor=executor
+        )
         cg_done = [d for ok, d in cg if ok]
         nv_done = [t for ok, t in nv if ok and t is not None]
         rows.append(
@@ -792,10 +899,13 @@ def experiment_e9(trials: int = 3, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E10 — heterogeneity + part-two ablation (Section 7)
 # ----------------------------------------------------------------------
-def experiment_e10(trials: int = 5, seed: int = 0) -> ExperimentTable:
+def experiment_e10(
+    trials: int = 5, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Section 7: CSEEK's part two is biased toward strongly overlapping
     neighbors — the source of the upper/lower bound gap when
     kmax >> k."""
+    executor = get_executor(jobs)
     rows: List[Row] = []
     # (a) under starved budgets, discovery probability splits by pair
     # class: high-overlap (k_uv = kmax) pairs are found far more often
@@ -827,7 +937,9 @@ def experiment_e10(trials: int = 5, seed: int = 0) -> ExperimentTable:
             ) / (2 * len(hi_pairs))
             return lo, hi
 
-        outcomes = run_trials(trial, trials, seed + kmax, label=f"e10h{kmax}")
+        outcomes = run_trials(
+            trial, trials, seed + kmax, label=f"e10h{kmax}", executor=executor
+        )
         lo_mean = summarize([a for a, _ in outcomes]).mean
         hi_mean = summarize([b for _, b in outcomes]).mean
         rows.append(
@@ -855,7 +967,11 @@ def experiment_e10(trials: int = 5, seed: int = 0) -> ExperimentTable:
             return report.success, result.total_slots
 
         outcomes = run_trials(
-            full_trial, trials, seed + 40 + kmax, label=f"e10f{kmax}"
+            full_trial,
+            trials,
+            seed + 40 + kmax,
+            label=f"e10f{kmax}",
+            executor=executor,
         )
         rows.append(
             {
@@ -887,12 +1003,15 @@ def experiment_e10(trials: int = 5, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E11 — amortized repeated broadcast (extension; Theorem 9's regime)
 # ----------------------------------------------------------------------
-def experiment_e11(trials: int = 3, seed: int = 0) -> ExperimentTable:
+def experiment_e11(
+    trials: int = 3, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Extension: CGCAST's setup is reusable, so over repeated
     broadcasts its per-message cost drops to the dissemination stage
     while naive flooding pays full price every time."""
     from repro.core import redisseminate
 
+    executor = get_executor(jobs)
     # c^2/k = 256 >> Delta = 4: the regime where the per-hop advantage
     # of the colored schedule is unambiguous.
     graph = path_of_cliques(8, 4)
@@ -923,7 +1042,9 @@ def experiment_e11(trials: int = 3, seed: int = 0) -> ExperimentTable:
         naive_per_message.insert(0, nv0.completion_slot)
         return setup_slots, per_message, naive_per_message
 
-    outcomes = [o for o in run_trials(trial, trials, seed) if o]
+    outcomes = [
+        o for o in run_trials(trial, trials, seed, executor=executor) if o
+    ]
     if not outcomes:
         raise HarnessError("no successful E11 trial")
     rows: List[Row] = []
@@ -989,7 +1110,9 @@ def experiment_e11(trials: int = 3, seed: int = 0) -> ExperimentTable:
 # ----------------------------------------------------------------------
 # E12 — primary-user interference robustness (extension)
 # ----------------------------------------------------------------------
-def experiment_e12(trials: int = 4, seed: int = 0) -> ExperimentTable:
+def experiment_e12(
+    trials: int = 4, seed: int = 0, jobs: Jobs = None
+) -> ExperimentTable:
     """Extension: discovery under primary-user channel occupancy.
 
     The paper motivates heterogeneous availability with licensed
@@ -1000,6 +1123,7 @@ def experiment_e12(trials: int = 4, seed: int = 0) -> ExperimentTable:
     """
     from repro.sim import PrimaryUserTraffic
 
+    executor = get_executor(jobs)
     graph = random_regular(20, 4, seed=seed + 7)
     net = build_network(graph, c=8, k=2, seed=seed + 11)
     all_channels = sorted(net.assignment.universe())
@@ -1026,7 +1150,11 @@ def experiment_e12(trials: int = 4, seed: int = 0) -> ExperimentTable:
             return report.success, report.completion_slot
 
         outcomes = run_trials(
-            trial, trials, seed + int(activity * 10), label=f"e12-{name}"
+            trial,
+            trials,
+            seed + int(activity * 10),
+            label=f"e12-{name}",
+            executor=executor,
         )
         done = [t for ok, t in outcomes if ok and t is not None]
         rows.append(
@@ -1075,9 +1203,26 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(
-    experiment_id: str, trials: int | None = None, seed: int = 0
+    experiment_id: str,
+    trials: int | None = None,
+    seed: int = 0,
+    jobs: Jobs = None,
+    cache: bool = False,
+    cache_dir: str | None = None,
 ) -> ExperimentTable:
     """Run one experiment by id.
+
+    Args:
+        experiment_id: DESIGN.md index id (case-insensitive).
+        trials: Trials per configuration (None = experiment default).
+        seed: Master seed.
+        jobs: Execution strategy for the Monte Carlo trials (see
+            :func:`repro.harness.executor.get_executor`); never changes
+            the produced rows, only wall-clock.
+        cache: When True, look the table up in (and store it into) the
+            deterministic result cache — keyed on experiment id, trials,
+            seed and code version, *not* on ``jobs``.
+        cache_dir: Cache location override (default ``.repro_cache/``).
 
     Raises:
         HarnessError: for unknown ids.
@@ -1088,7 +1233,24 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; valid: "
             f"{', '.join(EXPERIMENTS)}"
         )
-    kwargs = {"seed": seed}
+    if cache:
+        cached = load_table(key, trials, seed, cache_dir=cache_dir)
+        if cached is not None:
+            return cached
+    kwargs: Dict[str, object] = {"seed": seed}
     if trials is not None:
         kwargs["trials"] = trials
-    return EXPERIMENTS[key](**kwargs)
+    if jobs is not None:
+        kwargs["jobs"] = jobs
+    table = EXPERIMENTS[key](**kwargs)
+    if cache:
+        try:
+            store_table(table, trials, seed, cache_dir=cache_dir)
+        except OSError as exc:
+            # The cache is an optimization; never lose a computed table
+            # to an unwritable cache location.
+            warnings.warn(
+                f"could not store {key} in the result cache: {exc}",
+                stacklevel=2,
+            )
+    return table

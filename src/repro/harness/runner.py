@@ -3,15 +3,21 @@
 An :class:`ExperimentTable` is the standard deliverable of every
 experiment: an id (matching DESIGN.md's index), a title, flat dict rows,
 and free-text notes interpreting the rows against the paper's claim.
-:func:`run_trials` standardizes seeded repetition.
+:func:`run_trials` standardizes seeded repetition: per-trial seeds are
+derived up front from the master seed, then handed to a pluggable
+:class:`~repro.harness.executor.Executor` (serial, process-parallel, or
+vectorized-batch — see :mod:`repro.harness.executor`). Because each
+trial is a pure function of its seed, every strategy yields bit-identical
+results; ``jobs``/executor choice is throughput only.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
+from repro.harness.executor import Executor, get_executor
 from repro.harness.tables import render_markdown, write_csv
 from repro.model.errors import HarnessError
 from repro.sim.rng import RngHub
@@ -70,19 +76,31 @@ def run_trials(
     trials: int,
     seed: int,
     label: str = "trials",
+    executor: "Executor | int | str | None" = None,
 ) -> List[T]:
     """Run ``trial`` with ``trials`` independent derived seeds.
 
     Args:
-        trial: Callable taking a trial seed.
+        trial: Callable taking a trial seed. A ``run_batch`` attribute
+            (``run_batch(seeds) -> results``) opts the trial into
+            vectorized execution under a batched executor.
         trials: Number of repetitions (``>= 1``).
         seed: Master seed; per-trial seeds derive deterministically.
         label: Seed-stream label (vary to decorrelate phases).
+        executor: Execution strategy — an
+            :class:`~repro.harness.executor.Executor` or any ``jobs``
+            value :func:`~repro.harness.executor.get_executor` accepts
+            (default: serial). Strategy never changes results, only
+            wall-clock.
 
     Returns:
         The list of per-trial results, in trial order.
+
+    Raises:
+        HarnessError: eagerly, naming the trial seed, when any trial
+            raises mid-sweep.
     """
     if trials < 1:
         raise HarnessError(f"trials must be >= 1, got {trials}")
     seeds = RngHub(seed).spawn_seeds(trials, name=label)
-    return [trial(s) for s in seeds]
+    return get_executor(executor).run(trial, seeds)

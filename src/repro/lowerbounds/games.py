@@ -21,7 +21,7 @@ j" (see :mod:`repro.lowerbounds.reduction`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -1,10 +1,12 @@
 """Synchronous slot-level simulation engine."""
 
 from repro.sim.engine import (
+    BatchStepOutcome,
     SlotOutcome,
     StepOutcome,
     resolve_slot,
     resolve_step,
+    resolve_step_batch,
     resolve_varying,
 )
 from repro.sim.interference import PrimaryUserTraffic
@@ -14,6 +16,7 @@ from repro.sim.rng import RngHub
 from repro.sim.trace import ReceptionEvent, TraceRecorder
 
 __all__ = [
+    "BatchStepOutcome",
     "CRNetwork",
     "PrimaryUserTraffic",
     "ReceptionEvent",
@@ -24,5 +27,6 @@ __all__ = [
     "TraceRecorder",
     "resolve_slot",
     "resolve_step",
+    "resolve_step_batch",
     "resolve_varying",
 ]

@@ -11,7 +11,7 @@ pure functions over numpy arrays:
   indistinguishable (no collision detection);
 * broadcasters receive nothing (they only "hear" their own message).
 
-Two entry points:
+Three entry points:
 
 :func:`resolve_slot`
     One slot with explicit per-node channel and broadcast decisions.
@@ -21,6 +21,15 @@ Two entry points:
     structure of COUNT rounds and of CSEEK part-two back-off windows).
     Resolved with two matrix products, which is what makes full protocol
     executions tractable in pure Python.
+:func:`resolve_step_batch`
+    A *trial axis* on top of :func:`resolve_step`: ``B`` independent
+    Monte Carlo trials of the same step, sharing one adjacency, resolved
+    with a single batched matmul/einsum over ``(B, T, n)`` coins. This
+    is the vectorized backbone of homogeneous-trial experiments (E1's
+    COUNT sweeps, isolated CSEEK back-off windows), where the per-trial
+    loop — not the per-slot loop — is the hot path. Entry ``[b]`` of the
+    result is bit-identical to a serial :func:`resolve_step` call on
+    trial ``b``'s inputs.
 
 Identity convention: nodes are identified by their index ``0 .. n-1``;
 ``-1`` means "heard nothing" (silence or collision) in outputs and
@@ -36,10 +45,12 @@ import numpy as np
 from repro.model.errors import ProtocolError
 
 __all__ = [
+    "BatchStepOutcome",
     "SlotOutcome",
     "StepOutcome",
     "resolve_slot",
     "resolve_step",
+    "resolve_step_batch",
     "resolve_varying",
 ]
 
@@ -81,13 +92,54 @@ class StepOutcome:
         return int(self.heard_from.shape[0])
 
     def heard_sets(self) -> list[set[int]]:
-        """Per-node sets of distinct senders heard during the step."""
+        """Per-node sets of distinct senders heard during the step.
+
+        Vectorized: one ``nonzero`` + ``unique`` over the receptions
+        instead of a per-node column scan, so the cost scales with the
+        number of receptions rather than ``T * n``.
+        """
         n = self.heard_from.shape[1]
-        out: list[set[int]] = []
-        for u in range(n):
-            col = self.heard_from[:, u]
-            out.append(set(int(s) for s in col[col >= 0]))
-        return out
+        slots, listeners = np.nonzero(self.heard_from >= 0)
+        senders = self.heard_from[slots, listeners]
+        pairs = np.unique(
+            np.stack([listeners, senders.astype(np.int64)], axis=1), axis=0
+        )
+        # pairs is lexicographically sorted, so each listener's senders
+        # form a contiguous block.
+        splits = np.searchsorted(pairs[:, 0], np.arange(1, n))
+        return [
+            set(group.tolist())
+            for group in np.split(pairs[:, 1], splits)
+        ]
+
+
+@dataclass(frozen=True)
+class BatchStepOutcome:
+    """Result of ``B`` independent trials of a fixed-channel step.
+
+    Attributes:
+        heard_from: ``(B, T, n)`` int array; entry ``[b, t, u]`` is the
+            sender ``u`` received in slot ``t`` of trial ``b``, or ``-1``.
+        contenders: ``(B, T, n)`` int array of broadcasting-neighbor
+            counts (ground-truth diagnostic).
+    """
+
+    heard_from: np.ndarray
+    contenders: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.heard_from.shape[0])
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.heard_from.shape[1])
+
+    def trial(self, b: int) -> StepOutcome:
+        """Trial ``b``'s slice as a plain :class:`StepOutcome`."""
+        return StepOutcome(
+            heard_from=self.heard_from[b], contenders=self.contenders[b]
+        )
 
 
 def _validate_common(
@@ -191,21 +243,131 @@ def resolve_step(
             f"jam must have shape {coins.shape}, got {jam.shape}"
         )
     reach = _reception_matrix(adjacency, channels, tx_role)
-    reach_int = reach.astype(np.int64)
-    coins_int = coins.astype(np.int64)
+    # float64 matmul dispatches to BLAS (numpy's int64 path does not);
+    # every operand is a 0/1 coin or an id < n, so all products and sums
+    # are integers < n^2 << 2^53 — exact in float64, and the int64 cast
+    # below is lossless.
+    reach_f = reach.astype(np.float64)
+    coins_f = coins.astype(np.float64)
     # contenders[t, u] = number of u's neighbors transmitting on u's
     # channel in slot t.
-    contenders = coins_int @ reach_int.T
+    contenders = (coins_f @ reach_f.T).astype(np.int64)
     # id-sum trick: when exactly one neighbor transmits, the weighted sum
     # of transmitting-neighbor ids *is* the sender's id.
-    ids = np.arange(n, dtype=np.int64)
-    idsum = coins_int @ (reach_int * ids[None, :]).T
+    ids = np.arange(n, dtype=np.float64)
+    idsum = (coins_f @ (reach_f * ids[None, :]).T).astype(np.int64)
     listeners = (channels >= 0) & ~tx_role
     receivable = listeners[None, :] & (contenders == 1)
     if jam is not None:
         receivable &= ~jam
-    heard = np.where(receivable, idsum, -1).astype(np.int64)
+    heard = np.where(receivable, idsum, np.int64(-1))
     return StepOutcome(heard_from=heard, contenders=contenders)
+
+
+def resolve_step_batch(
+    adjacency: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    coins: np.ndarray,
+    jam: np.ndarray | None = None,
+) -> BatchStepOutcome:
+    """Resolve ``B`` independent trials of a step in one shot.
+
+    All trials share one adjacency matrix; channels and roles are either
+    shared by every trial (1-D inputs — the homogeneous fast path: the
+    trial and slot axes flatten into one blocked GEMM) or per-trial (2-D
+    inputs, resolved with one einsum over per-trial reception masks).
+    Per-slot coins always vary per trial.
+
+    Args:
+        adjacency: ``(n, n)`` boolean adjacency matrix, shared by all
+            trials.
+        channels: ``(n,)`` shared or ``(B, n)`` per-trial global channel
+            per node, ``-1`` for idle.
+        tx_role: ``(n,)`` shared or ``(B, n)`` per-trial broadcaster
+            roles.
+        coins: ``(B, T, n)`` boolean per-trial per-slot transmission
+            coins.
+        jam: Optional ``(B, T, n)`` boolean reception-kill mask.
+
+    Returns:
+        A :class:`BatchStepOutcome`; slice ``b`` is bit-identical to
+        ``resolve_step`` on trial ``b``'s inputs.
+    """
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ProtocolError(
+            f"adjacency must be square, got shape {adjacency.shape}"
+        )
+    n = adjacency.shape[0]
+    if coins.ndim != 3 or coins.shape[2] != n:
+        raise ProtocolError(
+            f"coins must have shape (B, T, {n}), got {coins.shape}"
+        )
+    b = coins.shape[0]
+    if channels.shape not in ((n,), (b, n)):
+        raise ProtocolError(
+            f"channels must have shape ({n},) or ({b}, {n}), "
+            f"got {channels.shape}"
+        )
+    if tx_role.shape not in ((n,), (b, n)):
+        raise ProtocolError(
+            f"tx_role must have shape ({n},) or ({b}, {n}), "
+            f"got {tx_role.shape}"
+        )
+    if jam is not None and jam.shape != coins.shape:
+        raise ProtocolError(
+            f"jam must have shape {coins.shape}, got {jam.shape}"
+        )
+    t_slots = coins.shape[1]
+    ids = np.arange(n, dtype=np.float64)
+    if channels.ndim == 1 and tx_role.ndim == 1:
+        # Homogeneous trials: one shared (n, n) reception mask; the
+        # trial and slot axes flatten into one (B*T, n) GEMM, processed
+        # in row blocks that stay cache-resident (a single huge GEMM
+        # with this skinny inner dimension is memory-bound and loses).
+        # Same exact-integers-in-float64 argument as resolve_step.
+        reach_f = _reception_matrix(adjacency, channels, tx_role).astype(
+            np.float64
+        )
+        reach_ids = reach_f * ids[None, :]
+        flat = coins.reshape(b * t_slots, n)
+        contenders = np.empty((b * t_slots, n), dtype=np.int64)
+        idsum = np.empty((b * t_slots, n), dtype=np.int64)
+        rows = 16384
+        for i in range(0, b * t_slots, rows):
+            block = flat[i : i + rows].astype(np.float64)
+            contenders[i : i + rows] = (block @ reach_f.T).astype(np.int64)
+            idsum[i : i + rows] = (block @ reach_ids.T).astype(np.int64)
+        contenders = contenders.reshape(b, t_slots, n)
+        idsum = idsum.reshape(b, t_slots, n)
+        listeners = (channels >= 0) & ~tx_role
+        receivable = listeners[None, None, :] & (contenders == 1)
+    else:
+        channels2 = np.broadcast_to(np.atleast_2d(channels), (b, n))
+        tx_role2 = np.broadcast_to(np.atleast_2d(tx_role), (b, n))
+        tuned = channels2 >= 0
+        # reach[b, u, v]: v's trial-b broadcasts reach u.
+        reach = (
+            (channels2[:, :, None] == channels2[:, None, :])
+            & adjacency[None, :, :]
+            & tuned[:, :, None]
+            & tuned[:, None, :]
+            & tx_role2[:, None, :]
+        )
+        reach_f = reach.astype(np.float64)
+        coins_f = coins.astype(np.float64)
+        contenders = np.einsum("btv,buv->btu", coins_f, reach_f).astype(
+            np.int64
+        )
+        idsum = np.einsum(
+            "btv,buv->btu", coins_f, reach_f * ids[None, None, :]
+        ).astype(np.int64)
+        listeners = tuned & ~tx_role2
+        receivable = listeners[:, None, :] & (contenders == 1)
+    if jam is not None:
+        receivable = receivable & ~jam
+    heard = np.where(receivable, idsum, np.int64(-1))
+    return BatchStepOutcome(heard_from=heard, contenders=contenders)
 
 
 def resolve_varying(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CGCast, ProtocolConstants
+from repro.core import CGCast
 from repro.model import ProtocolError
 
 

@@ -24,6 +24,25 @@ class TestParser:
         assert args.trials == 3
         assert args.seed == 9
         assert args.out == "o"
+        assert args.jobs is None
+        assert args.cache is False
+
+    def test_jobs_accepts_ints_and_strategy_names(self):
+        parse = build_parser().parse_args
+        assert parse(["run", "E1", "--jobs", "4"]).jobs == 4
+        assert parse(["run", "E1", "--jobs", "batch"]).jobs == "batch"
+        assert parse(["run", "E1", "--jobs", "serial"]).jobs == "serial"
+
+    def test_jobs_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--jobs", "fast"])
+
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E1", "--cache", "--cache-dir", "c"]
+        )
+        assert args.cache is True
+        assert args.cache_dir == "c"
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -50,3 +69,25 @@ class TestMain:
         assert (tmp_path / "e1.csv").exists()
         out = capsys.readouterr().out
         assert "COUNT accuracy" in out
+
+    @pytest.mark.integration
+    def test_run_with_jobs_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "run",
+            "E1",
+            "--trials",
+            "2",
+            "--jobs",
+            "2",
+            "--cache",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(argv) == 0
+        assert list(cache_dir.glob("e1-*.json"))
+        first = capsys.readouterr().out
+        # Second invocation replays from the cache.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]

@@ -147,3 +147,45 @@ class TestConcurrentChannels:
         assert out.estimates[2] > 0
         assert out.step.heard_sets()[0] == {1}
         assert out.step.heard_sets()[2] == {3}
+
+
+class TestBatchedCount:
+    @pytest.mark.parametrize("rule", ["argmax", "first_crossing"])
+    def test_batch_matches_serial_per_trial(self, rule):
+        from repro.core import run_count_step_batch
+
+        consts = ProtocolConstants(count_rule=rule, count_round_slots=8.0)
+        adj, channels, tx_role = star_setup(4)
+        seeds = [11, 12, 13]
+        batch = run_count_step_batch(
+            adj, channels, tx_role,
+            max_count=8, log_n=4, constants=consts,
+            rngs=[np.random.default_rng(s) for s in seeds],
+        )
+        assert batch.num_trials == len(seeds)
+        for b, s in enumerate(seeds):
+            ref = run_count_step(
+                adj, channels, tx_role,
+                max_count=8, log_n=4, constants=consts,
+                rng=np.random.default_rng(s),
+            )
+            assert np.array_equal(batch.estimates[b], ref.estimates)
+            assert np.array_equal(
+                batch.round_receptions[b], ref.round_receptions
+            )
+            sliced = batch.trial(b)
+            assert np.array_equal(
+                sliced.step.heard_from, ref.step.heard_from
+            )
+            assert sliced.num_slots == ref.num_slots
+
+    def test_rejects_empty_rngs(self):
+        from repro.core import run_count_step_batch
+
+        adj, channels, tx_role = star_setup(2)
+        with pytest.raises(ProtocolError):
+            run_count_step_batch(
+                adj, channels, tx_role,
+                max_count=4, log_n=3,
+                constants=ProtocolConstants(), rngs=[],
+            )

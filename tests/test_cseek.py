@@ -149,3 +149,44 @@ class TestVerifyDiscovery:
         report = verify_discovery(result, small_regular_net)
         assert report.completion_slot is not None
         assert report.completion_slot < result.total_slots
+
+
+class TestBackoffBatch:
+    def test_batch_matches_serial_windows(self):
+        import numpy as np
+
+        from repro.core.cseek import backoff_probabilities, resolve_backoff_batch
+        from repro.sim.engine import resolve_step
+
+        rng = np.random.default_rng(5)
+        n, backoff_len = 12, 4
+        adj = rng.random((n, n)) < 0.4
+        adj = np.triu(adj, 1)
+        adj = adj | adj.T
+        channels = rng.integers(0, 3, size=n)
+        tx_role = rng.random(n) < 0.5
+        seeds = [3, 4, 5]
+        batch = resolve_backoff_batch(
+            adj, channels, tx_role, backoff_len,
+            [np.random.default_rng(s) for s in seeds],
+        )
+        probs = backoff_probabilities(backoff_len)
+        for b, s in enumerate(seeds):
+            coins = (
+                np.random.default_rng(s).random((backoff_len, n))
+                < probs[:, None]
+            )
+            ref = resolve_step(adj, channels, tx_role, coins)
+            assert np.array_equal(batch.heard_from[b], ref.heard_from)
+
+    def test_backoff_probabilities_shape(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.cseek import backoff_probabilities
+        from repro.model import ProtocolError
+
+        probs = backoff_probabilities(3)
+        assert np.allclose(probs, [1 / 8, 1 / 4, 1 / 2])
+        with pytest.raises(ProtocolError):
+            backoff_probabilities(0)

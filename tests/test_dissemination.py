@@ -1,6 +1,5 @@
 """Unit tests for the color-scheduled dissemination stage."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

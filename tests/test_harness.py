@@ -1,14 +1,18 @@
-"""Unit tests for the experiment harness (tables, runner, registry)."""
+"""Unit tests for the experiment harness (tables, runner, registry,
+executors, and the result cache)."""
 
 import pytest
 
 from repro.harness import (
     EXPERIMENTS,
     ExperimentTable,
+    cache_key,
     experiment_ids,
+    load_table,
     render_markdown,
     run_experiment,
     run_trials,
+    store_table,
     write_csv,
 )
 from repro.model import HarnessError
@@ -95,6 +99,143 @@ class TestRunTrials:
     def test_rejects_zero_trials(self):
         with pytest.raises(HarnessError):
             run_trials(lambda s: s, trials=0, seed=0)
+
+    def test_failure_surfaces_the_trial_seed(self):
+        # A trial raising mid-sweep must name the seed that failed so
+        # the failure is reproducible in isolation.
+        seen = []
+
+        def flaky(s):
+            seen.append(s)
+            if len(seen) == 3:
+                raise ValueError("third trial dies")
+            return s
+
+        with pytest.raises(HarnessError) as excinfo:
+            run_trials(flaky, trials=5, seed=12)
+        assert f"seed={seen[2]}" in str(excinfo.value)
+
+    def test_harness_errors_keep_seed_context(self):
+        def refusing(s):
+            raise HarnessError("player failed")
+
+        with pytest.raises(HarnessError, match=r"seed=\d+.*player failed"):
+            run_trials(refusing, trials=1, seed=3)
+
+
+class TestExecutionEquivalence:
+    """Same master seed => identical rows, whatever the strategy.
+
+    Per-trial seeds are derived up front (RngHub.spawn_seeds), so the
+    execution strategy must be a pure throughput decision; these tests
+    pin that contract at the run_trials and run_experiment levels.
+    """
+
+    def test_run_trials_strategies_bit_identical(self):
+        import numpy as np
+
+        def trial(s):
+            return float(np.random.default_rng(s).random())
+
+        def run_batch(seeds):
+            return [float(np.random.default_rng(s).random()) for s in seeds]
+
+        trial.run_batch = run_batch
+        serial = run_trials(trial, 12, seed=7)
+        parallel = run_trials(trial, 12, seed=7, executor=2)
+        batched = run_trials(trial, 12, seed=7, executor="batch")
+        assert serial == parallel == batched
+
+    @pytest.mark.integration
+    def test_e1_rows_identical_across_strategies(self):
+        # E1 exercises the full stack: run_count_step_batch under
+        # "batch", fork workers under jobs=2, and the serial reference.
+        serial = run_experiment("E1", trials=4, seed=9)
+        parallel = run_experiment("E1", trials=4, seed=9, jobs=2)
+        batched = run_experiment("E1", trials=4, seed=9, jobs="batch")
+        assert serial.rows == parallel.rows
+        assert serial.rows == batched.rows
+
+    @pytest.mark.integration
+    def test_e7_rows_identical_serial_vs_parallel(self):
+        serial = run_experiment("E7", trials=4, seed=2)
+        parallel = run_experiment("E7", trials=4, seed=2, jobs=2)
+        assert serial.rows == parallel.rows
+
+
+class TestResultCache:
+    def make(self):
+        return ExperimentTable(
+            experiment_id="EX",
+            title="demo",
+            rows=[{"x": 1, "y": 2.5, "z": None, "w": "s"}],
+            notes="notes",
+        )
+
+    def test_round_trip(self, tmp_path):
+        table = self.make()
+        store_table(table, trials=3, seed=1, cache_dir=tmp_path)
+        loaded = load_table("EX", trials=3, seed=1, cache_dir=tmp_path)
+        assert loaded is not None
+        assert loaded.rows == table.rows
+        assert loaded.title == table.title
+        assert loaded.notes == table.notes
+
+    def test_miss_on_different_params(self, tmp_path):
+        store_table(self.make(), trials=3, seed=1, cache_dir=tmp_path)
+        assert load_table("EX", trials=3, seed=2, cache_dir=tmp_path) is None
+        assert load_table("EX", trials=4, seed=1, cache_dir=tmp_path) is None
+        assert load_table("E9", trials=3, seed=1, cache_dir=tmp_path) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        path = store_table(self.make(), trials=1, seed=0, cache_dir=tmp_path)
+        path.write_text("{not json")
+        assert load_table("EX", trials=1, seed=0, cache_dir=tmp_path) is None
+
+    def test_key_is_stable_and_param_sensitive(self):
+        assert cache_key("E1", 3, 0) == cache_key("e1", 3, 0)
+        assert cache_key("E1", 3, 0) != cache_key("E1", 3, 1)
+        assert cache_key("E1", 3, 0) != cache_key("E2", 3, 0)
+
+    def test_numpy_rows_serialize(self, tmp_path):
+        import numpy as np
+
+        table = ExperimentTable(
+            experiment_id="EX",
+            title="np",
+            rows=[{"a": np.int64(3), "b": np.float64(0.5), "c": np.True_}],
+        )
+        store_table(table, trials=None, seed=0, cache_dir=tmp_path)
+        loaded = load_table("EX", trials=None, seed=0, cache_dir=tmp_path)
+        assert loaded.rows == [{"a": 3, "b": 0.5, "c": True}]
+
+    @pytest.mark.integration
+    def test_unwritable_cache_never_loses_the_table(self, tmp_path):
+        # The cache is an optimization: a bad cache location must warn,
+        # not discard a computed table.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        with pytest.warns(UserWarning, match="result cache"):
+            table = run_experiment(
+                "E1", trials=2, seed=4, cache=True, cache_dir=blocker
+            )
+        assert table.rows
+
+    @pytest.mark.integration
+    def test_run_experiment_cache_hit_skips_execution(self, tmp_path):
+        first = run_experiment(
+            "E1", trials=2, seed=4, cache=True, cache_dir=tmp_path
+        )
+        entries = list(tmp_path.glob("e1-*.json"))
+        assert len(entries) == 1
+        again = run_experiment(
+            "E1", trials=2, seed=4, cache=True, cache_dir=tmp_path
+        )
+        assert [list(r.items()) for r in again.rows] == [
+            list(r.items()) for r in first.rows
+        ]
+        # The entry was reused, not rewritten into a second file.
+        assert list(tmp_path.glob("e1-*.json")) == entries
 
 
 class TestRegistry:

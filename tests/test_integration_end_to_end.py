@@ -1,6 +1,5 @@
 """Cross-module end-to-end scenarios beyond the fixture networks."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import NaiveBroadcast
