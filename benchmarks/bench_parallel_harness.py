@@ -16,6 +16,11 @@ and tests/test_executor); the interesting number is wall-clock.
 * ``backoff64_*``: 64 independent CSEEK part-two back-off windows
   (tiny ``lg Delta``-slot steps). Per-call overhead dominates, so the
   batched axis wins outright.
+* ``cseek16_*``: 16 *full CSEEK protocol executions* on the E2 regular
+  workload, serial vs trial-batched (``CSeekBatch``). This is the
+  end-to-end pair the CI regression gate tracks: the batched runner
+  turns every part-one step and part-two window into one engine call
+  across all trials, so it must beat the serial loop outright.
 * ``e1_table_serial``: a full experiment table end-to-end, the number
   users actually wait on.
 """
@@ -25,12 +30,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import (
+    CSeek,
+    CSeekBatch,
     ProtocolConstants,
     resolve_backoff_batch,
     run_count_step,
     run_count_step_batch,
 )
 from repro.core.cseek import backoff_probabilities
+from repro.graphs import build_network, random_regular
 from repro.harness import run_experiment, run_trials
 from repro.sim.engine import resolve_step
 
@@ -153,6 +161,35 @@ def bench_backoff64_batched(benchmark):
         )
 
     assert benchmark(run).num_trials == TRIALS
+
+
+CSEEK_TRIALS = 16
+
+
+def _e2_net():
+    """E2's standard discovery workload: 20-node 4-regular, c=8, k=2."""
+    return build_network(random_regular(20, 4, seed=7), c=8, k=2, seed=11)
+
+
+def bench_cseek16_serial(benchmark):
+    """16 full CSEEK protocol runs, one trial at a time (the reference)."""
+    net = _e2_net()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+
+    def run():
+        return [CSeek(net, seed=s).run() for s in seeds]
+
+    results = benchmark(run)
+    assert len(results) == CSEEK_TRIALS
+
+
+def bench_cseek16_batched(benchmark):
+    """16 full CSEEK protocol runs in lockstep across the trial axis."""
+    net = _e2_net()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+    runner = CSeekBatch(net)
+    results = benchmark(runner.run, seeds)
+    assert len(results) == CSEEK_TRIALS
 
 
 def bench_e1_table_serial(benchmark):

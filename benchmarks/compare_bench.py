@@ -1,0 +1,256 @@
+"""Benchmark regression gate: diff a fresh pytest-benchmark JSON against
+the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py \
+        benchmarks/bench_parallel_harness.py -o python_files='bench_*.py' \
+        -o python_functions='bench_*' --benchmark-only \
+        --benchmark-json=BENCH_new.json -q
+    python benchmarks/compare_bench.py BENCH_new.json
+
+Compares mean times per benchmark and prints a verdict table (also
+appended to ``$GITHUB_STEP_SUMMARY`` when set, so the CI job summary
+shows the diff without digging through logs). The exit code gates on
+the *key* benchmarks only — the engine primitives and the
+batched-vs-serial protocol pairs whose trajectory the ROADMAP tracks —
+because pool-based and table-level timings are too runner-sensitive to
+gate on. A key benchmark that got more than ``--threshold`` slower than
+the baseline (default 30%, generous because CI runners are shared
+hardware), or that vanished from either file, fails the comparison.
+On top of the absolute diffs, hardware-independent *ratio gates*
+(``RATIO_GATES``) check invariants within the fresh run alone — e.g.
+the trial-batched CSEEK runner must keep beating the serial loop on
+whatever machine ran the benchmarks.
+
+The baseline (``benchmarks/BENCH_baseline.json``) is committed; refresh
+it whenever a PR deliberately shifts performance::
+
+    python -m pytest ... --benchmark-json=benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+# Benchmarks whose regressions fail the comparison. Keep this list to
+# stable, single-process timings: engine primitives and the trial-axis
+# pairs the batched executor strategy is built on.
+KEY_BENCHMARKS = (
+    "bench_resolve_step_n100_t64",
+    "bench_resolve_step_batch_b32_n100_t64",
+    "bench_backoff64_serial",
+    "bench_backoff64_batched",
+    "bench_trials64_batched",
+    "bench_cseek16_serial",
+    "bench_cseek16_batched",
+)
+
+# Machine-independent invariants checked *within* the fresh run: pairs
+# (numerator, denominator, max allowed mean ratio). Absolute times vary
+# with the runner, but the batched trial axis beating the serial loop on
+# the same box is the property the tentpole bought — losing it is a
+# regression no matter what hardware measured it. Every operand must
+# also appear in KEY_BENCHMARKS so that a renamed/removed benchmark
+# fails the missing-benchmark check instead of silently disabling its
+# ratio gate (pinned by tests/test_compare_bench.py).
+RATIO_GATES = (
+    ("bench_cseek16_batched", "bench_cseek16_serial", 1.0),
+    ("bench_backoff64_batched", "bench_backoff64_serial", 1.0),
+)
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    means: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    return means
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value < 1e-3:
+        return f"{value * 1e6:,.1f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:,.2f}ms"
+    return f"{value:,.3f}s"
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    threshold: float,
+    key_benchmarks: tuple,
+) -> tuple[List[List[str]], List[str]]:
+    """Build the verdict table and the list of gate failures."""
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    for name in sorted(set(baseline) | set(fresh)):
+        base = baseline.get(name)
+        new = fresh.get(name)
+        gated = name in key_benchmarks
+        if base is None:
+            verdict = "NEW (no baseline)"
+            if gated:
+                failures.append(
+                    f"{name}: key benchmark has no baseline entry — "
+                    "refresh benchmarks/BENCH_baseline.json"
+                )
+        elif new is None:
+            verdict = "MISSING from fresh run"
+            if gated:
+                failures.append(
+                    f"{name}: key benchmark missing from the fresh run"
+                )
+        else:
+            ratio = new / base
+            delta = (ratio - 1.0) * 100.0
+            if ratio > 1.0 + threshold:
+                verdict = f"SLOWER {delta:+.1f}%"
+                if gated:
+                    failures.append(
+                        f"{name}: mean {_fmt_seconds(new)} vs baseline "
+                        f"{_fmt_seconds(base)} ({delta:+.1f}% > "
+                        f"+{threshold * 100:.0f}% allowance)"
+                    )
+            elif ratio < 1.0 - threshold:
+                verdict = f"faster {delta:+.1f}%"
+            else:
+                verdict = f"ok {delta:+.1f}%"
+        rows.append(
+            [
+                name + (" *" if gated else ""),
+                _fmt_seconds(base),
+                _fmt_seconds(new),
+                verdict,
+            ]
+        )
+    return rows, failures
+
+
+def check_ratio_gates(
+    fresh: Dict[str, float], gates: tuple = RATIO_GATES
+) -> List[str]:
+    """Within-run ratio invariants (hardware-independent regressions)."""
+    failures: List[str] = []
+    for numerator, denominator, max_ratio in gates:
+        num = fresh.get(numerator)
+        den = fresh.get(denominator)
+        if num is None or den is None or den <= 0:
+            # Absence fails the key-benchmark checks (every gate operand
+            # is in KEY_BENCHMARKS), so the run cannot pass silently.
+            continue
+        ratio = num / den
+        if ratio > max_ratio:
+            failures.append(
+                f"{numerator} / {denominator}: mean ratio {ratio:.2f} "
+                f"exceeds {max_ratio:.2f} in the fresh run — the batched "
+                "path no longer beats its serial reference"
+            )
+    return failures
+
+
+def render_table(rows: List[List[str]]) -> str:
+    headers = ["benchmark (* = gated)", "baseline mean", "fresh mean", "verdict"]
+    table = [headers] + rows
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+
+    def line(cells):
+        return "| " + " | ".join(
+            c.ljust(w) for c, w in zip(cells, widths)
+        ) + " |"
+
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a fresh pytest-benchmark JSON to the baseline."
+    )
+    parser.add_argument("fresh", help="fresh pytest-benchmark JSON path")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline JSON (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed mean slowdown fraction for key benchmarks "
+        "(default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--key",
+        default=None,
+        help="comma-separated override of the gated benchmark names",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline_path = Path(args.baseline)
+    fresh_path = Path(args.fresh)
+    if not baseline_path.exists():
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+    if not fresh_path.exists():
+        print(f"error: fresh run {fresh_path} not found", file=sys.stderr)
+        return 2
+    key_benchmarks = (
+        tuple(k.strip() for k in args.key.split(",") if k.strip())
+        if args.key is not None
+        else KEY_BENCHMARKS
+    )
+
+    baseline = load_means(baseline_path)
+    fresh = load_means(fresh_path)
+    rows, failures = compare(baseline, fresh, args.threshold, key_benchmarks)
+    failures += check_ratio_gates(fresh)
+
+    table = render_table(rows)
+    print(table)
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark check(s) failed:")
+        for failure in failures:
+            print(f"  - {failure}")
+    else:
+        print(
+            f"\nOK: no key benchmark regressed beyond "
+            f"+{args.threshold * 100:.0f}% and all within-run ratio "
+            "gates hold."
+        )
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        verdict = (
+            f"❌ {len(failures)} benchmark check(s) failed"
+            if failures
+            else "✅ no key benchmark regressed"
+        )
+        with open(summary_path, "a") as fh:
+            fh.write(
+                f"### Benchmark comparison — {verdict} "
+                f"(threshold +{args.threshold * 100:.0f}%)\n\n"
+            )
+            fh.write(table + "\n\n")
+            for failure in failures:
+                fh.write(f"- {failure}\n")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

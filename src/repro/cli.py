@@ -29,22 +29,25 @@ import time
 from typing import List, Optional
 
 from repro.harness import experiment_ids, run_experiment
-from repro.model.errors import ReproError
+from repro.harness.executor import get_executor
+from repro.model.errors import HarnessError, ReproError
 
 __all__ = ["main", "build_parser"]
 
 
 def _parse_jobs(value: str) -> "int | str":
-    """``--jobs`` values: an int, or the strategy names."""
+    """``--jobs`` values: an int, or the strategy names.
+
+    Validation delegates to :func:`repro.harness.executor.get_executor`
+    — the single authority on what a jobs value means — so the CLI can
+    never accept a value the harness rejects or vice versa.
+    """
     name = value.strip().lower()
-    if name in ("serial", "batch", "batched"):
-        return name
     try:
-        return int(name)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected an integer, 'serial', or 'batch', got {value!r}"
-        ) from None
+        get_executor(name)
+    except HarnessError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return int(name) if name.isdigit() else name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,7 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trial execution strategy: an int for that many worker "
             "processes (0 = one per CPU), 'batch' for vectorized trial "
-            "axes, 'serial' (default); results are identical either way"
+            "axes ('batch:N' bounds the chunk size), 'serial' "
+            "(default); results are identical either way"
         ),
     )
     run.add_argument(

@@ -19,9 +19,11 @@ from repro.core.cseek import (
     CSeek,
     CSeekResult,
     DiscoveryReport,
+    choose_part2_labels,
     resolve_backoff_batch,
     verify_discovery,
 )
+from repro.core.cseek_batch import CSeekBatch, batched_discovery
 from repro.core.dedicated import agree_dedicated_channels, first_heard_payloads
 from repro.core.dissemination import DisseminationResult, run_dissemination
 from repro.core.exchange import (
@@ -36,6 +38,7 @@ __all__ = [
     "CGCastResult",
     "CKSeek",
     "CSeek",
+    "CSeekBatch",
     "CSeekResult",
     "ColoringResult",
     "CountBatchOutcome",
@@ -46,6 +49,8 @@ __all__ = [
     "LubyEdgeColoring",
     "ProtocolConstants",
     "agree_dedicated_channels",
+    "batched_discovery",
+    "choose_part2_labels",
     "count_schedule",
     "edges_from_discovery",
     "exchange_slot_cost",

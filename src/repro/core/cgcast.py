@@ -118,6 +118,13 @@ class CGCast:
         coloring_loss_rate: Exchange-loss injection inside the coloring
             loop (failure-mode experiments).
         early_stop: Stop dissemination phases once everyone is informed.
+        discovery: Optional precomputed CSEEK result to use as phase 1.
+            Must be the execution this instance would run itself (same
+            network/knowledge/constants, ``rng_label="cgcast.discovery"``,
+            this seed) for results to stay bit-identical — which is
+            exactly what :func:`repro.core.cseek_batch.batched_discovery`
+            produces, letting Monte Carlo sweeps batch CGCAST's most
+            expensive phase across the trial axis.
     """
 
     def __init__(
@@ -130,6 +137,7 @@ class CGCast:
         exchange_mode: ExchangeMode = "oracle",
         coloring_loss_rate: float = 0.0,
         early_stop: bool = True,
+        discovery: Optional[CSeekResult] = None,
     ) -> None:
         if exchange_mode not in ("oracle", "simulated"):
             raise ProtocolError(f"unknown exchange mode: {exchange_mode!r}")
@@ -145,6 +153,7 @@ class CGCast:
         self.exchange_mode = exchange_mode
         self.coloring_loss_rate = coloring_loss_rate
         self.early_stop = early_stop
+        self.precomputed_discovery = discovery
 
     # ------------------------------------------------------------------
     def run(self) -> CGCastResult:
@@ -154,13 +163,15 @@ class CGCast:
         ledger = SlotLedger()
 
         # 1. Discovery ------------------------------------------------
-        discovery = CSeek(
-            net,
-            knowledge=kn,
-            constants=self.constants,
-            seed=self.seed,
-            rng_label="cgcast.discovery",
-        ).run()
+        discovery = self.precomputed_discovery
+        if discovery is None:
+            discovery = CSeek(
+                net,
+                knowledge=kn,
+                constants=self.constants,
+                seed=self.seed,
+                rng_label="cgcast.discovery",
+            ).run()
         ledger.merge(discovery.ledger, prefix="discovery.")
 
         # 2. Meeting-time exchange + dedicated channels ----------------

@@ -125,14 +125,14 @@ def _estimate_first_crossing(
     """Paper rule: first round whose clear fraction exceeds the threshold.
 
     The estimate is ``2^(i+1)`` for 1-based round ``i`` (Appendix A); a
-    listener that never crosses reports 0.
+    listener that never crosses reports 0. Accepts ``(rounds, n)`` or a
+    batched ``(B, rounds, n)`` — the rounds axis is always ``-2``.
     """
-    rounds, n = round_receptions.shape
     # Required receptions; at least one message is always required.
     needed = max(1.0, threshold * round_length)
     crossed = round_receptions > needed
-    any_crossed = crossed.any(axis=0)
-    first = np.argmax(crossed, axis=0)  # 0-based round index
+    any_crossed = crossed.any(axis=-2)
+    first = np.argmax(crossed, axis=-2)  # 0-based round index
     estimates = np.where(any_crossed, 2.0 ** (first.astype(float) + 2.0), 0.0)
     return estimates
 
@@ -142,10 +142,11 @@ def _estimate_argmax(round_receptions: np.ndarray) -> np.ndarray:
 
     The estimate is that round's probe value ``2^(i-1)``; ties resolve to
     the earliest round (the smaller estimate). Listeners that heard
-    nothing report 0.
+    nothing report 0. Accepts ``(rounds, n)`` or a batched
+    ``(B, rounds, n)`` — the rounds axis is always ``-2``.
     """
-    heard_any = round_receptions.sum(axis=0) > 0
-    best = np.argmax(round_receptions, axis=0)  # first max wins ties
+    heard_any = round_receptions.sum(axis=-2) > 0
+    best = np.argmax(round_receptions, axis=-2)  # first max wins ties
     estimates = np.where(heard_any, 2.0 ** best.astype(float), 0.0)
     return estimates
 
@@ -216,18 +217,21 @@ def run_count_step_batch(
 ) -> CountBatchOutcome:
     """Execute ``B`` independent COUNT trials as one batched resolve.
 
-    The trials share the topology (adjacency, channels, roles and the
-    schedule) and differ only in their broadcaster coins, which is the
-    structure of every Monte Carlo sweep over a fixed configuration
-    (experiment E1's m-sweep points). Each trial's coins are drawn from
-    its own generator exactly as :func:`run_count_step` would draw them,
-    so trial ``b`` of the result is bit-identical to a serial call with
-    ``rngs[b]`` — batching is a pure throughput decision.
+    The trials share the topology and the schedule and differ in their
+    broadcaster coins — and, optionally, in per-trial channels and roles
+    (2-D inputs), which is how CSEEK's trial-batched part-one steps ride
+    this primitive: every trial tunes its own way, but all resolve in
+    one engine call. Each trial's coins are drawn from its own generator
+    exactly as :func:`run_count_step` would draw them, so trial ``b`` of
+    the result is bit-identical to a serial call with ``rngs[b]`` —
+    batching is a pure throughput decision.
 
     Args:
         adjacency: ``(n, n)`` boolean adjacency matrix.
-        channels: ``(n,)`` shared global channel per node (``-1`` idle).
-        tx_role: ``(n,)`` shared broadcaster roles.
+        channels: ``(n,)`` shared or ``(B, n)`` per-trial global channel
+            per node (``-1`` idle).
+        tx_role: ``(n,)`` shared or ``(B, n)`` per-trial broadcaster
+            roles.
         max_count: A-priori bound on the broadcaster count.
         log_n: ``ceil(lg n)`` for round sizing.
         constants: Schedule constants and estimation rule.
@@ -255,17 +259,11 @@ def run_count_step_batch(
         len(rngs), rounds, round_length, n
     ).sum(axis=2)
     if constants.count_rule == "first_crossing":
-        threshold = constants.count_threshold()
-        estimates = np.stack(
-            [
-                _estimate_first_crossing(rr, round_length, threshold)
-                for rr in round_receptions
-            ]
+        estimates = _estimate_first_crossing(
+            round_receptions, round_length, constants.count_threshold()
         )
     else:
-        estimates = np.stack(
-            [_estimate_argmax(rr) for rr in round_receptions]
-        )
+        estimates = _estimate_argmax(round_receptions)
     return CountBatchOutcome(
         estimates=estimates,
         step=step,

@@ -50,11 +50,48 @@ __all__ = [
     "CSeekResult",
     "DiscoveryReport",
     "backoff_probabilities",
+    "choose_part2_labels",
     "resolve_backoff_batch",
     "verify_discovery",
 ]
 
 ListenerPolicy = Literal["weighted", "uniform"]
+
+
+def choose_part2_labels(
+    rng: np.random.Generator,
+    tx_role: np.ndarray,
+    counts: np.ndarray,
+    policy: ListenerPolicy = "weighted",
+) -> np.ndarray:
+    """Per-node local channel labels for a CSEEK part-two step.
+
+    Broadcasters choose uniformly (Figure 1, line 12). Listeners choose
+    label ``ch`` with probability proportional to the accumulated score
+    ``counts[u, ch]`` (Figure 1, lines 16-18), falling back to uniform
+    when a node accumulated nothing — or for everyone under the
+    ``uniform`` ablation policy.
+
+    Shared by the serial (:meth:`CSeek.run`) and trial-batched
+    (:class:`repro.core.cseek_batch.CSeekBatch`) execution paths: both
+    must consume ``rng`` in exactly this order for their trials to stay
+    bit-identical.
+    """
+    n, c = counts.shape
+    labels = rng.integers(0, c, size=n)
+    if policy == "uniform":
+        return labels
+    listeners = ~tx_role
+    row_sums = counts.sum(axis=1)
+    use_weighted = listeners & (row_sums > 0)
+    if not use_weighted.any():
+        return labels
+    rows = np.flatnonzero(use_weighted)
+    cdf = np.cumsum(counts[rows], axis=1)
+    targets = rng.random(rows.size) * row_sums[rows]
+    weighted_labels = (cdf < targets[:, None]).sum(axis=1)
+    labels[rows] = np.minimum(weighted_labels, c - 1)
+    return labels
 
 
 def backoff_probabilities(backoff_len: int) -> np.ndarray:
@@ -233,6 +270,7 @@ class CSeek:
         if self.part1_step_budget < 0 or self.part2_step_budget < 0:
             raise ProtocolError("step budgets must be non-negative")
         self.jammer = jammer
+        self.rng_label = rng_label
         self._hub = RngHub(seed).child(rng_label)
 
     # ------------------------------------------------------------------
@@ -341,29 +379,30 @@ class CSeek:
         tx_role: np.ndarray,
         counts: np.ndarray,
     ) -> np.ndarray:
-        """Per-node local channel labels for a part-two step.
+        return choose_part2_labels(
+            rng, tx_role, counts, policy=self.part2_listener
+        )
 
-        Broadcasters choose uniformly (Figure 1, line 12). Listeners
-        choose label ``ch`` with probability proportional to the
-        accumulated score ``counts[u, ch]`` (Figure 1, lines 16-18),
-        falling back to uniform when a node accumulated nothing — or for
-        everyone under the ``uniform`` ablation policy.
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def batch(self, jammer_factory=None) -> "object":
+        """A :class:`~repro.core.cseek_batch.CSeekBatch` with this
+        configuration.
+
+        The returned runner executes many trial seeds of this exact
+        protocol (budgets, listener policy, rng namespace) in lockstep
+        across the trial axis; ``batch().run([s])[0]`` is bit-identical
+        to ``CSeek(..., seed=s).run()``. Works on subclasses too —
+        a :class:`~repro.core.ckseek.CKSeek` prototype hands its
+        Section 4.4 budgets to the batch. Per-trial jammers come from
+        ``jammer_factory`` (the prototype's own ``jammer`` is ignored:
+        a single shared jammer instance cannot serve independent
+        trials).
         """
-        n, c = counts.shape
-        labels = rng.integers(0, c, size=n)
-        if self.part2_listener == "uniform":
-            return labels
-        listeners = ~tx_role
-        row_sums = counts.sum(axis=1)
-        use_weighted = listeners & (row_sums > 0)
-        if not use_weighted.any():
-            return labels
-        rows = np.flatnonzero(use_weighted)
-        cdf = np.cumsum(counts[rows], axis=1)
-        targets = rng.random(rows.size) * row_sums[rows]
-        weighted_labels = (cdf < targets[:, None]).sum(axis=1)
-        labels[rows] = np.minimum(weighted_labels, c - 1)
-        return labels
+        from repro.core.cseek_batch import CSeekBatch
+
+        return CSeekBatch.from_serial(self, jammer_factory=jammer_factory)
 
 
 def verify_discovery(

@@ -1,0 +1,331 @@
+"""Trial-batched CSEEK execution (the harness's protocol fast path).
+
+:class:`~repro.core.cseek.CSeek` resolves each part-one COUNT step and
+each part-two back-off window with one engine call — but a Monte Carlo
+sweep still pays that call (plus generator draws, trace scans and
+bookkeeping) once per step *per trial*. Homogeneous trials — one
+network, one configuration, only the seed varying, which is the shape of
+every sweep point in experiments E2/E3/E4/E10/E12 — admit a much better
+schedule: run all ``B`` trials in lockstep, so each part-one step is a
+single :func:`repro.core.count.run_count_step_batch` call and each
+part-two window a single
+:func:`repro.core.cseek.resolve_backoff_batch` call over the whole
+``(B, T, n)`` trial axis.
+
+Bit-exactness contract: trial ``b`` draws from its *own* generators
+(``RngHub(seed_b).child(rng_label)``) in exactly the order
+:meth:`CSeek.run` draws them — labels, roles, then engine coins per
+step; per-trial jammers advance their own streams — so
+``CSeekBatch.run(seeds)[b] == CSeek(seed=seeds[b]).run()`` field for
+field. Batching is a pure throughput decision, which is what lets the
+``jobs="batch"`` executor strategy route whole protocol runs through
+this module without perturbing any experiment table.
+
+The same runner serves CKSEEK (different budgets, same machinery — build
+it from a :class:`~repro.core.ckseek.CKSeek` prototype via
+:meth:`CSeek.batch` / :meth:`CSeekBatch.from_serial`) and CGCAST's
+discovery phase (:func:`batched_discovery` + the ``discovery=``
+injection parameter on :class:`~repro.core.cgcast.CGCast`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.constants import ProtocolConstants
+from repro.core.count import count_schedule, run_count_step_batch
+from repro.core.cseek import (
+    CSeek,
+    CSeekResult,
+    ListenerPolicy,
+    choose_part2_labels,
+    resolve_backoff_batch,
+)
+from repro.model.errors import ProtocolError
+from repro.model.spec import ModelKnowledge
+from repro.sim.interference import PrimaryUserTraffic
+from repro.sim.metrics import SlotLedger
+from repro.sim.network import CRNetwork
+from repro.sim.rng import RngHub
+from repro.sim.trace import TraceRecorder, record_step_batch
+
+__all__ = ["CSeekBatch", "JammerFactory", "batched_discovery"]
+
+JammerFactory = Callable[[int], Optional[PrimaryUserTraffic]]
+
+
+class CSeekBatch:
+    """Run many homogeneous CSEEK trials in lockstep across the trial axis.
+
+    All trials share the network, knowledge, constants, step budgets and
+    listener policy; only the per-trial seed (and, through
+    ``jammer_factory``, the per-trial primary-user traffic) varies.
+    Heterogeneous sweeps belong on the serial or process-pool executors.
+
+    Args:
+        network: Ground-truth network shared by every trial.
+        knowledge: Global parameters handed to nodes; defaults to the
+            network's realized parameters.
+        constants: Schedule constants; defaults to
+            :meth:`ProtocolConstants.fast`.
+        part1_steps: Override the part-one step budget (CKSEEK budgets
+            enter here); default per ``constants.part1_steps``.
+        part2_steps: Override the part-two step budget; default per
+            ``constants.part2_steps``.
+        part2_listener: ``"weighted"`` (paper) or ``"uniform"``
+            (ablation) — the E10 ablation path batches like any other.
+        rng_label: Randomness namespace, as on :class:`CSeek` (CGCAST's
+            embedded discovery uses ``"cgcast.discovery"``).
+        jammer_factory: Optional per-trial-seed factory for
+            :class:`~repro.sim.interference.PrimaryUserTraffic`. A
+            factory rather than an instance because each trial must own
+            an independent traffic process whose occupancy stream
+            advances with that trial alone.
+    """
+
+    def __init__(
+        self,
+        network: CRNetwork,
+        knowledge: Optional[ModelKnowledge] = None,
+        constants: Optional[ProtocolConstants] = None,
+        part1_steps: Optional[int] = None,
+        part2_steps: Optional[int] = None,
+        part2_listener: ListenerPolicy = "weighted",
+        rng_label: str = "cseek",
+        jammer_factory: Optional[JammerFactory] = None,
+    ) -> None:
+        # Delegate validation and budget resolution to the serial
+        # protocol: one source of truth for schedule sizing.
+        self._proto = CSeek(
+            network,
+            knowledge=knowledge,
+            constants=constants,
+            seed=0,
+            part1_steps=part1_steps,
+            part2_steps=part2_steps,
+            part2_listener=part2_listener,
+            rng_label=rng_label,
+        )
+        self.jammer_factory = jammer_factory
+
+    @classmethod
+    def from_serial(
+        cls,
+        proto: CSeek,
+        jammer_factory: Optional[JammerFactory] = None,
+    ) -> "CSeekBatch":
+        """A batch runner with a serial protocol's resolved configuration.
+
+        Works for any :class:`CSeek` instance, including subclasses that
+        only reparameterize budgets (:class:`~repro.core.ckseek.CKSeek`):
+        the *resolved* step budgets, listener policy and rng namespace
+        are copied, so the prototype's seed is irrelevant. The
+        prototype's ``jammer`` is deliberately not copied — pass
+        ``jammer_factory`` to give every trial its own traffic process.
+        """
+        return cls(
+            proto.network,
+            knowledge=proto.knowledge,
+            constants=proto.constants,
+            part1_steps=proto.part1_step_budget,
+            part2_steps=proto.part2_step_budget,
+            part2_listener=proto.part2_listener,
+            rng_label=proto.rng_label,
+            jammer_factory=jammer_factory,
+        )
+
+    # Mirror the serial protocol's introspection surface.
+    @property
+    def network(self) -> CRNetwork:
+        return self._proto.network
+
+    @property
+    def part1_step_budget(self) -> int:
+        return self._proto.part1_step_budget
+
+    @property
+    def part2_step_budget(self) -> int:
+        return self._proto.part2_step_budget
+
+    @property
+    def part2_listener(self) -> ListenerPolicy:
+        return self._proto.part2_listener
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, seeds: Sequence[int]) -> List[CSeekResult]:
+        """Execute one full CSEEK trial per seed, in lockstep.
+
+        Returns per-trial :class:`CSeekResult` objects, in seed order,
+        each bit-identical to ``CSeek(..., seed=seeds[b]).run()``.
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ProtocolError("seeds must name at least one trial")
+        proto = self._proto
+        net = proto.network
+        kn = proto.knowledge
+        n, c = net.n, net.c
+        num_trials = len(seeds)
+        table = net.channel_table()
+        rows = np.arange(n)
+
+        hubs = [RngHub(s).child(proto.rng_label) for s in seeds]
+        jammers = [
+            self.jammer_factory(s) if self.jammer_factory else None
+            for s in seeds
+        ]
+        counts = np.zeros((num_trials, n, c), dtype=np.float64)
+        traces = [TraceRecorder() for _ in range(num_trials)]
+        ledgers = [SlotLedger() for _ in range(num_trials)]
+        step_starts: List[int] = []
+        # Per-step (B, n) channel snapshots, re-sliced per trial at the end.
+        step_channels: List[np.ndarray] = []
+        slot_cursor = 0
+
+        count_rounds, count_round_len = count_schedule(
+            kn.max_degree, kn.log_n, proto.constants
+        )
+        count_slots = count_rounds * count_round_len
+
+        rng1 = [hub.generator("part1") for hub in hubs]
+        for _ in range(proto.part1_step_budget):
+            labels = np.empty((num_trials, n), dtype=np.int64)
+            tx_role = np.empty((num_trials, n), dtype=bool)
+            for b in range(num_trials):
+                labels[b] = rng1[b].integers(0, c, size=n)
+                tx_role[b] = rng1[b].random(n) < 0.5
+            channels = table[rows[None, :], labels]
+            jam = self._jam_mask(jammers, channels, count_slots)
+            outcome = run_count_step_batch(
+                net.adjacency,
+                channels,
+                tx_role,
+                max_count=kn.max_degree,
+                log_n=kn.log_n,
+                constants=proto.constants,
+                rngs=rng1,
+                jam=jam,
+            )
+            listeners = ~tx_role
+            b_idx, u_idx = np.nonzero(listeners)
+            # (b, u) pairs are unique, so plain fancy-index accumulation
+            # matches the serial += exactly.
+            counts[b_idx, u_idx, labels[b_idx, u_idx]] += (
+                outcome.estimates[b_idx, u_idx]
+            )
+            record_step_batch(
+                traces, outcome.step, slot_cursor, "cseek.part1",
+                channels=channels,
+            )
+            step_starts.append(slot_cursor)
+            step_channels.append(channels)
+            slot_cursor += outcome.num_slots
+            for ledger in ledgers:
+                ledger.charge("part1", outcome.num_slots)
+
+        discovered_part_one = [
+            [set(trace.heard_by(u)) for u in range(n)] for trace in traces
+        ]
+
+        rng2 = [hub.generator("part2") for hub in hubs]
+        backoff_len = kn.log_delta
+        for _ in range(proto.part2_step_budget):
+            labels = np.empty((num_trials, n), dtype=np.int64)
+            tx_role = np.empty((num_trials, n), dtype=bool)
+            for b in range(num_trials):
+                tx_role[b] = rng2[b].random(n) < 0.5
+                labels[b] = choose_part2_labels(
+                    rng2[b], tx_role[b], counts[b],
+                    policy=proto.part2_listener,
+                )
+            channels = table[rows[None, :], labels]
+            jam = self._jam_mask(jammers, channels, backoff_len)
+            outcome = resolve_backoff_batch(
+                net.adjacency, channels, tx_role, backoff_len, rng2, jam=jam
+            )
+            record_step_batch(
+                traces, outcome, slot_cursor, "cseek.part2",
+                channels=channels,
+            )
+            step_starts.append(slot_cursor)
+            step_channels.append(channels)
+            slot_cursor += backoff_len
+            for ledger in ledgers:
+                ledger.charge("part2", backoff_len)
+
+        # (S, B, n) -> per-trial (S, n) slices, matching serial vstack.
+        all_channels = (
+            np.stack(step_channels)
+            if step_channels
+            else np.zeros((0, num_trials, n), dtype=np.int64)
+        )
+        results: List[CSeekResult] = []
+        for b in range(num_trials):
+            results.append(
+                CSeekResult(
+                    discovered=[
+                        set(traces[b].heard_by(u)) for u in range(n)
+                    ],
+                    discovered_part_one=discovered_part_one[b],
+                    counts=counts[b].copy(),
+                    trace=traces[b],
+                    ledger=ledgers[b],
+                    step_start_slots=np.array(step_starts, dtype=np.int64),
+                    step_channels=np.ascontiguousarray(all_channels[:, b, :]),
+                    total_slots=slot_cursor,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _jam_mask(
+        jammers: List[Optional[PrimaryUserTraffic]],
+        channels: np.ndarray,
+        num_slots: int,
+    ) -> Optional[np.ndarray]:
+        """Stacked per-trial reception-kill masks, or None when unjammed.
+
+        Each trial's jammer consumes its own occupancy stream exactly as
+        the serial protocol would; jammer-less trials contribute an
+        all-clear mask.
+        """
+        if all(j is None for j in jammers):
+            return None
+        num_trials, n = channels.shape
+        jam = np.zeros((num_trials, num_slots, n), dtype=bool)
+        for b, jammer in enumerate(jammers):
+            if jammer is not None:
+                jam[b] = jammer.jam_mask(channels[b], num_slots)
+        return jam
+
+
+def batched_discovery(
+    network: CRNetwork,
+    seeds: Sequence[int],
+    knowledge: Optional[ModelKnowledge] = None,
+    constants: Optional[ProtocolConstants] = None,
+) -> List[CSeekResult]:
+    """Batch CGCAST's discovery phase across trial seeds.
+
+    Returns one :class:`CSeekResult` per seed, bit-identical to the
+    CSEEK execution :meth:`repro.core.cgcast.CGCast.run` performs
+    internally for that seed — hand result ``b`` to
+    ``CGCast(..., seed=seeds[b], discovery=results[b])`` and the rest of
+    the pipeline proceeds unchanged. This is how E6-style sweeps ride
+    the trial axis through their most expensive phase without batching
+    the (heterogeneous) exchange/coloring stages.
+    """
+    batch = CSeekBatch(
+        network,
+        knowledge=knowledge,
+        constants=constants,
+        rng_label="cgcast.discovery",
+    )
+    return batch.run(seeds)

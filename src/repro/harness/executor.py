@@ -175,10 +175,28 @@ class BatchedExecutor:
 
     A trial callable opts in by carrying a ``run_batch`` attribute —
     ``run_batch(seeds) -> list of per-seed results`` — implemented on
-    the sim layer's batched resolvers. Trials without one fall back to
-    the serial reference strategy, so a batched executor is always safe
-    to pass to heterogeneous experiments.
+    the sim layer's batched resolvers (micro-trials like a single COUNT
+    step) or on the protocol layer's trial-batched runner
+    (:class:`repro.core.cseek_batch.CSeekBatch`, which carries whole
+    CSEEK/CKSEEK executions through the batch). Trials without one fall
+    back to the serial reference strategy, so a batched executor is
+    always safe to pass to heterogeneous experiments.
+
+    Args:
+        batch_size: Maximum seeds per ``run_batch`` call; ``None`` runs
+            the whole trial axis in one batch. Batched engine state is
+            ``O(B * T * n)``, so a bound keeps huge sweeps
+            memory-resident (``jobs="batch:64"`` on the CLI). Per-trial
+            results are unaffected — seeds derive up front, so chunking
+            is invisible to the determinism contract.
     """
+
+    def __init__(self, batch_size: int | None = None) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise HarnessError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.batch_size = batch_size
 
     def run(
         self, trial: Callable[[int], T], seeds: Sequence[int]
@@ -187,19 +205,24 @@ class BatchedExecutor:
         run_batch = getattr(trial, "run_batch", None)
         if run_batch is None:
             return SerialExecutor().run(trial, seeds)
-        try:
-            results = list(run_batch(seeds))
-        except HarnessError:
-            raise
-        except Exception as exc:  # noqa: BLE001 — seed context
-            raise HarnessError(
-                f"batched trial failed (seeds={seeds}): {exc!r}"
-            ) from exc
-        if len(results) != len(seeds):
-            raise HarnessError(
-                f"batched trial returned {len(results)} results for "
-                f"{len(seeds)} seeds"
-            )
+        size = self.batch_size or max(1, len(seeds))
+        results: List[T] = []
+        for i in range(0, len(seeds), size):
+            chunk = seeds[i : i + size]
+            try:
+                part = list(run_batch(chunk))
+            except HarnessError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — seed context
+                raise HarnessError(
+                    f"batched trial failed (seeds={chunk}): {exc!r}"
+                ) from exc
+            if len(part) != len(chunk):
+                raise HarnessError(
+                    f"batched trial returned {len(part)} results for "
+                    f"{len(chunk)} seeds"
+                )
+            results.extend(part)
         return results
 
 
@@ -208,9 +231,11 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
 
     Accepts ``None``/``1``/``"serial"`` (serial), an int ``>= 2``
     (process pool of that size), ``0`` (one worker per CPU),
-    ``"batch"``/``"batched"`` (vectorized trial axis), or an existing
-    :class:`Executor` instance (returned as-is, so experiment functions
-    can thread one executor through every ``run_trials`` call).
+    ``"batch"``/``"batched"`` (vectorized trial axis, one batch),
+    ``"batch:N"`` (vectorized in chunks of at most ``N`` trials), or an
+    existing :class:`Executor` instance (returned as-is, so experiment
+    functions can thread one executor through every ``run_trials``
+    call).
     """
     if jobs is None:
         return SerialExecutor()
@@ -220,11 +245,20 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
             return SerialExecutor()
         if name in ("batch", "batched"):
             return BatchedExecutor()
+        for prefix in ("batch:", "batched:"):
+            if name.startswith(prefix):
+                size = name[len(prefix):]
+                if not size.isdigit() or int(size) < 1:
+                    raise HarnessError(
+                        f"bad batch size in jobs value {jobs!r}; "
+                        "expected 'batch:<positive int>'"
+                    )
+                return BatchedExecutor(batch_size=int(size))
         if name.isdigit():
             return get_executor(int(name))
         raise HarnessError(
             f"unknown jobs value {jobs!r}; expected an int, 'serial', "
-            "or 'batch'"
+            "'batch', or 'batch:N'"
         )
     if isinstance(jobs, int) and not isinstance(jobs, bool):
         if jobs < 0:

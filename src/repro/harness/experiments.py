@@ -51,9 +51,11 @@ from repro.core import (
     CGCast,
     CKSeek,
     CSeek,
+    CSeekBatch,
     LineGraph,
     LubyEdgeColoring,
     ProtocolConstants,
+    batched_discovery,
     is_valid_edge_coloring,
     run_count_step,
     verify_discovery,
@@ -76,6 +78,40 @@ __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 Row = Dict[str, object]
 
 Jobs = int | str | Executor | None
+
+
+def _batched_cseek_trial(
+    make_protocol: Callable[[int], CSeek],
+    postprocess: Callable[..., object],
+    jammer_factory: Callable[[int], object] | None = None,
+) -> Callable[[int], object]:
+    """A full-protocol trial callable with a vectorized trial axis.
+
+    The serial path constructs and runs one protocol per seed (the
+    reference semantics every executor must reproduce). The ``run_batch``
+    attribute — picked up by the ``jobs="batch"`` executor — routes the
+    whole seed list through :class:`repro.core.cseek_batch.CSeekBatch`
+    instead, so each part-one step and part-two window of *all* trials
+    resolves as one batched engine call; per-trial results are
+    bit-identical to the serial path. ``make_protocol`` must be
+    homogeneous in the seed (same network/budgets/policy every call);
+    per-trial jammers come from ``jammer_factory``.
+    """
+
+    def trial(s: int):
+        proto = make_protocol(s)
+        if jammer_factory is not None:
+            proto.jammer = jammer_factory(s)
+        return postprocess(proto.run())
+
+    def run_batch(seeds):
+        batch = CSeekBatch.from_serial(
+            make_protocol(0), jammer_factory=jammer_factory
+        )
+        return [postprocess(r) for r in batch.run(seeds)]
+
+    trial.run_batch = run_batch
+    return trial
 
 
 # ----------------------------------------------------------------------
@@ -190,10 +226,13 @@ def _discovery_times(
 ) -> Dict[str, object]:
     """Measured completion slots + success rates for CSEEK and naive."""
 
-    def cseek_trial(s: int):
-        result = CSeek(net, seed=s).run()
+    def summarize_result(result):
         report = verify_discovery(result, net)
         return report.success, report.completion_slot, result.total_slots
+
+    cseek_trial = _batched_cseek_trial(
+        lambda s: CSeek(net, seed=s), summarize_result
+    )
 
     def naive_trial(s: int):
         nd = NaiveDiscovery(net, seed=s)
@@ -375,22 +414,26 @@ def experiment_e3(
             ),
         ),
     ]
+    def fraction_found(result, truth, total_pairs, n):
+        part1 = sum(
+            len(result.discovered_part_one[u] & set(truth[u]))
+            for u in range(n)
+        )
+        both = sum(
+            len(result.discovered[u] & set(truth[u])) for u in range(n)
+        )
+        return part1 / total_pairs, both / total_pairs
+
     for name, net in cases:
         truth = net.true_neighbor_sets()
         total_pairs = sum(len(s) for s in truth)
 
-        def trial(s: int):
-            result = CSeek(net, seed=s).run()
-            part1 = sum(
-                len(result.discovered_part_one[u] & set(truth[u]))
-                for u in range(net.n)
-            )
-            both = sum(
-                len(result.discovered[u] & set(truth[u]))
-                for u in range(net.n)
-            )
-            return part1 / total_pairs, both / total_pairs
-
+        trial = _batched_cseek_trial(
+            lambda s, net=net: CSeek(net, seed=s),
+            lambda result, truth=truth, total_pairs=total_pairs, n=net.n: (
+                fraction_found(result, truth, total_pairs, n)
+            ),
+        )
         outcomes = run_trials(
             trial, trials, seed, label=f"e3-{name}", executor=executor
         )
@@ -413,24 +456,18 @@ def experiment_e3(
     total_pairs = sum(len(s) for s in truth)
     for policy in ("weighted", "uniform"):
 
-        def trial(s: int):
-            result = CSeek(
+        trial = _batched_cseek_trial(
+            lambda s, policy=policy: CSeek(
                 net,
                 seed=s,
                 part1_steps=40,
                 part2_steps=150,
                 part2_listener=policy,
-            ).run()
-            part1 = sum(
-                len(result.discovered_part_one[u] & set(truth[u]))
-                for u in range(net.n)
-            )
-            both = sum(
-                len(result.discovered[u] & set(truth[u]))
-                for u in range(net.n)
-            )
-            return part1 / total_pairs, both / total_pairs
-
+            ),
+            lambda result: fraction_found(
+                result, truth, total_pairs, net.n
+            ),
+        )
         outcomes = run_trials(
             trial, trials, seed + 5, label=f"e3b-{policy}", executor=executor
         )
@@ -476,12 +513,15 @@ def experiment_e4(
     for khat in range(kn.k, kn.kmax + 1):
         delta_khat = net.max_good_degree(khat)
 
-        def trial(s: int):
-            algo = CKSeek(net, khat=khat, delta_khat=delta_khat, seed=s)
-            result = algo.run()
-            report = verify_k_discovery(result, net, khat=khat)
-            return report.success, result.total_slots
-
+        trial = _batched_cseek_trial(
+            lambda s, khat=khat, delta_khat=delta_khat: CKSeek(
+                net, khat=khat, delta_khat=delta_khat, seed=s
+            ),
+            lambda result, khat=khat: (
+                verify_k_discovery(result, net, khat=khat).success,
+                result.total_slots,
+            ),
+        )
         outcomes = run_trials(
             trial, trials, seed + khat, label=f"e4-{khat}", executor=executor
         )
@@ -580,13 +620,27 @@ def experiment_e6(
         net = build_network(graph, c=8, k=1, seed=seed + num_cliques)
         kn = net.knowledge()
 
-        def cg_trial(s: int):
-            result = CGCast(net, source=0, seed=s).run()
+        def cg_trial(s: int, net=net, discovery=None):
+            result = CGCast(
+                net, source=0, seed=s, discovery=discovery
+            ).run()
             return (
                 result.success,
                 result.ledger.get("dissemination"),
                 result.total_slots,
             )
+
+        def cg_run_batch(seeds, net=net):
+            # Batch the (dominant) discovery phase across the trial
+            # axis, then feed each trial its bit-identical CSEEK result;
+            # the heterogeneous exchange/coloring stages stay serial.
+            discoveries = batched_discovery(net, seeds)
+            return [
+                cg_trial(s, net=net, discovery=d)
+                for s, d in zip(seeds, discoveries)
+            ]
+
+        cg_trial.run_batch = cg_run_batch
 
         def nv_trial(s: int):
             result = NaiveBroadcast(net, source=0, seed=s).run()
@@ -797,11 +851,13 @@ def experiment_e8(
             star(delta + 1), c=8, k=2, seed=seed + delta, kind="global_core"
         )
 
-        def star_trial(s: int):
-            result = CSeek(net, seed=s).run()
+        def star_outcome(result, net=net):
             report = verify_discovery(result, net)
             return report.success, report.completion_slot
 
+        star_trial = _batched_cseek_trial(
+            lambda s, net=net: CSeek(net, seed=s), star_outcome
+        )
         outcomes = run_trials(
             star_trial,
             max(3, trials // 3),
@@ -923,10 +979,7 @@ def experiment_e10(
             e for e in net.edges() if net.edge_overlap(*e) == kmax
         ]
 
-        def trial(s: int):
-            result = CSeek(
-                net, seed=s, part1_steps=300, part2_steps=400
-            ).run()
+        def pair_rates(result, lo_pairs=lo_pairs, hi_pairs=hi_pairs):
             lo = sum(
                 (v in result.discovered[u]) + (u in result.discovered[v])
                 for u, v in lo_pairs
@@ -937,6 +990,12 @@ def experiment_e10(
             ) / (2 * len(hi_pairs))
             return lo, hi
 
+        trial = _batched_cseek_trial(
+            lambda s, net=net: CSeek(
+                net, seed=s, part1_steps=300, part2_steps=400
+            ),
+            pair_rates,
+        )
         outcomes = run_trials(
             trial, trials, seed + kmax, label=f"e10h{kmax}", executor=executor
         )
@@ -961,11 +1020,13 @@ def experiment_e10(
             graph, c=16, k=1, seed=seed + kmax, kind=kind, kmax=kmax
         )
 
-        def full_trial(s: int):
-            result = CSeek(net, seed=s).run()
-            report = verify_discovery(result, net)
-            return report.success, result.total_slots
-
+        full_trial = _batched_cseek_trial(
+            lambda s, net=net: CSeek(net, seed=s),
+            lambda result, net=net: (
+                verify_discovery(result, net).success,
+                result.total_slots,
+            ),
+        )
         outcomes = run_trials(
             full_trial,
             trials,
@@ -1134,21 +1195,27 @@ def experiment_e12(
         cases.append(("long bursts (dwell 500)", activity, 500.0))
     for name, activity, dwell in cases:
 
-        def trial(s: int):
-            jammer = (
-                PrimaryUserTraffic(
+        jammer_factory = (
+            (
+                lambda s, activity=activity, dwell=dwell: PrimaryUserTraffic(
                     all_channels,
                     activity=activity,
                     mean_dwell=dwell,
                     seed=s + 1000,
                 )
-                if activity > 0
-                else None
             )
-            result = CSeek(net, seed=s, jammer=jammer).run()
+            if activity > 0
+            else None
+        )
+        def verify_outcome(result):
             report = verify_discovery(result, net)
             return report.success, report.completion_slot
 
+        trial = _batched_cseek_trial(
+            lambda s: CSeek(net, seed=s),
+            verify_outcome,
+            jammer_factory=jammer_factory,
+        )
         outcomes = run_trials(
             trial,
             trials,

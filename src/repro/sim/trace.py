@@ -14,13 +14,13 @@ sender)`` was heard, plus optional full event logs when ``verbose``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sim.engine import StepOutcome
+from repro.sim.engine import BatchStepOutcome, StepOutcome
 
-__all__ = ["ReceptionEvent", "TraceRecorder"]
+__all__ = ["ReceptionEvent", "TraceRecorder", "record_step_batch"]
 
 
 @dataclass(frozen=True)
@@ -135,3 +135,69 @@ class TraceRecorder:
     def reception_count(self) -> int:
         """Number of distinct ordered ``(listener, sender)`` pairs heard."""
         return len(self.first_heard)
+
+
+def record_step_batch(
+    recorders: Sequence[TraceRecorder],
+    outcome: BatchStepOutcome,
+    start_slot: int,
+    phase: str,
+    channels: Optional[np.ndarray] = None,
+) -> None:
+    """Ingest one batched step into per-trial recorders in a single pass.
+
+    Equivalent to ``recorders[b].record_step(outcome.trial(b), ...)`` for
+    every trial ``b``, but the reception scan (the per-step cost that
+    dominates protocol bookkeeping once the engine is batched) runs once
+    over the whole ``(B, T, n)`` block instead of ``B`` times. Verbose
+    recorders fall back to the per-trial path — event logs need every
+    reception, not just firsts.
+
+    Args:
+        recorders: One recorder per trial (length ``B``).
+        outcome: Batched engine result for the step.
+        start_slot: Global slot index of the step's slot 0 (shared by all
+            trials — they run in lockstep).
+        phase: Phase label for bookkeeping.
+        channels: Optional ``(B, n)`` per-trial global channels during
+            the step, used to annotate events.
+    """
+    heard = outcome.heard_from
+    if len(recorders) != heard.shape[0]:
+        raise ValueError(
+            f"{len(recorders)} recorders for {heard.shape[0]} trials"
+        )
+    if any(rec.verbose for rec in recorders):
+        for b, rec in enumerate(recorders):
+            rec.record_step(
+                outcome.trial(b),
+                start_slot,
+                phase,
+                channels=channels[b] if channels is not None else None,
+            )
+        return
+    trials, slots, listeners = np.nonzero(heard >= 0)
+    if trials.size == 0:
+        return
+    senders = heard[trials, slots, listeners]
+    # np.nonzero walks row-major — (trial, slot, listener) ascending — so
+    # np.unique's first occurrence per (trial, listener, sender) key is
+    # that trial's earliest slot, exactly as in record_step.
+    n = heard.shape[2]
+    keys = (
+        trials.astype(np.int64) * n + listeners.astype(np.int64)
+    ) * n + senders.astype(np.int64)
+    _, first_idx = np.unique(keys, return_index=True)
+    for i in first_idx.tolist():
+        b = int(trials[i])
+        key = (int(listeners[i]), int(senders[i]))
+        first_heard = recorders[b].first_heard
+        if key in first_heard:
+            continue
+        first_heard[key] = ReceptionEvent(
+            slot=start_slot + int(slots[i]),
+            listener=key[0],
+            sender=key[1],
+            channel=int(channels[b, key[0]]) if channels is not None else -1,
+            phase=phase,
+        )

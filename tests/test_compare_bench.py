@@ -1,0 +1,207 @@
+"""The CI benchmark regression gate (benchmarks/compare_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def write_bench_json(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_bench_json(
+        tmp_path / "baseline.json",
+        {"bench_key": 1.0, "bench_free": 1.0},
+    )
+
+
+def run_gate(fresh, baseline, **kwargs):
+    argv = [
+        str(fresh),
+        "--baseline",
+        str(baseline),
+        "--key",
+        kwargs.pop("key", "bench_key"),
+    ]
+    for flag, value in kwargs.items():
+        argv += [f"--{flag}", str(value)]
+    return compare_bench.main(argv)
+
+
+class TestVerdicts:
+    def test_identical_passes(self, tmp_path, baseline, capsys):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 1.0, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_synthetic_2x_slowdown_fails(self, tmp_path, baseline, capsys):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 2.0, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "bench_key" in out
+
+    def test_slowdown_within_threshold_passes(self, tmp_path, baseline):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 1.2, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 0
+
+    def test_non_key_slowdown_does_not_gate(self, tmp_path, baseline, capsys):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 1.0, "bench_free": 9.0}
+        )
+        assert run_gate(fresh, baseline) == 0
+        assert "SLOWER" in capsys.readouterr().out
+
+    def test_speedup_passes(self, tmp_path, baseline, capsys):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 0.4, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 0
+        assert "faster" in capsys.readouterr().out
+
+    def test_missing_key_benchmark_fails(self, tmp_path, baseline):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 1
+
+    def test_new_benchmark_without_baseline_passes(self, tmp_path, baseline):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json",
+            {"bench_key": 1.0, "bench_free": 1.0, "bench_brand_new": 5.0},
+        )
+        assert run_gate(fresh, baseline) == 0
+
+    def test_key_benchmark_missing_from_baseline_fails(
+        self, tmp_path, baseline, capsys
+    ):
+        """A gated benchmark with no baseline entry means the committed
+        baseline is stale — fail so someone refreshes it."""
+        fresh = write_bench_json(
+            tmp_path / "fresh.json",
+            {"bench_key": 1.0, "bench_free": 1.0, "bench_key2": 1.0},
+        )
+        assert run_gate(fresh, baseline, key="bench_key,bench_key2") == 1
+        assert "refresh" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path, baseline):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 1.2, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline, threshold=0.1) == 1
+
+
+class TestInputs:
+    def test_missing_baseline_file(self, tmp_path):
+        fresh = write_bench_json(tmp_path / "fresh.json", {"bench_key": 1.0})
+        assert (
+            compare_bench.main(
+                [str(fresh), "--baseline", str(tmp_path / "nope.json")]
+            )
+            == 2
+        )
+
+    def test_missing_fresh_file(self, baseline, tmp_path):
+        assert (
+            compare_bench.main(
+                [str(tmp_path / "nope.json"), "--baseline", str(baseline)]
+            )
+            == 2
+        )
+
+    def test_step_summary_written(
+        self, tmp_path, baseline, monkeypatch, capsys
+    ):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 2.0, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline) == 1
+        capsys.readouterr()
+        text = summary.read_text()
+        assert "Benchmark comparison" in text
+        assert "bench_key" in text
+
+    def test_default_key_set_names_cseek_pair(self):
+        assert "bench_cseek16_serial" in compare_bench.KEY_BENCHMARKS
+        assert "bench_cseek16_batched" in compare_bench.KEY_BENCHMARKS
+
+    def test_committed_baseline_contains_key_benchmarks(self):
+        baseline = compare_bench.load_means(compare_bench.DEFAULT_BASELINE)
+        for name in compare_bench.KEY_BENCHMARKS:
+            assert name in baseline, f"{name} missing from BENCH_baseline.json"
+
+    def test_baseline_records_batched_cseek_win(self):
+        """The tentpole's claim, pinned in the committed baseline: the
+        trial-batched CSEEK end-to-end run beats the serial loop."""
+        baseline = compare_bench.load_means(compare_bench.DEFAULT_BASELINE)
+        assert (
+            baseline["bench_cseek16_batched"]
+            < baseline["bench_cseek16_serial"]
+        )
+
+
+class TestRatioGates:
+    def test_batched_slower_than_serial_fails(self, capsys):
+        fresh = {"bench_cseek16_batched": 2.0, "bench_cseek16_serial": 1.0}
+        failures = compare_bench.check_ratio_gates(fresh)
+        assert len(failures) == 1
+        assert "bench_cseek16_batched" in failures[0]
+
+    def test_batched_faster_than_serial_passes(self):
+        fresh = {"bench_cseek16_batched": 0.5, "bench_cseek16_serial": 1.0}
+        assert compare_bench.check_ratio_gates(fresh) == []
+
+    def test_missing_pair_is_not_a_ratio_failure(self):
+        assert compare_bench.check_ratio_gates({}) == []
+
+    def test_ratio_gate_reaches_exit_code(self, tmp_path, capsys):
+        """End to end: an inverted batched/serial pair fails main()
+        even when every absolute comparison is within threshold."""
+        means = {
+            "bench_cseek16_batched": 3.0,
+            "bench_cseek16_serial": 1.0,
+            "bench_key": 1.0,
+        }
+        base = write_bench_json(tmp_path / "base.json", means)
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        assert run_gate(fresh, base) == 1
+        assert "no longer beats" in capsys.readouterr().out
+
+    def test_committed_baseline_passes_ratio_gates(self):
+        baseline = compare_bench.load_means(compare_bench.DEFAULT_BASELINE)
+        assert compare_bench.check_ratio_gates(baseline) == []
+
+    def test_ratio_gate_operands_are_key_benchmarks(self):
+        """A renamed/removed gate operand must trip the key-benchmark
+        missing check — it cannot silently disable its ratio gate."""
+        for numerator, denominator, _ in compare_bench.RATIO_GATES:
+            assert numerator in compare_bench.KEY_BENCHMARKS
+            assert denominator in compare_bench.KEY_BENCHMARKS
