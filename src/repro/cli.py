@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any experiment table.
+"""Command-line entry point: regenerate experiment and scenario tables.
 
 Usage::
 
@@ -7,13 +7,25 @@ Usage::
     python -m repro run E2 --trials 64 --jobs 4          # process pool
     python -m repro run E1 --trials 64 --jobs batch      # vectorized
     python -m repro run all --out results/ --cache       # skip re-runs
+    python -m repro scenarios                            # list + metadata
+    python -m repro run-scenario pu-geo-cseek --jobs batch
+    python -m repro run-scenario count-interference \\
+        --set sweep.axes.activity=[0.1,0.9] --set trials=8
+    python -m repro run-scenario my_workload.json --cache
 
 ``--jobs`` selects the trial execution strategy (serial by default; an
 int fans trials out to that many worker processes, ``batch`` vectorizes
 homogeneous trial axes) and never changes the produced rows — per-trial
 seeds derive up front from the master seed. ``--cache`` consults the
 deterministic result cache in ``.repro_cache/`` (keyed on experiment,
-trials, seed and code version) before running anything.
+trials, seed and code version — scenario runs additionally key on their
+spec digest, so ``--set`` overrides never collide with default runs).
+
+``run-scenario`` accepts a registered scenario name (see ``scenarios``)
+or a path to a JSON scenario file (see ``repro.scenarios.spec``);
+``--set path=value`` overrides any declarative spec field, with values
+parsed as JSON when possible (``--set assignment.c=16``,
+``--set sweep.axes.m=[2,4]``, ``--set protocol.params.rule=argmax``).
 
 ``crn-repro`` (the console script declared in ``pyproject.toml``) is
 equivalent when the package is installed through a regular ``pip
@@ -26,11 +38,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.harness import experiment_ids, run_experiment
 from repro.harness.executor import get_executor
 from repro.model.errors import HarnessError, ReproError
+from repro.scenarios import iter_scenarios, run_scenario
 
 __all__ = ["main", "build_parser"]
 
@@ -104,7 +117,101 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default .repro_cache/)",
     )
+
+    sub.add_parser(
+        "scenarios",
+        help="list registered scenarios (paper + stock) with metadata",
+    )
+
+    run_scn = sub.add_parser(
+        "run-scenario",
+        help="run a registered scenario or a JSON scenario file",
+    )
+    run_scn.add_argument(
+        "scenario",
+        help="scenario name (see 'scenarios') or path to a .json file",
+    )
+    run_scn.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trials per sweep point (default: scenario-specific)",
+    )
+    run_scn.add_argument("--seed", type=int, default=0, help="master seed")
+    run_scn.add_argument(
+        "--out",
+        default=None,
+        help="directory for <id>.md and <id>.csv outputs",
+    )
+    run_scn.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        help=(
+            "trial execution strategy (int / 'batch' / 'batch:N' / "
+            "'serial'); results are identical either way"
+        ),
+    )
+    run_scn.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="PATH=VALUE",
+        help=(
+            "override a spec field (repeatable): --set assignment.c=16, "
+            "--set sweep.axes.m=[2,4], --set trials=8; values parse as "
+            "JSON when possible"
+        ),
+    )
+    run_scn.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "reuse cached tables keyed on scenario, trials, seed, code "
+            "version and the spec digest (overrides included)"
+        ),
+    )
+    run_scn.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro_cache/)",
+    )
     return parser
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, str]:
+    overrides: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise HarnessError(
+                f"bad --set value {pair!r}; expected PATH=VALUE"
+            )
+        path, _, value = pair.partition("=")
+        if not path:
+            raise HarnessError(
+                f"bad --set value {pair!r}; empty path"
+            )
+        overrides[path] = value
+    return overrides
+
+
+def _list_scenarios() -> None:
+    specs = iter_scenarios()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        kind = "paper" if "paper" in spec.tags else "stock"
+        points = (
+            str(len(spec.sweep.points()))
+            if spec.is_declarative and spec.sweep is not None
+            else ("1" if spec.is_declarative else "-")
+        )
+        print(
+            f"{spec.name:<{width}}  [{kind}]  trials={spec.trials:<3} "
+            f"points={points:<3} {spec.title}"
+        )
+        if spec.description:
+            print(f"{'':<{width}}  {spec.description}")
 
 
 def _run_one(
@@ -141,6 +248,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)
+        return 0
+    if args.command == "scenarios":
+        _list_scenarios()
+        return 0
+    if args.command == "run-scenario":
+        try:
+            start = time.time()
+            table = run_scenario(
+                args.scenario,
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                overrides=_parse_overrides(args.overrides),
+                cache=args.cache,
+                cache_dir=args.cache_dir,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.time() - start
+        print(table.to_markdown())
+        print(f"\n[{table.experiment_id} finished in {elapsed:.1f}s]")
+        if args.out is not None:
+            paths = table.save(args.out)
+            print(f"[written: {paths['markdown']}, {paths['csv']}]")
         return 0
     # command == "run"
     targets = (

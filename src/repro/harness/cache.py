@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.harness.runner import ExperimentTable
 
@@ -57,18 +57,28 @@ def code_version() -> str:
 
 
 def cache_key(
-    experiment_id: str, trials: Optional[int], seed: int
+    experiment_id: str,
+    trials: Optional[int],
+    seed: int,
+    extra: "Mapping[str, object] | None" = None,
 ) -> str:
-    """Stable key for one table: experiment + params + code version."""
-    payload = json.dumps(
-        {
-            "experiment": experiment_id.upper(),
-            "trials": trials,
-            "seed": seed,
-            "code": code_version(),
-        },
-        sort_keys=True,
-    )
+    """Stable key for one table: experiment + params + code version.
+
+    ``extra`` folds additional identity into the key — the scenario
+    layer passes its spec digest (which covers every ``--set``
+    override), so an overridden scenario run can never collide with a
+    default-parameter cache entry. Omitting ``extra`` reproduces the
+    pre-scenario key exactly.
+    """
+    fields: dict = {
+        "experiment": experiment_id.upper(),
+        "trials": trials,
+        "seed": seed,
+        "code": code_version(),
+    }
+    if extra:
+        fields["extra"] = dict(extra)
+    payload = json.dumps(fields, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
@@ -84,9 +94,14 @@ def _entry_path(
     trials: Optional[int],
     seed: int,
     cache_dir: "str | Path | None",
+    extra: "Mapping[str, object] | None" = None,
 ) -> Path:
-    key = cache_key(experiment_id, trials, seed)
-    return _resolve_dir(cache_dir) / f"{experiment_id.lower()}-{key}.json"
+    key = cache_key(experiment_id, trials, seed, extra=extra)
+    safe_id = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_"
+        for ch in experiment_id.lower()
+    )
+    return _resolve_dir(cache_dir) / f"{safe_id}-{key}.json"
 
 
 def _jsonify(value: object) -> object:
@@ -101,9 +116,10 @@ def store_table(
     trials: Optional[int],
     seed: int,
     cache_dir: "str | Path | None" = None,
+    extra: "Mapping[str, object] | None" = None,
 ) -> Path:
     """Persist a finished table; returns the entry path."""
-    path = _entry_path(table.experiment_id, trials, seed, cache_dir)
+    path = _entry_path(table.experiment_id, trials, seed, cache_dir, extra)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "experiment_id": table.experiment_id,
@@ -115,6 +131,8 @@ def store_table(
         "seed": seed,
         "code": code_version(),
     }
+    if extra:
+        payload["extra"] = dict(extra)
     tmp = path.with_suffix(".tmp")
     tmp.write_text(
         json.dumps(payload, default=_jsonify, indent=1), encoding="utf-8"
@@ -128,13 +146,14 @@ def load_table(
     trials: Optional[int],
     seed: int,
     cache_dir: "str | Path | None" = None,
+    extra: "Mapping[str, object] | None" = None,
 ) -> Optional[ExperimentTable]:
     """Return the cached table for these inputs, or None.
 
     Unreadable or corrupt entries are treated as misses (the caller
     recomputes and overwrites), never as errors.
     """
-    path = _entry_path(experiment_id, trials, seed, cache_dir)
+    path = _entry_path(experiment_id, trials, seed, cache_dir, extra)
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, ValueError):

@@ -1,12 +1,12 @@
-"""Experiment definitions E1-E10 (see DESIGN.md §4).
+"""Experiment entry points E1-E12 — thin wrappers over the scenario layer.
 
-Each function regenerates one of the paper's claims as an empirical
-table. The paper is a theory paper — its "figures" are theorems — so a
-reproduction here means: run the algorithm the theorem describes, verify
-its guarantee (success frequency across seeds), and check the *shape* of
-its bound (scaling along sweeps, ratios and crossovers against
-baselines). Absolute constants are ours, not the paper's; shapes are
-comparable.
+The experiment definitions themselves live in
+:mod:`repro.scenarios.paper` as registered
+:class:`~repro.scenarios.spec.ScenarioSpec` objects compiled by
+:mod:`repro.scenarios.compile`; what remains here is the legacy calling
+surface (``experiment_eN`` functions, the ``EXPERIMENTS`` registry and
+:func:`run_experiment` with its result cache) that tests, benchmarks
+and the CLI's ``run`` command rely on.
 
 All experiments take a ``trials`` knob (statistical confidence vs
 runtime), a master ``seed``, and a ``jobs`` knob selecting the execution
@@ -22,1246 +22,72 @@ and batched runs of the same master seed are bit-identical.
 
 from __future__ import annotations
 
-import math
 import warnings
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-import numpy as np
-
-from repro.analysis import (
-    cgcast_bound,
-    ckseek_bound,
-    complete_game_floor,
-    cseek_bound,
-    fit_power_law,
-    hitting_game_floor,
-    naive_broadcast_bound,
-    naive_discovery_bound,
-    success_rate,
-    summarize,
-    zeng_discovery_bound,
-)
-from repro.baselines import (
-    NaiveBroadcast,
-    NaiveDiscovery,
-    broadcast_floor,
-    tree_broadcast_floor,
-)
-from repro.core import (
-    CGCast,
-    CKSeek,
-    CSeek,
-    CSeekBatch,
-    LineGraph,
-    LubyEdgeColoring,
-    ProtocolConstants,
-    batched_discovery,
-    is_valid_edge_coloring,
-    run_count_step,
-    verify_discovery,
-    verify_k_discovery,
-)
-from repro.graphs import (
-    build_network,
-    build_theorem14_tree,
-    path_of_cliques,
-    random_regular,
-    star,
-)
 from repro.harness.cache import load_table, store_table
-from repro.harness.executor import Executor, get_executor
-from repro.harness.runner import ExperimentTable, run_trials
+from repro.harness.executor import Executor
+from repro.harness.runner import ExperimentTable
 from repro.model.errors import HarnessError
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
-Row = Dict[str, object]
-
 Jobs = int | str | Executor | None
 
-
-def _batched_cseek_trial(
-    make_protocol: Callable[[int], CSeek],
-    postprocess: Callable[..., object],
-    jammer_factory: Callable[[int], object] | None = None,
-) -> Callable[[int], object]:
-    """A full-protocol trial callable with a vectorized trial axis.
-
-    The serial path constructs and runs one protocol per seed (the
-    reference semantics every executor must reproduce). The ``run_batch``
-    attribute — picked up by the ``jobs="batch"`` executor — routes the
-    whole seed list through :class:`repro.core.cseek_batch.CSeekBatch`
-    instead, so each part-one step and part-two window of *all* trials
-    resolves as one batched engine call; per-trial results are
-    bit-identical to the serial path. ``make_protocol`` must be
-    homogeneous in the seed (same network/budgets/policy every call);
-    per-trial jammers come from ``jammer_factory``.
-    """
-
-    def trial(s: int):
-        proto = make_protocol(s)
-        if jammer_factory is not None:
-            proto.jammer = jammer_factory(s)
-        return postprocess(proto.run())
-
-    def run_batch(seeds):
-        batch = CSeekBatch.from_serial(
-            make_protocol(0), jammer_factory=jammer_factory
-        )
-        return [postprocess(r) for r in batch.run(seeds)]
-
-    trial.run_batch = run_batch
-    return trial
+_EXPERIMENT_IDS = [f"E{i}" for i in range(1, 13)]
 
 
-# ----------------------------------------------------------------------
-# E1 — COUNT accuracy (Lemma 1)
-# ----------------------------------------------------------------------
-def experiment_e1(
-    trials: int = 30, seed: int = 0, jobs: Jobs = None
+def _scenario_table(
+    experiment_id: str, trials: Optional[int], seed: int, jobs: Jobs
 ) -> ExperimentTable:
-    """Lemma 1: COUNT estimates the broadcaster count within constants.
+    # Deferred import: repro.scenarios builds on the harness's runner /
+    # executor / cache modules, and this module is imported by the
+    # repro.harness package init — a top-level import here would close
+    # that cycle while both packages are half-initialized. The import
+    # runs once per experiment call (not per trial), so it costs
+    # nothing measurable.
+    from repro.scenarios import paper_spec, run_scenario_spec
 
-    One listener faces ``m`` broadcasters on a single channel; both
-    estimation rules run over independent trials. The paper's guarantee
-    is an estimate in ``[m, 4m]``; we report the median estimate/m ratio
-    and the frequency of landing within a factor-4 band.
-
-    The trials at each sweep point are homogeneous (one topology, only
-    coins vary), so under ``jobs="batch"`` the whole trial axis resolves
-    through :func:`repro.core.count.run_count_step_batch` in one shot.
-    """
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    rules = [
-        ("argmax", ProtocolConstants(count_rule="argmax", count_round_slots=8.0)),
-        (
-            "first_crossing",
-            ProtocolConstants(
-                count_rule="first_crossing", count_round_slots=192.0
-            ),
-        ),
-    ]
-    for rule_name, consts in rules:
-        for m in (1, 2, 4, 8, 16, 32):
-            n = m + 1
-            adj = np.zeros((n, n), dtype=bool)
-            adj[0, 1:] = True
-            adj[1:, 0] = True
-            channels = np.zeros(n, dtype=np.int64)
-            tx_role = np.ones(n, dtype=bool)
-            tx_role[0] = False
-
-            def trial(s: int, consts=consts, adj=adj, channels=channels,
-                      tx_role=tx_role) -> float:
-                rng = np.random.default_rng(s)
-                out = run_count_step(
-                    adj,
-                    channels,
-                    tx_role,
-                    max_count=32,
-                    log_n=5,
-                    constants=consts,
-                    rng=rng,
-                )
-                return float(out.estimates[0])
-
-            def trial_batch(seeds, consts=consts, adj=adj,
-                            channels=channels, tx_role=tx_role):
-                from repro.core import run_count_step_batch
-
-                out = run_count_step_batch(
-                    adj,
-                    channels,
-                    tx_role,
-                    max_count=32,
-                    log_n=5,
-                    constants=consts,
-                    rngs=[np.random.default_rng(s) for s in seeds],
-                )
-                return [float(e) for e in out.estimates[:, 0]]
-
-            trial.run_batch = trial_batch
-            estimates = run_trials(
-                trial,
-                trials,
-                seed,
-                label=f"e1-{rule_name}-{m}",
-                executor=executor,
-            )
-            ratios = [e / m for e in estimates]
-            in_band = [m / 4 <= e <= 4 * m for e in estimates]
-            from repro.core import count_schedule
-
-            rounds, length = count_schedule(32, 5, consts)
-            rows.append(
-                {
-                    "rule": rule_name,
-                    "m": m,
-                    "median_ratio": float(np.median(ratios)),
-                    "band_rate(est in [m/4,4m])": success_rate(in_band),
-                    "slots": rounds * length,
-                }
-            )
-    return ExperimentTable(
-        experiment_id="E1",
-        title="COUNT accuracy (Lemma 1)",
-        rows=rows,
-        notes=(
-            "Paper claim: COUNT returns an estimate within a constant "
-            "factor of the true broadcaster count m, in O(lg^2 n) slots. "
-            "Both rules should hold median ratios within [1/4, 4] across "
-            "the m sweep; the paper-exact first-crossing rule needs the "
-            "long rounds its hidden constant implies."
-        ),
+    return run_scenario_spec(
+        paper_spec(experiment_id), trials=trials, seed=seed, jobs=jobs
     )
 
 
-# ----------------------------------------------------------------------
-# E2 — CSEEK scaling vs baselines (Theorem 4)
-# ----------------------------------------------------------------------
-def _discovery_times(
-    net, trials: int, seed: int, label: str,
-    executor: Executor | None = None,
-) -> Dict[str, object]:
-    """Measured completion slots + success rates for CSEEK and naive."""
+def _make_experiment(experiment_id: str) -> Callable[..., ExperimentTable]:
+    def experiment(
+        trials: Optional[int] = None, seed: int = 0, jobs: Jobs = None
+    ) -> ExperimentTable:
+        return _scenario_table(experiment_id, trials, seed, jobs)
 
-    def summarize_result(result):
-        report = verify_discovery(result, net)
-        return report.success, report.completion_slot, result.total_slots
-
-    cseek_trial = _batched_cseek_trial(
-        lambda s: CSeek(net, seed=s), summarize_result
+    experiment.__name__ = f"experiment_{experiment_id.lower()}"
+    experiment.__qualname__ = experiment.__name__
+    experiment.__doc__ = (
+        f"Regenerate {experiment_id}'s table through the scenario layer "
+        f"(see repro.scenarios.paper); ``trials=None`` uses the "
+        "experiment's default."
     )
-
-    def naive_trial(s: int):
-        nd = NaiveDiscovery(net, seed=s)
-        result = nd.run()
-        report = nd.verify(result)
-        return report.success, report.completion_slot, result.total_slots
-
-    cs = run_trials(
-        cseek_trial, trials, seed, label=f"{label}-cseek", executor=executor
-    )
-    nv = run_trials(
-        naive_trial, trials, seed, label=f"{label}-naive", executor=executor
-    )
-    cs_done = [t for ok, t, _ in cs if ok and t is not None]
-    nv_done = [t for ok, t, _ in nv if ok and t is not None]
-    return {
-        "cseek_success": success_rate([ok for ok, _, _ in cs]),
-        "naive_success": success_rate([ok for ok, _, _ in nv]),
-        "cseek_completion": (
-            summarize(cs_done).mean if cs_done else None
-        ),
-        "naive_completion": (
-            summarize(nv_done).mean if nv_done else None
-        ),
-        "cseek_schedule": cs[0][2],
-        "naive_schedule": nv[0][2],
-    }
-
-
-def experiment_e2(
-    trials: int = 5, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Theorem 4: CSEEK's c-, Delta- and k-scaling against the naive
-    baseline and the analytic bound curves."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    # --- (a) sweep c with k, Delta fixed (need Delta * k <= c) ------
-    for c in (8, 12, 16, 20):
-        graph = random_regular(20, 4, seed=seed + c)
-        net = build_network(graph, c=c, k=2, seed=seed + c)
-        kn = net.knowledge()
-        stats = _discovery_times(
-            net, trials, seed + c, f"e2c{c}", executor=executor
-        )
-        rows.append(
-            {
-                "sweep": "c",
-                "x": c,
-                **stats,
-                "cseek_bound": cseek_bound(kn.c, kn.k, kn.kmax, kn.max_degree),
-                "naive_bound": naive_discovery_bound(kn.c, kn.k, kn.max_degree),
-                "zeng_bound": zeng_discovery_bound(kn.c, kn.k, kn.max_degree),
-            }
-        )
-    # --- (b) sweep Delta on crowded stars ---------------------------
-    # Delta is the axis on which the bounds diverge (additive for CSEEK,
-    # multiplicative for naive); the biggest point is capped at fewer
-    # trials to keep the sweep laptop-sized.
-    for delta in (8, 32, 128):
-        net = build_network(
-            star(delta + 1), c=8, k=2, seed=seed + delta, kind="global_core"
-        )
-        kn = net.knowledge()
-        point_trials = trials if delta < 128 else min(trials, 2)
-        stats = _discovery_times(
-            net, point_trials, seed + 100 + delta, f"e2d{delta}",
-            executor=executor,
-        )
-        rows.append(
-            {
-                "sweep": "Delta",
-                "x": delta,
-                **stats,
-                "cseek_bound": cseek_bound(
-                    kn.c, kn.k, kn.kmax, kn.max_degree, n=kn.n
-                ),
-                "naive_bound": naive_discovery_bound(
-                    kn.c, kn.k, kn.max_degree, n=kn.n
-                ),
-                "zeng_bound": zeng_discovery_bound(
-                    kn.c, kn.k, kn.max_degree, n=kn.n
-                ),
-            }
-        )
-    # --- (c) sweep k with c fixed -----------------------------------
-    for k in (1, 2, 4):
-        graph = random_regular(20, 4, seed=seed + 7)
-        net = build_network(graph, c=16, k=k, seed=seed + k)
-        kn = net.knowledge()
-        stats = _discovery_times(
-            net, trials, seed + 200 + k, f"e2k{k}", executor=executor
-        )
-        rows.append(
-            {
-                "sweep": "k",
-                "x": k,
-                **stats,
-                "cseek_bound": cseek_bound(kn.c, kn.k, kn.kmax, kn.max_degree),
-                "naive_bound": naive_discovery_bound(kn.c, kn.k, kn.max_degree),
-                "zeng_bound": zeng_discovery_bound(kn.c, kn.k, kn.max_degree),
-            }
-        )
-    slope_note = ""
-    c_rows = [r for r in rows if r["sweep"] == "c" and r["cseek_completion"]]
-    if len(c_rows) >= 2:
-        fit = fit_power_law(
-            [r["x"] for r in c_rows], [r["cseek_completion"] for r in c_rows]
-        )
-        slope_note += (
-            f" Measured CSEEK completion-vs-c log-log slope: "
-            f"{fit.slope:.2f} (bound predicts ~2 once the c^2/k term "
-            "dominates)."
-        )
-    d_rows = [
-        r
-        for r in rows
-        if r["sweep"] == "Delta"
-        and r["cseek_completion"]
-        and r["naive_completion"]
-    ]
-    if len(d_rows) >= 2:
-        cs_fit = fit_power_law(
-            [r["x"] for r in d_rows], [r["cseek_completion"] for r in d_rows]
-        )
-        nv_fit = fit_power_law(
-            [r["x"] for r in d_rows], [r["naive_completion"] for r in d_rows]
-        )
-        ratios = [
-            r["naive_completion"] / r["cseek_completion"] for r in d_rows
-        ]
-        slope_note += (
-            f" Delta-sweep slopes: CSEEK {cs_fit.slope:.2f} (additive "
-            f"Delta term, sub-linear at these sizes), naive "
-            f"{nv_fit.slope:.2f} (multiplicative Delta). Naive/CSEEK "
-            f"completion ratio along the sweep: "
-            + ", ".join(f"{r:.2f}" for r in ratios)
-            + " — rising with Delta as the bounds predict. At laptop "
-            "sizes the lg^2 n slots inside every COUNT step keep CSEEK's "
-            "absolute numbers above naive's; the bound-side crossover "
-            "(Delta >~ lg^2 n x constants) extrapolates to Delta in the "
-            "several hundreds, beyond this sweep."
-        )
-    return ExperimentTable(
-        experiment_id="E2",
-        title="CSEEK vs naive discovery scaling (Theorem 4)",
-        rows=rows,
-        notes=(
-            "Paper claim: CSEEK needs O~(c^2/k + (kmax/k) Delta) slots vs "
-            "the naive strawman's O~((c^2/k) Delta); CSEEK's advantage "
-            "grows with Delta (additive vs multiplicative) and both scale "
-            "as c^2/k in c and 1/k in k." + slope_note
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E3 — part-one vs part-two discovery split (Lemmas 2 and 3)
-# ----------------------------------------------------------------------
-def experiment_e3(
-    trials: int = 5, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Lemma 2/3: part one suffices on un-crowded channels; on crowded
-    channels part two's density-weighted listening does the work."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    # (a) full budgets: Lemma 2 says part one alone already finds
-    # everything when channels are un-crowded.
-    cases = [
-        (
-            "full budget, sparse (exact k, regular)",
-            build_network(
-                random_regular(20, 4, seed=seed + 1), c=8, k=2, seed=seed + 1
-            ),
-        ),
-        (
-            "full budget, crowded (global core, star)",
-            build_network(
-                star(25), c=6, k=2, seed=seed + 2, kind="global_core"
-            ),
-        ),
-    ]
-    def fraction_found(result, truth, total_pairs, n):
-        part1 = sum(
-            len(result.discovered_part_one[u] & set(truth[u]))
-            for u in range(n)
-        )
-        both = sum(
-            len(result.discovered[u] & set(truth[u])) for u in range(n)
-        )
-        return part1 / total_pairs, both / total_pairs
-
-    for name, net in cases:
-        truth = net.true_neighbor_sets()
-        total_pairs = sum(len(s) for s in truth)
-
-        trial = _batched_cseek_trial(
-            lambda s, net=net: CSeek(net, seed=s),
-            lambda result, truth=truth, total_pairs=total_pairs, n=net.n: (
-                fraction_found(result, truth, total_pairs, n)
-            ),
-        )
-        outcomes = run_trials(
-            trial, trials, seed, label=f"e3-{name}", executor=executor
-        )
-        rows.append(
-            {
-                "workload": name,
-                "part2_listener": "weighted",
-                "pairs": total_pairs,
-                "part1_fraction": summarize([a for a, _ in outcomes]).mean,
-                "final_fraction": summarize([b for _, b in outcomes]).mean,
-            }
-        )
-    # (b) starved part one on a heavily crowded star: part two must
-    # rescue the remaining pairs, and its density-weighted listener is
-    # what makes the rescue fast (Lemma 3's mechanism).
-    net = build_network(
-        star(65), c=6, k=2, seed=seed + 3, kind="global_core"
-    )
-    truth = net.true_neighbor_sets()
-    total_pairs = sum(len(s) for s in truth)
-    for policy in ("weighted", "uniform"):
-
-        trial = _batched_cseek_trial(
-            lambda s, policy=policy: CSeek(
-                net,
-                seed=s,
-                part1_steps=40,
-                part2_steps=150,
-                part2_listener=policy,
-            ),
-            lambda result: fraction_found(
-                result, truth, total_pairs, net.n
-            ),
-        )
-        outcomes = run_trials(
-            trial, trials, seed + 5, label=f"e3b-{policy}", executor=executor
-        )
-        rows.append(
-            {
-                "workload": "starved part one, crowded star",
-                "part2_listener": policy,
-                "pairs": total_pairs,
-                "part1_fraction": summarize([a for a, _ in outcomes]).mean,
-                "final_fraction": summarize([b for _, b in outcomes]).mean,
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E3",
-        title="Discovery split across CSEEK's parts (Lemmas 2-3)",
-        rows=rows,
-        notes=(
-            "Paper claims: (Lemma 2) part one alone finds neighbors on "
-            "un-crowded channels — full-budget rows show part1_fraction "
-            "~1.0; (Lemma 3) on crowded channels the part-two listener, "
-            "by revisiting channels proportionally to sampled density, "
-            "recovers the rest — in the starved rows the weighted "
-            "listener's final_fraction beats the uniform ablation at the "
-            "same slot budget."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E4 — CKSEEK filter (Theorem 6)
-# ----------------------------------------------------------------------
-def experiment_e4(
-    trials: int = 5, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Theorem 6: k-hat discovery gets strictly cheaper as k-hat grows."""
-    executor = get_executor(jobs)
-    graph = random_regular(20, 4, seed=seed + 3)
-    net = build_network(
-        graph, c=16, k=2, seed=seed + 3, kind="heterogeneous", kmax=4
-    )
-    kn = net.knowledge()
-    rows: List[Row] = []
-    for khat in range(kn.k, kn.kmax + 1):
-        delta_khat = net.max_good_degree(khat)
-
-        trial = _batched_cseek_trial(
-            lambda s, khat=khat, delta_khat=delta_khat: CKSeek(
-                net, khat=khat, delta_khat=delta_khat, seed=s
-            ),
-            lambda result, khat=khat: (
-                verify_k_discovery(result, net, khat=khat).success,
-                result.total_slots,
-            ),
-        )
-        outcomes = run_trials(
-            trial, trials, seed + khat, label=f"e4-{khat}", executor=executor
-        )
-        rows.append(
-            {
-                "khat": khat,
-                "delta_khat": delta_khat,
-                "success": success_rate([ok for ok, _ in outcomes]),
-                "schedule_slots": outcomes[0][1],
-                "bound": ckseek_bound(
-                    kn.c, khat, kn.kmax, delta_khat, kn.max_degree
-                ),
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E4",
-        title="CKSEEK k-hat filter (Theorem 6)",
-        rows=rows,
-        notes=(
-            "Paper claim: finding only neighbors sharing >= khat channels "
-            "costs O~(c^2/khat + (kmax/khat) Delta_khat + Delta) — "
-            "strictly less than full CSEEK once khat > k. Expect "
-            "schedule_slots to fall monotonically with khat while success "
-            "stays 1.0."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E5 — Luby line-graph coloring (Lemma 8)
-# ----------------------------------------------------------------------
-def experiment_e5(
-    trials: int = 8, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Lemma 8: 2*Delta-coloring completes in O(lg n) phases, always
-    proper."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    for n in (8, 16, 32, 64, 128):
-        graph = random_regular(n, 4, seed=seed + n)
-        net = build_network(graph, c=8, k=2, seed=seed + n)
-        lg = LineGraph.from_edges(net.edges())
-        kn = net.knowledge()
-
-        def trial(s: int):
-            result = LubyEdgeColoring(lg, kn, seed=s).run()
-            valid = result.complete and is_valid_edge_coloring(
-                result.colors, lg.edges
-            )
-            return valid, result.phases_used
-
-        outcomes = run_trials(
-            trial, trials, seed + n, label=f"e5-{n}", executor=executor
-        )
-        rows.append(
-            {
-                "n": n,
-                "edges": lg.num_virtual,
-                "valid_rate": success_rate([ok for ok, _ in outcomes]),
-                "mean_phases": summarize(
-                    [p for _, p in outcomes]
-                ).mean,
-                "lg_n": math.ceil(math.log2(n)),
-            }
-        )
-    phase_fit = fit_power_law(
-        [r["lg_n"] for r in rows], [max(r["mean_phases"], 0.5) for r in rows]
-    )
-    return ExperimentTable(
-        experiment_id="E5",
-        title="Line-graph Luby coloring (Lemma 8, Fact 7)",
-        rows=rows,
-        notes=(
-            "Paper claim: the phased coloring 2*Delta-colors the line "
-            "graph (hence properly edge-colors G, Fact 7) within O(lg n) "
-            "phases w.h.p. Expect valid_rate 1.0 and mean_phases growing "
-            f"at most like lg n (measured phases-vs-lg n slope: "
-            f"{phase_fit.slope:.2f}; sub-linear growth in lg n is "
-            "consistent with the bound's generous constant)."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E6 — CGCAST scaling vs naive broadcast (Theorem 9)
-# ----------------------------------------------------------------------
-def experiment_e6(
-    trials: int = 3, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Theorem 9: CGCAST's per-hop dissemination cost is O~(Delta) while
-    naive broadcast pays O~(c^2/k) per hop."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    for num_cliques in (2, 4, 8, 12):
-        graph = path_of_cliques(num_cliques, 4)
-        net = build_network(graph, c=8, k=1, seed=seed + num_cliques)
-        kn = net.knowledge()
-
-        def cg_trial(s: int, net=net, discovery=None):
-            result = CGCast(
-                net, source=0, seed=s, discovery=discovery
-            ).run()
-            return (
-                result.success,
-                result.ledger.get("dissemination"),
-                result.total_slots,
-            )
-
-        def cg_run_batch(seeds, net=net):
-            # Batch the (dominant) discovery phase across the trial
-            # axis, then feed each trial its bit-identical CSEEK result;
-            # the heterogeneous exchange/coloring stages stay serial.
-            discoveries = batched_discovery(net, seeds)
-            return [
-                cg_trial(s, net=net, discovery=d)
-                for s, d in zip(seeds, discoveries)
-            ]
-
-        cg_trial.run_batch = cg_run_batch
-
-        def nv_trial(s: int):
-            result = NaiveBroadcast(net, source=0, seed=s).run()
-            return result.success, result.completion_slot
-
-        cg = run_trials(
-            cg_trial, trials, seed + num_cliques, label="e6cg",
-            executor=executor,
-        )
-        nv = run_trials(
-            nv_trial, trials, seed + num_cliques, label="e6nv",
-            executor=executor,
-        )
-        cg_diss = [d for ok, d, _ in cg if ok]
-        nv_done = [t for ok, t in nv if ok and t is not None]
-        cg_mean = summarize(cg_diss).mean if cg_diss else None
-        nv_mean = summarize(nv_done).mean if nv_done else None
-        rows.append(
-            {
-                "cliques": num_cliques,
-                "D": kn.diameter,
-                "Delta": kn.max_degree,
-                "cgcast_success": success_rate([ok for ok, _, _ in cg]),
-                "cgcast_dissemination": cg_mean,
-                "cgcast_per_hop": (
-                    cg_mean / kn.diameter if cg_mean else None
-                ),
-                "cgcast_total": cg[0][2],
-                "naive_success": success_rate([ok for ok, _ in nv]),
-                "naive_completion": nv_mean,
-                "naive_per_hop": (
-                    nv_mean / kn.diameter if nv_mean else None
-                ),
-                "cgcast_bound": cgcast_bound(
-                    kn.c, kn.k, kn.kmax, kn.max_degree, kn.diameter
-                ),
-                "naive_bound": naive_broadcast_bound(
-                    kn.c, kn.k, kn.diameter
-                ),
-            }
-        )
-    diss = [
-        r for r in rows if r["cgcast_dissemination"] and r["naive_completion"]
-    ]
-    note = ""
-    if len(diss) >= 2:
-        cg_fit = fit_power_law(
-            [r["D"] for r in diss], [r["cgcast_dissemination"] for r in diss]
-        )
-        nv_fit = fit_power_law(
-            [r["D"] for r in diss], [r["naive_completion"] for r in diss]
-        )
-        note = (
-            f" Dissemination-vs-D slopes: CGCAST {cg_fit.slope:.2f}, "
-            f"naive {nv_fit.slope:.2f} (both ~linear in D, as the bounds "
-            "predict); the naive curve carries the larger c^2/k per-hop "
-            "constant, the CGCAST curve only Delta*polylog."
-        )
-    return ExperimentTable(
-        experiment_id="E6",
-        title="CGCAST vs naive broadcast (Theorem 9)",
-        rows=rows,
-        notes=(
-            "Paper claim: CGCAST spends O~(c^2/k + (kmax/k) Delta) once "
-            "on setup, then disseminates at O~(Delta) per hop; the naive "
-            "strawman pays O~(c^2/k) per hop. On long thin networks "
-            "(growing D) the per-hop comparison favors CGCAST whenever "
-            "Delta << c^2/k (here Delta=4 vs c^2/k=64). The one-shot "
-            "total still favors naive at these sizes because CGCAST's "
-            "setup (discovery + coloring exchanges) is paid once — the "
-            "paper's regime is a long-lived network where the schedule "
-            "is reused across many broadcasts." + note
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E7 — hitting-game lower bounds (Lemmas 10 and 12)
-# ----------------------------------------------------------------------
-def experiment_e7(
-    trials: int = 30, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Lemmas 10/12: measured hitting times sit above the game floors."""
-    from repro.lowerbounds import (
-        FreshRandomPlayer,
-        HittingGame,
-        UniformRandomPlayer,
-        play,
-    )
-
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    for c in (8, 16, 32):
-        for k in (1, 2, 4):
-            for player_name, factory in (
-                ("fresh", lambda s: FreshRandomPlayer(seed=s)),
-                ("uniform", lambda s: UniformRandomPlayer(seed=s)),
-            ):
-
-                def trial(s: int) -> int:
-                    game = HittingGame(c=c, k=k, seed=s)
-                    transcript = play(
-                        game, factory(s + 1), max_rounds=50 * c * c
-                    )
-                    if not transcript.won:
-                        raise HarnessError(
-                            "player failed within the generous cap"
-                        )
-                    return transcript.rounds
-
-                rounds = run_trials(
-                    trial,
-                    trials,
-                    seed + c * 10 + k,
-                    label=f"e7-{player_name}",
-                    executor=executor,
-                )
-                floor = hitting_game_floor(c, k) if k <= c / 2 else None
-                rows.append(
-                    {
-                        "c": c,
-                        "k": k,
-                        "player": player_name,
-                        "mean_rounds": summarize(rounds).mean,
-                        "median_rounds": summarize(rounds).median,
-                        "floor(c^2/8k)": floor,
-                        "c^2/k": c * c / k,
-                    }
-                )
-    # Complete game (k = c): Lemma 12.
-    from repro.lowerbounds import FreshRandomPlayer as _FRP
-
-    for c in (9, 27):
-
-        def trial(s: int) -> int:
-            game = HittingGame(c=c, k=c, seed=s)
-            transcript = play(game, _FRP(seed=s + 1))
-            return transcript.rounds
-
-        rounds = run_trials(
-            trial, trials, seed + c, label="e7-complete", executor=executor
-        )
-        rows.append(
-            {
-                "c": c,
-                "k": c,
-                "player": "fresh(complete)",
-                "mean_rounds": summarize(rounds).mean,
-                "median_rounds": summarize(rounds).median,
-                "floor(c^2/8k)": complete_game_floor(c),
-                "c^2/k": float(c),
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E7",
-        title="Bipartite hitting games (Lemmas 10 and 12)",
-        rows=rows,
-        notes=(
-            "Paper claim: no player beats c^2/(8k) rounds (k <= c/2) or "
-            "c/3 rounds (complete game) with probability 1/2. Expect "
-            "every measured mean >= the floor, with the near-optimal "
-            "fresh player within the constant-8 gap of c^2/k."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E8 — the reduction and Theorem 13
-# ----------------------------------------------------------------------
-def experiment_e8(
-    trials: int = 15, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Lemma 11 + Theorem 13: discovery algorithms, played through the
-    reduction, respect the game floor; stars enforce the Omega(Delta)
-    term."""
-    from repro.lowerbounds import CSeekReductionPlayer, HittingGame, play
-
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    for c in (8, 16, 32):
-        k = 2
-
-        def trial(s: int) -> int:
-            player = CSeekReductionPlayer(k=k, seed=s)
-            game = HittingGame(c=c, k=k, seed=s + 17)
-            budget = 4 * player.schedule_slots(c)
-            transcript = play(game, player, max_rounds=budget)
-            if not transcript.won:
-                raise HarnessError("reduction player failed to meet")
-            return transcript.rounds
-
-        rounds = run_trials(
-            trial, trials, seed + c, label=f"e8-{c}", executor=executor
-        )
-        player = CSeekReductionPlayer(k=k, seed=0)
-        rows.append(
-            {
-                "case": "reduction(CSEEK)",
-                "x": c,
-                "mean_rounds_to_meet": summarize(rounds).mean,
-                "game_floor": hitting_game_floor(c, k),
-                "cseek_schedule": player.schedule_slots(c),
-            }
-        )
-    # Omega(Delta): discovery completion on stars is at least Delta.
-    for delta in (4, 8, 16):
-        net = build_network(
-            star(delta + 1), c=8, k=2, seed=seed + delta, kind="global_core"
-        )
-
-        def star_outcome(result, net=net):
-            report = verify_discovery(result, net)
-            return report.success, report.completion_slot
-
-        star_trial = _batched_cseek_trial(
-            lambda s, net=net: CSeek(net, seed=s), star_outcome
-        )
-        outcomes = run_trials(
-            star_trial,
-            max(3, trials // 3),
-            seed + delta,
-            label="e8-star",
-            executor=executor,
-        )
-        done = [t for ok, t in outcomes if ok and t is not None]
-        rows.append(
-            {
-                "case": "star Omega(Delta)",
-                "x": delta,
-                "mean_rounds_to_meet": summarize(done).mean if done else None,
-                "game_floor": float(delta),
-                "cseek_schedule": None,
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E8",
-        title="Reduction to the game + Omega(Delta) (Lemma 11, Theorem 13)",
-        rows=rows,
-        notes=(
-            "Paper claim: any discovery algorithm's first meeting, viewed "
-            "through the Lemma 11 reduction, needs >= c^2/(8k) game "
-            "rounds, and a star hub cannot finish before Delta receptions. "
-            "Expect mean_rounds_to_meet >= game_floor in every row."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E9 — broadcast lower bound on trees (Theorem 14)
-# ----------------------------------------------------------------------
-def experiment_e9(
-    trials: int = 3, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Theorem 14: channel-disjoint trees force min(c, Delta)-1 slots per
-    hop on any broadcast, CGCAST included."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    c = 4
-    for depth in (2, 3, 4):
-        net = build_theorem14_tree(c=c, depth=depth, seed=seed + depth)
-        kn = net.knowledge()
-        floor = tree_broadcast_floor(c=c, delta=kn.max_degree, depth=depth)
-        greedy = broadcast_floor(net, source=0)
-
-        def cg_trial(s: int):
-            result = CGCast(net, source=0, seed=s).run()
-            return result.success, result.ledger.get("dissemination")
-
-        def nv_trial(s: int):
-            result = NaiveBroadcast(net, source=0, seed=s).run()
-            return result.success, result.completion_slot
-
-        cg = run_trials(
-            cg_trial, trials, seed + depth, label="e9cg", executor=executor
-        )
-        nv = run_trials(
-            nv_trial, trials, seed + depth, label="e9nv", executor=executor
-        )
-        cg_done = [d for ok, d in cg if ok]
-        nv_done = [t for ok, t in nv if ok and t is not None]
-        rows.append(
-            {
-                "depth": depth,
-                "n": net.n,
-                "analytic_floor": floor,
-                "greedy_oracle": greedy,
-                "cgcast_success": success_rate([ok for ok, _ in cg]),
-                "cgcast_dissemination": (
-                    summarize(cg_done).mean if cg_done else None
-                ),
-                "naive_success": success_rate([ok for ok, _ in nv]),
-                "naive_completion": (
-                    summarize(nv_done).mean if nv_done else None
-                ),
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E9",
-        title="Broadcast floor on channel-disjoint trees (Theorem 14)",
-        rows=rows,
-        notes=(
-            "Paper claim: with siblings sharing no channels, every "
-            "broadcast needs >= depth * (min(c, Delta) - 1) slots. Expect "
-            "both protocols' measured times above the analytic floor and "
-            "the greedy omniscient schedule to match it exactly "
-            "(greedy_oracle >= analytic_floor, with equality up to the "
-            "root's head start)."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E10 — heterogeneity + part-two ablation (Section 7)
-# ----------------------------------------------------------------------
-def experiment_e10(
-    trials: int = 5, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Section 7: CSEEK's part two is biased toward strongly overlapping
-    neighbors — the source of the upper/lower bound gap when
-    kmax >> k."""
-    executor = get_executor(jobs)
-    rows: List[Row] = []
-    # (a) under starved budgets, discovery probability splits by pair
-    # class: high-overlap (k_uv = kmax) pairs are found far more often
-    # than low-overlap (k_uv = k) pairs, and the gap widens with kmax/k.
-    for kmax in (2, 4, 8):
-        graph = random_regular(16, 3, seed=seed + 3)
-        net = build_network(
-            graph, c=32, k=1, seed=seed + kmax, kind="heterogeneous",
-            kmax=kmax,
-        )
-        lo_pairs = [
-            e for e in net.edges() if net.edge_overlap(*e) == 1
-        ]
-        hi_pairs = [
-            e for e in net.edges() if net.edge_overlap(*e) == kmax
-        ]
-
-        def pair_rates(result, lo_pairs=lo_pairs, hi_pairs=hi_pairs):
-            lo = sum(
-                (v in result.discovered[u]) + (u in result.discovered[v])
-                for u, v in lo_pairs
-            ) / (2 * len(lo_pairs))
-            hi = sum(
-                (v in result.discovered[u]) + (u in result.discovered[v])
-                for u, v in hi_pairs
-            ) / (2 * len(hi_pairs))
-            return lo, hi
-
-        trial = _batched_cseek_trial(
-            lambda s, net=net: CSeek(
-                net, seed=s, part1_steps=300, part2_steps=400
-            ),
-            pair_rates,
-        )
-        outcomes = run_trials(
-            trial, trials, seed + kmax, label=f"e10h{kmax}", executor=executor
-        )
-        lo_mean = summarize([a for a, _ in outcomes]).mean
-        hi_mean = summarize([b for _, b in outcomes]).mean
-        rows.append(
-            {
-                "case": f"starved budget, kmax/k={kmax}",
-                "low_overlap_found": lo_mean,
-                "high_overlap_found": hi_mean,
-                "bias(high/low)": hi_mean / lo_mean if lo_mean else None,
-                "success": None,
-                "schedule": None,
-            }
-        )
-    # (b) full budgets: the schedule formula stretches with kmax/k and
-    # full discovery still succeeds (Theorem 4's budget absorbs the gap).
-    for kmax in (1, 2, 4):
-        graph = random_regular(16, 3, seed=seed + 3)
-        kind = "exact_uniform" if kmax == 1 else "heterogeneous"
-        net = build_network(
-            graph, c=16, k=1, seed=seed + kmax, kind=kind, kmax=kmax
-        )
-
-        full_trial = _batched_cseek_trial(
-            lambda s, net=net: CSeek(net, seed=s),
-            lambda result, net=net: (
-                verify_discovery(result, net).success,
-                result.total_slots,
-            ),
-        )
-        outcomes = run_trials(
-            full_trial,
-            trials,
-            seed + 40 + kmax,
-            label=f"e10f{kmax}",
-            executor=executor,
-        )
-        rows.append(
-            {
-                "case": f"full budget, kmax/k={kmax}",
-                "low_overlap_found": None,
-                "high_overlap_found": None,
-                "bias(high/low)": None,
-                "success": success_rate([ok for ok, _ in outcomes]),
-                "schedule": outcomes[0][1],
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E10",
-        title="Heterogeneity bias in part two (Section 7)",
-        rows=rows,
-        notes=(
-            "Paper discussion (Section 7): part two gives priority to "
-            "crowded channels, so under a fixed (starved) budget, "
-            "neighbors sharing kmax channels are discovered far more "
-            "often than those sharing only k — the bias(high/low) column "
-            "grows with kmax/k, which is exactly why the paper's upper "
-            "and lower bounds diverge in this regime. Full-budget rows "
-            "confirm Theorem 4's schedule (which stretches with kmax/k) "
-            "still delivers complete discovery."
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E11 — amortized repeated broadcast (extension; Theorem 9's regime)
-# ----------------------------------------------------------------------
-def experiment_e11(
-    trials: int = 3, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Extension: CGCAST's setup is reusable, so over repeated
-    broadcasts its per-message cost drops to the dissemination stage
-    while naive flooding pays full price every time."""
-    from repro.core import redisseminate
-
-    executor = get_executor(jobs)
-    # c^2/k = 256 >> Delta = 4: the regime where the per-hop advantage
-    # of the colored schedule is unambiguous.
-    graph = path_of_cliques(8, 4)
-    net = build_network(graph, c=16, k=1, seed=seed + 1)
-    kn = net.knowledge()
-    num_messages = 16
-
-    def trial(s: int):
-        setup = CGCast(net, source=0, seed=s).run()
-        if not setup.success:
-            return None
-        setup_slots = setup.total_slots - setup.ledger.get("dissemination")
-        per_message = [setup.ledger.get("dissemination")]
-        naive_per_message = []
-        for msg in range(1, num_messages):
-            source = (msg * 7) % net.n
-            diss = redisseminate(net, setup, source=source, seed=s + msg)
-            if not diss.success:
-                return None
-            per_message.append(diss.ledger.total)
-            nv = NaiveBroadcast(
-                net, source=source, seed=s + 100 + msg
-            ).run()
-            if not nv.success:
-                return None
-            naive_per_message.append(nv.completion_slot)
-        nv0 = NaiveBroadcast(net, source=0, seed=s + 500).run()
-        naive_per_message.insert(0, nv0.completion_slot)
-        return setup_slots, per_message, naive_per_message
-
-    outcomes = [
-        o for o in run_trials(trial, trials, seed, executor=executor) if o
-    ]
-    if not outcomes:
-        raise HarnessError("no successful E11 trial")
-    rows: List[Row] = []
-    for budget in (1, 4, num_messages):
-        cg_totals = []
-        nv_totals = []
-        for setup_slots, per_message, naive_pm in outcomes:
-            cg_totals.append(setup_slots + sum(per_message[:budget]))
-            nv_totals.append(sum(naive_pm[:budget]))
-        cg_mean = summarize(cg_totals).mean
-        nv_mean = summarize(nv_totals).mean
-        rows.append(
-            {
-                "messages": budget,
-                "cgcast_total": cg_mean,
-                "cgcast_per_message": cg_mean / budget,
-                "naive_total": nv_mean,
-                "naive_per_message": nv_mean / budget,
-                "ratio(cgcast/naive)": cg_mean / nv_mean,
-            }
-        )
-    # Amortization point estimate: setup / (naive per msg - diss per msg).
-    setup_mean = summarize([o[0] for o in outcomes]).mean
-    diss_pm = summarize(
-        [sum(o[1][1:]) / max(1, len(o[1]) - 1) for o in outcomes]
-    ).mean
-    naive_pm = summarize(
-        [sum(o[2]) / len(o[2]) for o in outcomes]
-    ).mean
-    if naive_pm > diss_pm:
-        amortize = setup_mean / (naive_pm - diss_pm)
-        amortize_note = (
-            f" Per-message costs: re-dissemination {diss_pm:,.0f} vs "
-            f"naive {naive_pm:,.0f} slots; the setup "
-            f"({setup_mean:,.0f} slots) amortizes after "
-            f"~{amortize:,.0f} messages."
-        )
-    else:
-        amortize_note = (
-            " At this size the re-dissemination cost does not undercut "
-            "naive flooding, so the setup never amortizes — the "
-            "asymptotic regime needs Delta*polylog << c^2/k."
-        )
-    return ExperimentTable(
-        experiment_id="E11",
-        title="Amortized repeated broadcast (extension of Theorem 9)",
-        rows=rows,
-        notes=(
-            "Extension experiment (not a numbered claim): the paper's "
-            "CGCAST builds a reusable schedule — discovery, dedicated "
-            "channels and the edge coloring survive across broadcasts. "
-            "Re-dissemination costs only the O~(D Delta) stage, so the "
-            "per-message cost collapses as messages accumulate while "
-            "naive flooding pays O~((c^2/k) D) every time; the "
-            "cgcast/naive ratio falls toward the pure dissemination "
-            f"ratio (D={net.knowledge().diameter}, Delta="
-            f"{kn.max_degree}, c^2/k={kn.c * kn.c // kn.k})."
-            + amortize_note
-        ),
-    )
-
-
-# ----------------------------------------------------------------------
-# E12 — primary-user interference robustness (extension)
-# ----------------------------------------------------------------------
-def experiment_e12(
-    trials: int = 4, seed: int = 0, jobs: Jobs = None
-) -> ExperimentTable:
-    """Extension: discovery under primary-user channel occupancy.
-
-    The paper motivates heterogeneous availability with licensed
-    primary users but analyzes a static, interference-free model; this
-    experiment measures how much of CSEEK's w.h.p. schedule slack
-    survives dynamic occupancy, for short bursts (absorbed by COUNT's
-    within-step redundancy) and long bursts (whole meetings lost).
-    """
-    from repro.sim import PrimaryUserTraffic
-
-    executor = get_executor(jobs)
-    graph = random_regular(20, 4, seed=seed + 7)
-    net = build_network(graph, c=8, k=2, seed=seed + 11)
-    all_channels = sorted(net.assignment.universe())
-    rows: List[Row] = []
-    cases = [("none", 0.0, 0.0)]
-    for activity in (0.3, 0.6, 0.8):
-        cases.append(("short bursts (dwell 4)", activity, 4.0))
-        cases.append(("long bursts (dwell 500)", activity, 500.0))
-    for name, activity, dwell in cases:
-
-        jammer_factory = (
-            (
-                lambda s, activity=activity, dwell=dwell: PrimaryUserTraffic(
-                    all_channels,
-                    activity=activity,
-                    mean_dwell=dwell,
-                    seed=s + 1000,
-                )
-            )
-            if activity > 0
-            else None
-        )
-        def verify_outcome(result):
-            report = verify_discovery(result, net)
-            return report.success, report.completion_slot
-
-        trial = _batched_cseek_trial(
-            lambda s: CSeek(net, seed=s),
-            verify_outcome,
-            jammer_factory=jammer_factory,
-        )
-        outcomes = run_trials(
-            trial,
-            trials,
-            seed + int(activity * 10),
-            label=f"e12-{name}",
-            executor=executor,
-        )
-        done = [t for ok, t in outcomes if ok and t is not None]
-        rows.append(
-            {
-                "traffic": name,
-                "activity": activity,
-                "success": success_rate([ok for ok, _ in outcomes]),
-                "mean_completion": summarize(done).mean if done else None,
-            }
-        )
-    return ExperimentTable(
-        experiment_id="E12",
-        title="Primary-user interference robustness (extension)",
-        rows=rows,
-        notes=(
-            "Extension experiment: COUNT's many-slots-per-step structure "
-            "makes CSEEK nearly immune to short occupancy bursts (every "
-            "meeting step offers many reception chances), while bursts "
-            "longer than a step erase whole meetings — completion "
-            "stretches with occupancy and discovery finally fails when "
-            "most of the schedule is occupied. The paper's w.h.p. "
-            "budget constants are what buy this slack."
-        ),
-    )
+    return experiment
 
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentTable]] = {
-    "E1": experiment_e1,
-    "E2": experiment_e2,
-    "E3": experiment_e3,
-    "E4": experiment_e4,
-    "E5": experiment_e5,
-    "E6": experiment_e6,
-    "E7": experiment_e7,
-    "E8": experiment_e8,
-    "E9": experiment_e9,
-    "E10": experiment_e10,
-    "E11": experiment_e11,
-    "E12": experiment_e12,
+    experiment_id: _make_experiment(experiment_id)
+    for experiment_id in _EXPERIMENT_IDS
 }
+
+# Named aliases for the historical import surface
+# (``from repro.harness.experiments import experiment_e2``).
+experiment_e1 = EXPERIMENTS["E1"]
+experiment_e2 = EXPERIMENTS["E2"]
+experiment_e3 = EXPERIMENTS["E3"]
+experiment_e4 = EXPERIMENTS["E4"]
+experiment_e5 = EXPERIMENTS["E5"]
+experiment_e6 = EXPERIMENTS["E6"]
+experiment_e7 = EXPERIMENTS["E7"]
+experiment_e8 = EXPERIMENTS["E8"]
+experiment_e9 = EXPERIMENTS["E9"]
+experiment_e10 = EXPERIMENTS["E10"]
+experiment_e11 = EXPERIMENTS["E11"]
+experiment_e12 = EXPERIMENTS["E12"]
 
 
 def experiment_ids() -> List[str]:
@@ -1304,12 +130,7 @@ def run_experiment(
         cached = load_table(key, trials, seed, cache_dir=cache_dir)
         if cached is not None:
             return cached
-    kwargs: Dict[str, object] = {"seed": seed}
-    if trials is not None:
-        kwargs["trials"] = trials
-    if jobs is not None:
-        kwargs["jobs"] = jobs
-    table = EXPERIMENTS[key](**kwargs)
+    table = EXPERIMENTS[key](trials=trials, seed=seed, jobs=jobs)
     if cache:
         try:
             store_table(table, trials, seed, cache_dir=cache_dir)

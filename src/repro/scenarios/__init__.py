@@ -1,0 +1,72 @@
+"""Declarative scenario subsystem.
+
+Layering: :mod:`~repro.scenarios.spec` defines the composable
+:class:`ScenarioSpec` (topology x assignment x interference x protocol
+x sweep x metrics) and its JSON form; :mod:`~repro.scenarios.trials`
+builds the trial closures (the single home of ``run_batch``
+generation); :mod:`~repro.scenarios.compile` lowers specs into
+executable plans over the harness's executor layer;
+:mod:`~repro.scenarios.registry` names them.
+:mod:`~repro.scenarios.paper` registers E1-E12 and
+:mod:`~repro.scenarios.stock` the non-paper workloads, so importing
+this package yields a fully populated registry.
+"""
+
+from repro.scenarios.compile import (
+    Point,
+    Run,
+    RunContext,
+    run_scenario_spec,
+    scenario_plan,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    iter_scenarios,
+    load_scenario_file,
+    register,
+    run_scenario,
+    scenario_ids,
+)
+from repro.scenarios.spec import (
+    AssignmentSpec,
+    InterferenceSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+    apply_overrides,
+    spec_digest,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.scenarios import paper as _paper  # noqa: F401 — registration
+from repro.scenarios import stock as _stock  # noqa: F401 — registration
+from repro.scenarios.paper import PAPER_SPECS, paper_spec
+from repro.scenarios.stock import STOCK_SPECS
+
+__all__ = [
+    "AssignmentSpec",
+    "InterferenceSpec",
+    "PAPER_SPECS",
+    "Point",
+    "ProtocolSpec",
+    "Run",
+    "RunContext",
+    "STOCK_SPECS",
+    "ScenarioSpec",
+    "SweepSpec",
+    "TopologySpec",
+    "apply_overrides",
+    "get_scenario",
+    "iter_scenarios",
+    "load_scenario_file",
+    "paper_spec",
+    "register",
+    "run_scenario",
+    "run_scenario_spec",
+    "scenario_ids",
+    "scenario_plan",
+    "spec_digest",
+    "spec_from_dict",
+    "spec_to_dict",
+]

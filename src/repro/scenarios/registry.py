@@ -1,0 +1,148 @@
+"""Scenario registry + the top-level ``run_scenario`` entry point.
+
+Stock scenarios register at import time (:mod:`repro.scenarios.paper`
+for E1-E12, :mod:`repro.scenarios.stock` for the non-paper workloads);
+user scenarios arrive as JSON files via :func:`load_scenario_file`.
+Lookup is case-insensitive; listing preserves registration order so
+paper experiments lead.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from repro.harness.cache import load_table, store_table
+from repro.harness.executor import Executor
+from repro.harness.runner import ExperimentTable
+from repro.model.errors import HarnessError
+from repro.scenarios.compile import run_scenario_spec
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    apply_overrides,
+    spec_digest,
+    spec_from_dict,
+)
+
+__all__ = [
+    "get_scenario",
+    "iter_scenarios",
+    "load_scenario_file",
+    "register",
+    "run_scenario",
+    "scenario_ids",
+]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a spec under its (case-insensitive) name."""
+    key = spec.name.lower()
+    if key in _REGISTRY:
+        raise HarnessError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def scenario_ids() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return [spec.name for spec in _REGISTRY.values()]
+
+
+def iter_scenarios() -> List[ScenarioSpec]:
+    """Registered specs, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a registered scenario up by name (case-insensitive)."""
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        raise HarnessError(
+            f"unknown scenario {name!r}; valid: "
+            f"{', '.join(scenario_ids())} (or a path to a .json "
+            "scenario file)"
+        )
+    return spec
+
+
+def load_scenario_file(path: "str | Path") -> ScenarioSpec:
+    """Parse a JSON scenario file into a declarative spec."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise HarnessError(f"cannot read scenario file {path}: {exc}")
+    except ValueError as exc:
+        raise HarnessError(f"scenario file {path} is not valid JSON: {exc}")
+    return spec_from_dict(payload)
+
+
+def run_scenario(
+    scenario: "str | ScenarioSpec",
+    trials: Optional[int] = None,
+    seed: int = 0,
+    jobs: "int | str | Executor | None" = None,
+    overrides: Optional[Mapping[str, str]] = None,
+    cache: bool = False,
+    cache_dir: "str | Path | None" = None,
+) -> ExperimentTable:
+    """Run a scenario by name, file path, or spec.
+
+    Args:
+        scenario: A registered name, a path to a ``.json`` scenario
+            file (anything containing a path separator or ending in
+            ``.json``), or a :class:`ScenarioSpec`.
+        trials: Trials per sweep point (None = the spec's default).
+        seed: Master seed.
+        jobs: Execution strategy; never changes rows.
+        overrides: ``--set``-style path->value overrides applied to the
+            spec before running (see
+            :func:`repro.scenarios.spec.apply_overrides`).
+        cache: Consult/populate the deterministic result cache. The key
+            includes the spec digest, so overridden runs never collide
+            with default-parameter entries.
+        cache_dir: Cache location override.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        spec = scenario
+    elif "/" in scenario or scenario.endswith(".json"):
+        spec = load_scenario_file(scenario)
+    else:
+        spec = get_scenario(scenario)
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    effective_trials = trials if trials is not None else spec.trials
+    extra = {"scenario": spec.name.lower(), "digest": spec_digest(spec)}
+    if cache:
+        cached = load_table(
+            spec.table_id,
+            effective_trials,
+            seed,
+            cache_dir=cache_dir,
+            extra=extra,
+        )
+        if cached is not None:
+            return cached
+    table = run_scenario_spec(
+        spec, trials=effective_trials, seed=seed, jobs=jobs
+    )
+    if cache:
+        try:
+            store_table(
+                table,
+                effective_trials,
+                seed,
+                cache_dir=cache_dir,
+                extra=extra,
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"could not store scenario {spec.name!r} in the result "
+                f"cache: {exc}",
+                stacklevel=2,
+            )
+    return table

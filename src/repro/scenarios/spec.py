@@ -1,0 +1,551 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names one workload as data: a topology, a
+channel-assignment regime, an optional primary-user interference
+process, a protocol, a sweep grid, and the metric columns to report.
+The compiler (:mod:`repro.scenarios.compile`) lowers any spec into the
+trial closures the executor layer understands, so one spec runs
+serially, on a process pool, or vectorized over the trial axis without
+further code.
+
+Specs come in two flavors:
+
+* **Declarative** — every field is plain data (JSON-serializable via
+  :func:`spec_to_dict` / :func:`spec_from_dict`), parameterized over the
+  sweep axes through ``"$name"`` references. These are the specs users
+  can write as ``.json`` files and tweak from the CLI with
+  ``--set key=value``.
+* **Plan-based** — the spec carries a ``plan`` callable producing the
+  compiler's intermediate representation directly. The paper
+  experiments E1-E12 (:mod:`repro.scenarios.paper`) use this escape
+  hatch: their tables have bespoke columns, per-point seeds and fitted
+  notes that predate the declarative layer and must stay row-identical.
+
+Reference resolution: any string value ``"$x"`` inside ``params`` (or
+the scalar fields of the assignment/interference specs) is replaced by
+the sweep point's value for axis ``x``. Three built-ins are always in
+scope: ``$seed`` (the master seed), ``$point`` (the 0-based sweep point
+index) and ``$pseed`` (``seed + point`` — the conventional per-point
+seed for topology/assignment randomness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from itertools import product
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.model.errors import HarnessError
+
+__all__ = [
+    "AssignmentSpec",
+    "InterferenceSpec",
+    "ProtocolSpec",
+    "ScenarioSpec",
+    "SweepSpec",
+    "TopologySpec",
+    "apply_overrides",
+    "resolve",
+    "spec_digest",
+    "spec_from_dict",
+    "spec_to_dict",
+]
+
+TOPOLOGY_KINDS = (
+    "star",
+    "path",
+    "cycle",
+    "grid",
+    "complete_tree",
+    "path_of_cliques",
+    "random_geometric",
+    "erdos_renyi",
+    "random_regular",
+    "two_node",
+)
+ASSIGNMENT_KINDS = ("exact_uniform", "heterogeneous", "global_core")
+PROTOCOL_KINDS = (
+    "count",
+    "cseek",
+    "ckseek",
+    "cgcast",
+    "naive_discovery",
+    "naive_broadcast",
+)
+
+
+def resolve(value: object, scope: Mapping[str, object]) -> object:
+    """Substitute ``"$name"`` references against a sweep-point scope.
+
+    Containers resolve recursively; non-reference values pass through.
+
+    Raises:
+        HarnessError: for a reference naming no axis or built-in.
+    """
+    if isinstance(value, str) and value.startswith("$"):
+        name = value[1:]
+        if name not in scope:
+            raise HarnessError(
+                f"unknown scenario reference {value!r}; in scope: "
+                f"{', '.join(sorted(scope))}"
+            )
+        return scope[name]
+    if isinstance(value, Mapping):
+        return {k: resolve(v, scope) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [resolve(v, scope) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The workload's parameter grid.
+
+    Attributes:
+        axes: Axis name -> list of values. Axis names become row
+            columns and are referenceable as ``"$name"`` everywhere
+            else in the spec.
+        mode: ``"product"`` (the cartesian product, outer axes slowest)
+            or ``"zip"`` (axes advance together; all must have equal
+            length).
+    """
+
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    mode: str = "product"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("product", "zip"):
+            raise HarnessError(
+                f"sweep mode must be 'product' or 'zip', got {self.mode!r}"
+            )
+        for name, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise HarnessError(
+                    f"sweep axis {name!r} needs a non-empty list of "
+                    f"values, got {values!r}"
+                )
+        if self.mode == "zip" and self.axes:
+            lengths = {len(v) for v in self.axes.values()}
+            if len(lengths) > 1:
+                raise HarnessError(
+                    f"zip sweep axes must share one length, got {lengths}"
+                )
+
+    def points(self) -> list[Dict[str, object]]:
+        """Expand the grid into ordered per-point parameter dicts."""
+        if not self.axes:
+            return [{}]
+        names = list(self.axes)
+        if self.mode == "zip":
+            return [
+                dict(zip(names, combo))
+                for combo in zip(*(self.axes[n] for n in names))
+            ]
+        return [
+            dict(zip(names, combo))
+            for combo in product(*(self.axes[n] for n in names))
+        ]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Connectivity graph: a generator from the topology zoo + params.
+
+    ``params`` are handed to the generator after reference resolution;
+    generators that take a ``seed`` default to ``$pseed`` when none is
+    given.
+    """
+
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise HarnessError(
+                f"unknown topology kind {self.kind!r}; valid: "
+                f"{', '.join(TOPOLOGY_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class AssignmentSpec:
+    """Channel-assignment regime layered over the topology.
+
+    Mirrors :func:`repro.graphs.builders.build_network`: every node gets
+    ``c`` channels; edges overlap in at least ``k`` of them, per the
+    regime. ``seed`` defaults to ``$pseed``.
+    """
+
+    kind: str = "exact_uniform"
+    c: object = 8
+    k: object = 1
+    kmax: object = None
+    high_fraction: object = 0.5
+    seed: object = "$pseed"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ASSIGNMENT_KINDS:
+            raise HarnessError(
+                f"unknown assignment kind {self.kind!r}; valid: "
+                f"{', '.join(ASSIGNMENT_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """Primary-user traffic over the network's channel universe.
+
+    ``activity`` 0 disables interference at that sweep point (so an
+    activity axis can include an interference-free control). Per-trial
+    traffic processes are seeded ``trial_seed + seed_offset`` to stay
+    decorrelated from protocol coins.
+    """
+
+    activity: object = 0.0
+    mean_dwell: object = 8.0
+    seed_offset: object = 1000
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """The protocol under test plus its knobs.
+
+    ``params`` go to the protocol constructor (after resolution):
+    ``cseek`` accepts ``part1_steps``/``part2_steps``/``part2_listener``;
+    ``ckseek`` additionally requires ``khat`` (``delta_khat`` defaults to
+    the realized good-degree bound); ``cgcast``/``naive_broadcast``
+    accept ``source``; ``count`` takes ``m`` (broadcaster count,
+    required), ``max_count``, ``log_n``, ``rule`` and ``round_slots``.
+    """
+
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROTOCOL_KINDS:
+            raise HarnessError(
+                f"unknown protocol kind {self.kind!r}; valid: "
+                f"{', '.join(PROTOCOL_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One composable workload definition.
+
+    Attributes:
+        name: Registry id (case-insensitive, unique).
+        title: Table headline.
+        description: One-line summary for ``scenarios`` listings.
+        trials: Default Monte Carlo trials per sweep point.
+        experiment_id: Table id; defaults to ``name``.
+        tags: Free-form labels (``"paper"`` marks E1-E12).
+        sweep, topology, assignment, interference, protocol: The
+            declarative core; see the respective spec classes.
+        metrics: Optional subset of the protocol's stock metric columns
+            to report (sweep-axis columns always appear).
+        notes: Table notes — a string, or a callable
+            ``(rows, ctx) -> str`` for notes computed from results.
+        columns: Optional explicit column order.
+        plan: Escape hatch — ``plan(ctx) -> iterable of Points``
+            (see :mod:`repro.scenarios.compile`). A spec with a plan
+            ignores the declarative core and cannot be serialized.
+    """
+
+    name: str
+    title: str
+    description: str = ""
+    trials: int = 5
+    experiment_id: Optional[str] = None
+    tags: Tuple[str, ...] = ()
+    sweep: Optional[SweepSpec] = None
+    topology: Optional[TopologySpec] = None
+    assignment: Optional[AssignmentSpec] = None
+    interference: Optional[InterferenceSpec] = None
+    protocol: Optional[ProtocolSpec] = None
+    metrics: Optional[Tuple[str, ...]] = None
+    notes: "str | Callable[..., str]" = ""
+    columns: Optional[Sequence[str]] = None
+    plan: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise HarnessError("scenario name must be non-empty")
+        if self.trials < 1:
+            raise HarnessError(
+                f"scenario trials must be >= 1, got {self.trials}"
+            )
+        if self.plan is None and self.protocol is None:
+            raise HarnessError(
+                f"scenario {self.name!r} needs a protocol spec or a plan"
+            )
+        if (
+            self.plan is None
+            and self.protocol is not None
+            and self.protocol.kind != "count"
+            and self.topology is None
+        ):
+            raise HarnessError(
+                f"scenario {self.name!r}: protocol {self.protocol.kind!r} "
+                "needs a topology spec"
+            )
+
+    @property
+    def table_id(self) -> str:
+        return self.experiment_id or self.name
+
+    @property
+    def is_declarative(self) -> bool:
+        return self.plan is None
+
+
+# ----------------------------------------------------------------------
+# Serialization (the declarative subset)
+# ----------------------------------------------------------------------
+def _sub_to_dict(obj) -> Dict[str, object]:
+    out = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if isinstance(value, Mapping):
+            value = dict(value)
+        out[f.name] = value
+    return out
+
+
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, object]:
+    """A JSON-ready dict for a declarative spec.
+
+    Raises:
+        HarnessError: for plan-based specs or callable notes — code
+            cannot round-trip through JSON.
+    """
+    if spec.plan is not None:
+        raise HarnessError(
+            f"scenario {spec.name!r} is code-defined (plan-based) and "
+            "cannot be serialized"
+        )
+    if callable(spec.notes):
+        raise HarnessError(
+            f"scenario {spec.name!r} has computed notes and cannot be "
+            "serialized"
+        )
+    out: Dict[str, object] = {
+        "name": spec.name,
+        "title": spec.title,
+        "description": spec.description,
+        "trials": spec.trials,
+    }
+    if spec.experiment_id:
+        out["experiment_id"] = spec.experiment_id
+    if spec.tags:
+        out["tags"] = list(spec.tags)
+    if spec.sweep is not None:
+        out["sweep"] = {
+            "axes": {k: list(v) for k, v in spec.sweep.axes.items()},
+            "mode": spec.sweep.mode,
+        }
+    if spec.topology is not None:
+        out["topology"] = _sub_to_dict(spec.topology)
+    if spec.assignment is not None:
+        out["assignment"] = _sub_to_dict(spec.assignment)
+    if spec.interference is not None:
+        out["interference"] = _sub_to_dict(spec.interference)
+    out["protocol"] = _sub_to_dict(spec.protocol)
+    if spec.metrics is not None:
+        out["metrics"] = list(spec.metrics)
+    if spec.notes:
+        out["notes"] = spec.notes
+    if spec.columns is not None:
+        out["columns"] = list(spec.columns)
+    return out
+
+
+def _as_int(value: object, where: str) -> int:
+    """Coerce a spec/override value to int, failing as a spec error."""
+    try:
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float, str)
+        ):
+            raise ValueError(value)
+        if isinstance(value, float) and not value.is_integer():
+            raise ValueError(value)
+        return int(value)
+    except ValueError:
+        raise HarnessError(
+            f"{where} must be an integer, got {value!r}"
+        ) from None
+
+
+def _build_sub(cls, payload: object, where: str):
+    if not isinstance(payload, Mapping):
+        raise HarnessError(f"{where} must be an object, got {payload!r}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    if unknown:
+        raise HarnessError(
+            f"unknown {where} keys: {', '.join(sorted(unknown))}; "
+            f"valid: {', '.join(sorted(allowed))}"
+        )
+    return cls(**payload)
+
+
+def spec_from_dict(payload: Mapping[str, object]) -> ScenarioSpec:
+    """Build a declarative spec from a dict (e.g. a parsed JSON file).
+
+    Unknown keys raise — a typo in a scenario file or a ``--set`` path
+    must fail loudly, not silently produce the default workload.
+    """
+    if not isinstance(payload, Mapping):
+        raise HarnessError(
+            f"scenario payload must be an object, got {payload!r}"
+        )
+    known = {
+        "name",
+        "title",
+        "description",
+        "trials",
+        "experiment_id",
+        "tags",
+        "sweep",
+        "topology",
+        "assignment",
+        "interference",
+        "protocol",
+        "metrics",
+        "notes",
+        "columns",
+    }
+    unknown = set(payload) - known
+    if unknown:
+        raise HarnessError(
+            f"unknown scenario keys: {', '.join(sorted(unknown))}; "
+            f"valid: {', '.join(sorted(known))}"
+        )
+    if "name" not in payload or "protocol" not in payload:
+        raise HarnessError("a scenario needs at least 'name' and 'protocol'")
+    sweep = None
+    if "sweep" in payload:
+        raw = payload["sweep"]
+        if not isinstance(raw, Mapping) or set(raw) - {"axes", "mode"}:
+            raise HarnessError(
+                "sweep must be an object with 'axes' (and optional 'mode')"
+            )
+        sweep = SweepSpec(
+            axes=dict(raw.get("axes", {})), mode=raw.get("mode", "product")
+        )
+    kwargs = dict(
+        name=payload["name"],
+        title=payload.get("title", payload["name"]),
+        description=payload.get("description", ""),
+        trials=_as_int(payload.get("trials", 5), "trials"),
+        experiment_id=payload.get("experiment_id"),
+        tags=tuple(payload.get("tags", ())),
+        sweep=sweep,
+        protocol=_build_sub(ProtocolSpec, payload["protocol"], "protocol"),
+        notes=payload.get("notes", ""),
+    )
+    if "topology" in payload:
+        kwargs["topology"] = _build_sub(
+            TopologySpec, payload["topology"], "topology"
+        )
+    if "assignment" in payload:
+        kwargs["assignment"] = _build_sub(
+            AssignmentSpec, payload["assignment"], "assignment"
+        )
+    if "interference" in payload:
+        kwargs["interference"] = _build_sub(
+            InterferenceSpec, payload["interference"], "interference"
+        )
+    if "metrics" in payload:
+        kwargs["metrics"] = tuple(payload["metrics"])
+    if "columns" in payload:
+        kwargs["columns"] = list(payload["columns"])
+    return ScenarioSpec(**kwargs)
+
+
+def spec_digest(spec: ScenarioSpec) -> str:
+    """A short stable digest of the spec's *content*.
+
+    Declarative specs digest their canonical JSON form, so any
+    parameter change (a ``--set`` override included) changes the digest
+    — callable notes are digested by name only, never at the cost of
+    dropping the parameters. Plan-based specs digest their identity
+    only: their behavior lives in code, which the result cache already
+    folds in as the code version.
+    """
+    if spec.is_declarative:
+        if callable(spec.notes):
+            payload = spec_to_dict(replace(spec, notes=""))
+            payload["notes_callable"] = getattr(
+                spec.notes, "__qualname__", repr(spec.notes)
+            )
+        else:
+            payload = spec_to_dict(spec)
+    else:
+        payload = {
+            "name": spec.name,
+            "plan": getattr(spec.plan, "__qualname__", repr(spec.plan)),
+            "trials": spec.trials,
+        }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# CLI overrides (--set key=value)
+# ----------------------------------------------------------------------
+def _set_path(tree: Dict[str, object], path: str, value: object) -> None:
+    parts = path.split(".")
+    node = tree
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = {}
+            node[part] = child
+        if not isinstance(child, dict):
+            raise HarnessError(
+                f"--set path {path!r}: {part!r} is not an object"
+            )
+        node = child
+    node[parts[-1]] = value
+
+
+def _parse_override_value(raw: str) -> object:
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw  # bare strings (e.g. part2_listener=uniform)
+
+
+def apply_overrides(
+    spec: ScenarioSpec, overrides: Mapping[str, str]
+) -> ScenarioSpec:
+    """Apply ``--set path=value`` overrides, returning a new spec.
+
+    Values parse as JSON when possible (so ``--set
+    sweep.axes.activity=[0.1,0.8]`` and ``--set assignment.c=16`` work)
+    and fall back to bare strings. Paths address the spec's dict form
+    (``protocol.params.part1_steps``, ``trials``, ...).
+
+    Plan-based (paper) scenarios only accept ``trials`` — everything
+    else about them is code, not data.
+    """
+    if not overrides:
+        return spec
+    if not spec.is_declarative:
+        extra = set(overrides) - {"trials"}
+        if extra:
+            raise HarnessError(
+                f"scenario {spec.name!r} is code-defined; --set supports "
+                "only 'trials' for it (declarative scenarios accept any "
+                f"spec path). Rejected: {', '.join(sorted(extra))}"
+            )
+        return replace(
+            spec, trials=_as_int(overrides["trials"], "trials")
+        )
+    tree = spec_to_dict(spec)
+    for path, raw in overrides.items():
+        _set_path(tree, path, _parse_override_value(raw))
+    return spec_from_dict(tree)

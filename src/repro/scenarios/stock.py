@@ -1,0 +1,177 @@
+"""Stock non-paper scenarios: the diversity the monolith couldn't reach.
+
+These are fully declarative — every one of them round-trips through
+JSON (they double as exemplars for user scenario files) and accepts
+``--set`` overrides on any field. They exercise workload corners the
+paper's evaluation never visits: planar deployments under heavy
+primary-user activity, broadcast over heterogeneous-overlap grids,
+COUNT accuracy as interference rises, and listener/budget ablations on
+Erdos-Renyi connectivity.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register
+from repro.scenarios.spec import (
+    AssignmentSpec,
+    InterferenceSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+)
+
+__all__ = ["STOCK_SPECS"]
+
+STOCK_SPECS = [
+    register(
+        ScenarioSpec(
+            name="pu-geo-cseek",
+            title="CSEEK on random-geometric radios under primary users",
+            description=(
+                "Neighbor discovery on planar deployments (the paper's "
+                "motivating 'radios scattered in the plane') as licensed "
+                "primary-user activity and burst length grow."
+            ),
+            trials=4,
+            tags=("stock", "interference", "geometric"),
+            sweep=SweepSpec(
+                axes={
+                    "activity": [0.0, 0.4, 0.8],
+                    "dwell": [4.0, 300.0],
+                }
+            ),
+            topology=TopologySpec("random_geometric", {"n": 16}),
+            assignment=AssignmentSpec(kind="global_core", c=8, k=2),
+            interference=InterferenceSpec(
+                activity="$activity", mean_dwell="$dwell"
+            ),
+            protocol=ProtocolSpec("cseek"),
+            notes=(
+                "Extension workload: each sweep point samples a fresh "
+                "connected geometric graph, layers a shared k-channel "
+                "core (the licensed-band scenario) and measures CSEEK "
+                "discovery under ON/OFF primary-user traffic. Short "
+                "bursts are absorbed by COUNT's within-step redundancy; "
+                "long bursts at high activity erase whole meetings and "
+                "push success below 1."
+            ),
+        )
+    ),
+    register(
+        ScenarioSpec(
+            name="grid-cgcast-hetero",
+            title="CGCAST on grids with heterogeneous overlaps",
+            description=(
+                "Global broadcast over a 3x4 grid whose edges share k or "
+                "kmax channels, sweeping the overlap gap and the "
+                "fraction of strong edges."
+            ),
+            trials=3,
+            tags=("stock", "broadcast", "heterogeneous"),
+            sweep=SweepSpec(
+                axes={
+                    "kmax": [2, 4],
+                    "high_fraction": [0.25, 0.75],
+                }
+            ),
+            topology=TopologySpec("grid", {"rows": 3, "cols": 4}),
+            assignment=AssignmentSpec(
+                kind="heterogeneous",
+                c=16,
+                k=1,
+                kmax="$kmax",
+                high_fraction="$high_fraction",
+            ),
+            protocol=ProtocolSpec("cgcast"),
+            notes=(
+                "Extension workload: Section 7's kmax >> k regime on a "
+                "topology the paper never evaluates. CGCAST's setup "
+                "budget stretches with kmax/k while the dissemination "
+                "stage rides Delta=4 only, so mean_dissemination should "
+                "stay nearly flat across the sweep as schedule_slots "
+                "grows."
+            ),
+        )
+    ),
+    register(
+        ScenarioSpec(
+            name="count-interference",
+            title="COUNT accuracy under primary-user interference",
+            description=(
+                "Lemma 1's estimator as channel occupancy rises: a "
+                "broadcaster-count x activity grid measuring estimate "
+                "bias and band rate."
+            ),
+            trials=20,
+            tags=("stock", "count", "interference"),
+            sweep=SweepSpec(
+                axes={
+                    "m": [2, 8, 32],
+                    "activity": [0.0, 0.3, 0.6],
+                }
+            ),
+            interference=InterferenceSpec(
+                activity="$activity", mean_dwell=4.0
+            ),
+            protocol=ProtocolSpec(
+                "count",
+                {
+                    "m": "$m",
+                    "max_count": 32,
+                    "log_n": 5,
+                    "rule": "argmax",
+                    "round_slots": 8.0,
+                },
+            ),
+            notes=(
+                "Extension workload: occupancy deletes receptions "
+                "uniformly across rounds, so the argmax rule's peak "
+                "round is unchanged in expectation — median_ratio should "
+                "hold near 1 while band_rate degrades only at high "
+                "activity, where whole rounds go silent."
+            ),
+        )
+    ),
+    register(
+        ScenarioSpec(
+            name="er-cseek-ablation",
+            title="CSEEK budget x listener ablation on Erdos-Renyi graphs",
+            description=(
+                "Starved part-one budgets crossed with the "
+                "weighted/uniform part-two listener on sparse random "
+                "connectivity."
+            ),
+            trials=4,
+            tags=("stock", "ablation"),
+            sweep=SweepSpec(
+                axes={
+                    "part1_steps": [20, 80],
+                    "listener": ["weighted", "uniform"],
+                }
+            ),
+            # Topology and assignment pin their seeds to $seed (not the
+            # per-point $pseed) so every ablation cell runs on the same
+            # graph — the listener comparison stays apples-to-apples.
+            topology=TopologySpec("erdos_renyi", {"n": 18, "seed": "$seed"}),
+            assignment=AssignmentSpec(
+                kind="global_core", c=8, k=2, seed="$seed"
+            ),
+            protocol=ProtocolSpec(
+                "cseek",
+                {
+                    "part1_steps": "$part1_steps",
+                    "part2_steps": 150,
+                    "part2_listener": "$listener",
+                },
+            ),
+            notes=(
+                "Extension workload: Lemma 3's mechanism off the paper's "
+                "star worst case. With part one starved, the "
+                "density-weighted listener should reach higher success "
+                "at the same slot budget than the uniform ablation; the "
+                "gap narrows as part1_steps grows."
+            ),
+        )
+    ),
+]

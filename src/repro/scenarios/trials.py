@@ -1,0 +1,179 @@
+"""Trial-closure factories — the one place ``run_batch`` is generated.
+
+Every experiment ultimately hands :func:`repro.harness.runner.run_trials`
+a callable of one trial seed. To ride the vectorized
+:class:`~repro.harness.executor.BatchedExecutor`, that callable must
+also carry a ``run_batch(seeds)`` attribute routing the whole seed list
+through the sim layer's batched primitives. The harness used to
+hand-roll that pairing per experiment; these factories build it once
+per protocol family, with the serial path as the reference semantics
+the batched path must reproduce bit-for-bit:
+
+* :func:`cseek_trial` — full CSEEK/CKSEEK executions, batched through
+  :class:`repro.core.cseek_batch.CSeekBatch`.
+* :func:`cgcast_trial` — CGCAST executions whose (dominant) discovery
+  phase batches through :func:`repro.core.cseek_batch.batched_discovery`.
+* :func:`count_trial` — single COUNT steps, batched through
+  :func:`repro.core.count.run_count_step_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core import (
+    CGCast,
+    CSeek,
+    CSeekBatch,
+    ProtocolConstants,
+    batched_discovery,
+    count_schedule,
+    run_count_step,
+    run_count_step_batch,
+)
+
+__all__ = [
+    "broadcaster_star",
+    "cgcast_trial",
+    "count_trial",
+    "cseek_trial",
+]
+
+
+def cseek_trial(
+    make_protocol: Callable[[int], CSeek],
+    postprocess: Callable[..., object],
+    jammer_factory: Callable[[int], object] | None = None,
+) -> Callable[[int], object]:
+    """A full-protocol CSEEK/CKSEEK trial with a vectorized trial axis.
+
+    The serial path constructs and runs one protocol per seed (the
+    reference semantics every executor must reproduce). The ``run_batch``
+    attribute — picked up by the ``jobs="batch"`` executor — routes the
+    whole seed list through :class:`repro.core.cseek_batch.CSeekBatch`
+    instead, so each part-one step and part-two window of *all* trials
+    resolves as one batched engine call; per-trial results are
+    bit-identical to the serial path. ``make_protocol`` must be
+    homogeneous in the seed (same network/budgets/policy every call);
+    per-trial jammers come from ``jammer_factory``.
+    """
+
+    def trial(s: int):
+        proto = make_protocol(s)
+        if jammer_factory is not None:
+            proto.jammer = jammer_factory(s)
+        return postprocess(proto.run())
+
+    def run_batch(seeds):
+        batch = CSeekBatch.from_serial(
+            make_protocol(0), jammer_factory=jammer_factory
+        )
+        return [postprocess(r) for r in batch.run(seeds)]
+
+    trial.run_batch = run_batch
+    return trial
+
+
+def cgcast_trial(
+    make_protocol: Callable[..., CGCast],
+    postprocess: Callable[..., object],
+) -> Callable[[int], object]:
+    """A CGCAST trial whose discovery phase batches over the trial axis.
+
+    ``make_protocol(seed, discovery=None)`` must build the protocol
+    homogeneously in the seed. Serially each trial runs the whole
+    pipeline; under ``jobs="batch"`` the (dominant) discovery phase of
+    all trials runs in lockstep via :func:`batched_discovery` and each
+    trial is fed its bit-identical CSEEK result, while the
+    heterogeneous exchange/coloring stages stay serial.
+    """
+
+    def trial(s: int, discovery=None):
+        return postprocess(make_protocol(s, discovery=discovery).run())
+
+    def run_batch(seeds):
+        network = make_protocol(0).network
+        discoveries = batched_discovery(network, seeds)
+        return [
+            trial(s, discovery=d) for s, d in zip(seeds, discoveries)
+        ]
+
+    trial.run_batch = run_batch
+    return trial
+
+
+def broadcaster_star(m: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The COUNT test rig: one listener facing ``m`` broadcasters.
+
+    Returns ``(adjacency, channels, tx_role)`` for a star whose hub
+    (node 0) listens on channel 0 while all ``m`` leaves broadcast.
+    """
+    n = m + 1
+    adj = np.zeros((n, n), dtype=bool)
+    adj[0, 1:] = True
+    adj[1:, 0] = True
+    channels = np.zeros(n, dtype=np.int64)
+    tx_role = np.ones(n, dtype=bool)
+    tx_role[0] = False
+    return adj, channels, tx_role
+
+
+def count_trial(
+    adj: np.ndarray,
+    channels: np.ndarray,
+    tx_role: np.ndarray,
+    max_count: int,
+    log_n: int,
+    constants: ProtocolConstants,
+    postprocess: Callable[[np.ndarray], object],
+    jammer_factory: Callable[[int], object] | None = None,
+) -> Callable[[int], object]:
+    """A single-COUNT-step trial with a vectorized trial axis.
+
+    ``postprocess`` receives the ``(n,)`` listener-estimate vector of
+    one trial. Under ``jobs="batch"`` the whole trial axis resolves
+    through :func:`run_count_step_batch` in one engine call; per-trial
+    coins (and any per-trial jam masks) are drawn exactly as the serial
+    path draws them.
+    """
+    rounds, round_length = count_schedule(max_count, log_n, constants)
+    total_slots = rounds * round_length
+
+    def _jam(s: int) -> Optional[np.ndarray]:
+        if jammer_factory is None:
+            return None
+        return jammer_factory(s).jam_mask(channels, total_slots)
+
+    def trial(s: int):
+        out = run_count_step(
+            adj,
+            channels,
+            tx_role,
+            max_count=max_count,
+            log_n=log_n,
+            constants=constants,
+            rng=np.random.default_rng(s),
+            jam=_jam(s),
+        )
+        return postprocess(out.estimates)
+
+    def run_batch(seeds: Sequence[int]):
+        jam = None
+        if jammer_factory is not None:
+            jam = np.stack([_jam(s) for s in seeds])
+        out = run_count_step_batch(
+            adj,
+            channels,
+            tx_role,
+            max_count=max_count,
+            log_n=log_n,
+            constants=constants,
+            rngs=[np.random.default_rng(s) for s in seeds],
+            jam=jam,
+        )
+        return [postprocess(row) for row in out.estimates]
+
+    trial.run_batch = run_batch
+    return trial

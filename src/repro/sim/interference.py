@@ -37,6 +37,15 @@ class PrimaryUserTraffic:
         mean_dwell: Mean ON-burst length in slots (``>= 1``); OFF
             lengths follow from the stationarity constraint.
         seed: Randomness seed.
+
+    Feasibility: with geometric ON bursts of mean ``mean_dwell``, the
+    OFF->ON transition probability needed for stationarity is
+    ``activity / (mean_dwell * (1 - activity))`` and saturates at 1.
+    Targets beyond ``mean_dwell / (mean_dwell + 1)`` are therefore
+    unreachable — the chain then turns ON every OFF slot and the
+    realized occupancy plateaus at that cap. The
+    :attr:`realized_activity` property reports the stationary fraction
+    the chain actually attains.
     """
 
     def __init__(
@@ -80,6 +89,18 @@ class PrimaryUserTraffic:
     def num_channels(self) -> int:
         """Channels under primary-user control."""
         return len(self.channel_ids)
+
+    @property
+    def realized_activity(self) -> float:
+        """The stationary occupancy the chain actually attains.
+
+        Equals ``activity`` whenever the target is feasible for the
+        requested dwell, and the ``mean_dwell / (mean_dwell + 1)`` cap
+        otherwise (see the class docstring).
+        """
+        if self._on_prob == 0.0:
+            return 0.0
+        return self._on_prob / (self._on_prob + self._off_prob)
 
     def occupied_block(self, num_slots: int) -> np.ndarray:
         """Advance the chains; return ``(num_slots, num_channels)`` bool.

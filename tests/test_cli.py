@@ -1,5 +1,7 @@
 """Unit tests for the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -69,6 +71,81 @@ class TestMain:
         assert (tmp_path / "e1.csv").exists()
         out = capsys.readouterr().out
         assert "COUNT accuracy" in out
+
+    def test_scenarios_lists_paper_and_stock(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 13):
+            assert f"E{i} " in out or f"E{i}  " in out
+        assert "[paper]" in out
+        assert "[stock]" in out
+        assert "pu-geo-cseek" in out
+        assert "count-interference" in out
+
+    def test_run_scenario_with_overrides(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "count-interference",
+                "--trials",
+                "2",
+                "--jobs",
+                "batch",
+                "--set",
+                "sweep.axes.m=[2]",
+                "--set",
+                "sweep.axes.activity=[0.0]",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COUNT accuracy under primary-user interference" in out
+        assert "median_ratio" in out
+
+    def test_run_scenario_from_file(self, tmp_path, capsys):
+        payload = {
+            "name": "from-file",
+            "title": "file scenario",
+            "trials": 2,
+            "sweep": {"axes": {"m": [1, 2]}},
+            "protocol": {
+                "kind": "count",
+                "params": {"m": "$m", "max_count": 4, "log_n": 3},
+            },
+        }
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(payload))
+        out_dir = tmp_path / "out"
+        code = main(
+            ["run-scenario", str(path), "--out", str(out_dir)]
+        )
+        assert code == 0
+        assert (out_dir / "from-file.md").exists()
+        assert (out_dir / "from-file.csv").exists()
+        assert "file scenario" in capsys.readouterr().out
+
+    def test_run_scenario_rejects_unknown_name(self, capsys):
+        assert main(["run-scenario", "no-such-workload"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_scenario_rejects_bad_set_syntax(self, capsys):
+        code = main(
+            ["run-scenario", "count-interference", "--set", "oops"]
+        )
+        assert code == 1
+        assert "PATH=VALUE" in capsys.readouterr().err
+
+    def test_run_scenario_rejects_bad_override_path(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "count-interference",
+                "--set",
+                "nope.nope=1",
+            ]
+        )
+        assert code == 1
+        assert "unknown scenario keys" in capsys.readouterr().err
 
     @pytest.mark.integration
     def test_run_with_jobs_and_cache(self, tmp_path, capsys):

@@ -56,6 +56,68 @@ class TestPrimaryUserTraffic:
         c = t2.occupied_block(100)
         assert np.array_equal(np.vstack([a, b]), c)
 
+    @pytest.mark.parametrize(
+        "activity,mean_dwell",
+        [(0.1, 1.5), (0.4, 2.0), (0.55, 1.5), (0.7, 8.0), (0.85, 8.0)],
+    )
+    def test_stationary_occupancy_converges_to_activity(
+        self, activity, mean_dwell
+    ):
+        # The chains start at stationarity and must stay there: for
+        # feasible targets (activity <= dwell / (dwell + 1)) the
+        # long-run occupied fraction converges to the activity target
+        # across the (activity, dwell) grid, not just one point.
+        traffic = PrimaryUserTraffic(
+            list(range(16)),
+            activity=activity,
+            mean_dwell=mean_dwell,
+            seed=int(activity * 100) + int(mean_dwell),
+        )
+        assert traffic.realized_activity == pytest.approx(activity)
+        block = traffic.occupied_block(6000)
+        assert abs(block.mean() - activity) < 0.05
+
+    def test_infeasible_targets_saturate_at_the_dwell_cap(self):
+        # activity > dwell / (dwell + 1) cannot be reached with
+        # geometric ON bursts of that mean: the OFF->ON probability
+        # clamps at 1 and occupancy plateaus at the cap.
+        traffic = PrimaryUserTraffic(
+            list(range(16)), activity=0.9, mean_dwell=1.5, seed=8
+        )
+        cap = 1.5 / 2.5
+        assert traffic.realized_activity == pytest.approx(cap)
+        block = traffic.occupied_block(6000)
+        assert abs(block.mean() - cap) < 0.05
+
+    def test_chunked_consumption_bit_identical_to_one_shot(self):
+        # Protocol executions consume occupancy slot by slot in uneven
+        # step-sized chunks; the sequence must be exactly the one a
+        # single generation from the same seed produces.
+        chunks = [1, 7, 64, 3, 1, 100, 24]
+        total = sum(chunks)
+        chunked = PrimaryUserTraffic(
+            [2, 5, 9], activity=0.35, mean_dwell=6.0, seed=13
+        )
+        parts = [chunked.occupied_block(size) for size in chunks]
+        one_shot = PrimaryUserTraffic(
+            [2, 5, 9], activity=0.35, mean_dwell=6.0, seed=13
+        ).occupied_block(total)
+        assert np.array_equal(np.vstack(parts), one_shot)
+
+    def test_chunked_jam_masks_bit_identical_to_one_shot(self):
+        # The jam_mask view (what the engine actually consumes) must
+        # inherit the same chunking invariance.
+        channels = np.array([2, 9, -1, 5])
+        chunks = [5, 1, 30, 14]
+        chunked = PrimaryUserTraffic(
+            [2, 5, 9], activity=0.5, mean_dwell=3.0, seed=21
+        )
+        parts = [chunked.jam_mask(channels, size) for size in chunks]
+        one_shot = PrimaryUserTraffic(
+            [2, 5, 9], activity=0.5, mean_dwell=3.0, seed=21
+        ).jam_mask(channels, sum(chunks))
+        assert np.array_equal(np.vstack(parts), one_shot)
+
     def test_jam_mask_covers_tuned_channels_only(self):
         traffic = PrimaryUserTraffic([5], activity=0.9, mean_dwell=2.0, seed=5)
         channels = np.array([5, 7, -1])
