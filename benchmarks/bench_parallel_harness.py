@@ -21,6 +21,12 @@ and tests/test_executor); the interesting number is wall-clock.
   end-to-end pair the CI regression gate tracks: the batched runner
   turns every part-one step and part-two window into one engine call
   across all trials, so it must beat the serial loop outright.
+* ``jammed_cseek16_*``: the same 16-trial protocol pair under heavy
+  Markov primary-user traffic (the E12 workload shape). The serial
+  reference advances one sequential occupancy stream per trial; the
+  batched runner rides a ``MarkovTraffic`` spectrum environment whose
+  ON/OFF recurrence runs once for the whole trial axis — the gate pins
+  that the jammed batched path keeps beating the jammed serial loop.
 * ``e1_table_serial``: a full experiment table end-to-end, the number
   users actually wait on.
 """
@@ -40,6 +46,7 @@ from repro.core import (
 from repro.core.cseek import backoff_probabilities
 from repro.graphs import build_network, random_regular
 from repro.harness import run_experiment, run_trials
+from repro.sim import MarkovTraffic
 from repro.sim.engine import resolve_step
 
 TRIALS = 64
@@ -188,6 +195,41 @@ def bench_cseek16_batched(benchmark):
     net = _e2_net()
     seeds = list(range(100, 100 + CSEEK_TRIALS))
     runner = CSeekBatch(net)
+    results = benchmark(runner.run, seeds)
+    assert len(results) == CSEEK_TRIALS
+
+
+def _jammed_workload():
+    """The E12 shape: the E2 network under 60%-occupancy Markov bursts."""
+    net = _e2_net()
+    env = MarkovTraffic(
+        sorted(net.assignment.universe()),
+        activity=0.6,
+        mean_dwell=8.0,
+        seed_offset=1000,
+    )
+    return net, env
+
+
+def bench_jammed_cseek16_serial(benchmark):
+    """16 jammed CSEEK runs, one trial (and occupancy stream) at a time."""
+    net, env = _jammed_workload()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+
+    def run():
+        return [
+            CSeek(net, seed=s, environment=env).run() for s in seeds
+        ]
+
+    results = benchmark(run)
+    assert len(results) == CSEEK_TRIALS
+
+
+def bench_jammed_cseek16_batched(benchmark):
+    """16 jammed CSEEK runs with one batched occupancy recurrence."""
+    net, env = _jammed_workload()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+    runner = CSeekBatch(net, environment=env)
     results = benchmark(runner.run, seeds)
     assert len(results) == CSEEK_TRIALS
 

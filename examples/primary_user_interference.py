@@ -3,10 +3,14 @@
 
 The paper motivates cognitive radios with licensed (primary) users
 whose transmissions secondary devices must tolerate. This script runs
-CSEEK while a primary-user traffic model occupies channels with ON/OFF
-bursts, showing the two regimes experiment E12 measures: short bursts
-are absorbed by COUNT's within-step redundancy, long bursts erase whole
-meeting opportunities.
+CSEEK under the pluggable spectrum environments of
+``repro.sim.environment``, showing the regimes experiments E12 and the
+markov-vs-poisson scenario measure: short Markov bursts are absorbed by
+COUNT's within-step redundancy, long bursts erase whole meeting
+opportunities, and memoryless (Poisson) losses of the same occupancy
+are far milder than bursty ones. The final section batches all jammed
+trials through ``CSeekBatch`` — one occupancy recurrence for the whole
+trial axis, bit-identical to the serial runs.
 
 Run:
     python examples/primary_user_interference.py [seed]
@@ -16,9 +20,9 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import CSeek, verify_discovery
+from repro.core import CSeek, CSeekBatch, verify_discovery
 from repro.graphs import build_network, random_regular
-from repro.sim import PrimaryUserTraffic
+from repro.sim import MarkovTraffic, PoissonTraffic
 
 
 def main(seed: int = 0) -> int:
@@ -32,21 +36,18 @@ def main(seed: int = 0) -> int:
 
     scenarios = [
         ("no interference", None),
-        ("30% occupancy, short bursts (4 slots)",
-         dict(activity=0.3, mean_dwell=4.0)),
-        ("60% occupancy, short bursts (4 slots)",
-         dict(activity=0.6, mean_dwell=4.0)),
-        ("60% occupancy, long bursts (500 slots)",
-         dict(activity=0.6, mean_dwell=500.0)),
+        ("markov 30%, short bursts (4 slots)",
+         MarkovTraffic(channels, activity=0.3, mean_dwell=4.0)),
+        ("markov 60%, short bursts (4 slots)",
+         MarkovTraffic(channels, activity=0.6, mean_dwell=4.0)),
+        ("markov 60%, long bursts (500 slots)",
+         MarkovTraffic(channels, activity=0.6, mean_dwell=500.0)),
+        ("poisson 60% (memoryless slots)",
+         PoissonTraffic(channels, activity=0.6)),
     ]
     baseline = None
-    for name, params in scenarios:
-        jammer = (
-            PrimaryUserTraffic(channels, seed=seed + 7, **params)
-            if params
-            else None
-        )
-        result = CSeek(net, seed=seed + 2, jammer=jammer).run()
+    for name, environment in scenarios:
+        result = CSeek(net, seed=seed + 2, environment=environment).run()
         report = verify_discovery(result, net)
         completion = report.completion_slot
         if baseline is None and completion is not None:
@@ -63,9 +64,22 @@ def main(seed: int = 0) -> int:
         print(f"  {name:<42} {status:<28} "
               f"completion slot {slot_text} ({stretch})")
 
+    # The same environment serves the trial-batched runner: every
+    # protocol step jams the whole trial axis with one gather.
+    env = MarkovTraffic(channels, activity=0.6, mean_dwell=4.0)
+    seeds = [seed + 2 + i for i in range(4)]
+    batched = CSeekBatch(net, environment=env).run(seeds)
+    successes = sum(
+        verify_discovery(r, net).success for r in batched
+    )
+    print(f"\nbatched: {len(seeds)} jammed trials in lockstep, "
+          f"{successes}/{len(seeds)} complete (trial {seeds[0]} "
+          "bit-identical to the serial run above)")
+
     print("\ntakeaway: the w.h.p. constants in CSEEK's schedule buy real "
-          "slack — only occupancy bursts longer than a COUNT step, at "
-          "high duty cycles, defeat discovery.")
+          "slack — at matched occupancy, memoryless losses are absorbed; "
+          "only bursts longer than a COUNT step, at high duty cycles, "
+          "defeat discovery.")
     return 0
 
 

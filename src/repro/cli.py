@@ -25,7 +25,11 @@ spec digest, so ``--set`` overrides never collide with default runs).
 or a path to a JSON scenario file (see ``repro.scenarios.spec``);
 ``--set path=value`` overrides any declarative spec field, with values
 parsed as JSON when possible (``--set assignment.c=16``,
-``--set sweep.axes.m=[2,4]``, ``--set protocol.params.rule=argmax``).
+``--set sweep.axes.m=[2,4]``, ``--set interference.model=poisson``).
+Paper scenarios (plan-based) accept the same dotted paths over their
+data fields — ``trials``, ``title``, ``description``,
+``experiment_id``, ``tags``, ``notes``, ``columns`` — and reject
+plan-owned paths with a clear error.
 
 ``crn-repro`` (the console script declared in ``pyproject.toml``) is
 equivalent when the package is installed through a regular ``pip
@@ -160,8 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH=VALUE",
         help=(
             "override a spec field (repeatable): --set assignment.c=16, "
-            "--set sweep.axes.m=[2,4], --set trials=8; values parse as "
-            "JSON when possible"
+            "--set sweep.axes.m=[2,4], --set interference.model=poisson, "
+            "--set trials=8; values parse as JSON when possible (paper "
+            "scenarios accept their data fields only)"
         ),
     )
     run_scn.add_argument(

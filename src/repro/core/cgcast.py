@@ -120,11 +120,18 @@ class CGCast:
         early_stop: Stop dissemination phases once everyone is informed.
         discovery: Optional precomputed CSEEK result to use as phase 1.
             Must be the execution this instance would run itself (same
-            network/knowledge/constants, ``rng_label="cgcast.discovery"``,
-            this seed) for results to stay bit-identical — which is
-            exactly what :func:`repro.core.cseek_batch.batched_discovery`
+            network/knowledge/constants/environment,
+            ``rng_label="cgcast.discovery"``, this seed) for results to
+            stay bit-identical — which is exactly what
+            :func:`repro.core.cseek_batch.batched_discovery`
             produces, letting Monte Carlo sweeps batch CGCAST's most
             expensive phase across the trial axis.
+        environment: Optional spectrum environment
+            (:class:`repro.sim.environment.SpectrumEnvironment`)
+            applied to the discovery phase — the one phase that runs
+            CSEEK slot-for-slot under the default oracle exchange
+            mode. Primary users erode the discovered graph, which the
+            later phases (and the success metric) then inherit.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class CGCast:
         coloring_loss_rate: float = 0.0,
         early_stop: bool = True,
         discovery: Optional[CSeekResult] = None,
+        environment=None,
     ) -> None:
         if exchange_mode not in ("oracle", "simulated"):
             raise ProtocolError(f"unknown exchange mode: {exchange_mode!r}")
@@ -154,6 +162,7 @@ class CGCast:
         self.coloring_loss_rate = coloring_loss_rate
         self.early_stop = early_stop
         self.precomputed_discovery = discovery
+        self.environment = environment
 
     # ------------------------------------------------------------------
     def run(self) -> CGCastResult:
@@ -171,6 +180,7 @@ class CGCast:
                 constants=self.constants,
                 seed=self.seed,
                 rng_label="cgcast.discovery",
+                environment=self.environment,
             ).run()
         ledger.merge(discovery.ledger, prefix="discovery.")
 

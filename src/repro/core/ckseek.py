@@ -40,8 +40,10 @@ class CKSeek(CSeek):
         delta_khat: Optional a-priori bound on the number of good
             neighbors (``Delta_khat``); when None the paper's fallback
             (``Delta``) is used in the part-two budget.
-        knowledge, constants, seed, part2_listener, rng_label: As in
-            :class:`~repro.core.cseek.CSeek`.
+        knowledge, constants, seed, part2_listener, rng_label,
+        environment, jammer: As in :class:`~repro.core.cseek.CSeek`
+            (``jammer`` is the deprecated alias for a pre-seeded
+            sequential traffic process).
     """
 
     def __init__(
@@ -54,6 +56,8 @@ class CKSeek(CSeek):
         seed: int = 0,
         part2_listener: str = "weighted",
         rng_label: str = "ckseek",
+        jammer=None,
+        environment=None,
     ) -> None:
         kn = knowledge or network.knowledge()
         kn.with_khat(khat)
@@ -82,6 +86,8 @@ class CKSeek(CSeek):
             part2_steps=part2,
             part2_listener=part2_listener,  # type: ignore[arg-type]
             rng_label=rng_label,
+            jammer=jammer,
+            environment=environment,
         )
         self.khat = khat
         self.delta_khat = delta_khat

@@ -39,6 +39,7 @@ from repro.core.count import run_count_step
 from repro.model.errors import ProtocolError
 from repro.model.spec import ModelKnowledge
 from repro.sim.engine import BatchStepOutcome, resolve_step, resolve_step_batch
+from repro.sim.environment import SpectrumEnvironment
 from repro.sim.interference import PrimaryUserTraffic
 from repro.sim.metrics import SlotLedger
 from repro.sim.network import CRNetwork
@@ -228,10 +229,18 @@ class CSeek:
         rng_label: Namespace for randomness, so repeated CSEEK
             executions inside one protocol (CGCAST runs it several
             times) draw independent coins from the same seed.
-        jammer: Optional primary-user traffic model
-            (:class:`repro.sim.interference.PrimaryUserTraffic`);
-            receptions on occupied channels are lost. Robustness
-            extension — the paper analyzes the interference-free model.
+        environment: Optional spectrum environment
+            (:class:`repro.sim.environment.SpectrumEnvironment`);
+            each execution opens a fresh traffic stream seeded from
+            this protocol's ``seed``, and receptions on occupied
+            channels are lost. Robustness extension — the paper
+            analyzes the interference-free model.
+        jammer: Deprecated alias for interference: a pre-seeded
+            sequential traffic process
+            (:class:`repro.sim.interference.PrimaryUserTraffic`).
+            Prefer ``environment=`` — an environment serves serial and
+            trial-batched execution alike. Mutually exclusive with
+            ``environment``.
     """
 
     def __init__(
@@ -245,6 +254,7 @@ class CSeek:
         part2_listener: ListenerPolicy = "weighted",
         rng_label: str = "cseek",
         jammer: Optional["PrimaryUserTraffic"] = None,
+        environment: Optional[SpectrumEnvironment] = None,
     ) -> None:
         self.network = network
         self.knowledge = knowledge or network.knowledge()
@@ -269,7 +279,14 @@ class CSeek:
         )
         if self.part1_step_budget < 0 or self.part2_step_budget < 0:
             raise ProtocolError("step budgets must be non-negative")
+        if jammer is not None and environment is not None:
+            raise ProtocolError(
+                "pass either environment= or the deprecated jammer= "
+                "alias, not both"
+            )
         self.jammer = jammer
+        self.environment = environment
+        self.seed = seed
         self.rng_label = rng_label
         self._hub = RngHub(seed).child(rng_label)
 
@@ -296,14 +313,15 @@ class CSeek:
         )
         count_slots = count_rounds * count_round_len
 
+        traffic = self._open_traffic()
         rng1 = self._hub.generator("part1")
         for _ in range(self.part1_step_budget):
             labels = rng1.integers(0, c, size=n)
             channels = table[np.arange(n), labels]
             tx_role = rng1.random(n) < 0.5
             jam = (
-                self.jammer.jam_mask(channels, count_slots)
-                if self.jammer is not None
+                traffic.jam_mask(channels, count_slots)
+                if traffic is not None
                 else None
             )
             outcome = run_count_step(
@@ -339,8 +357,8 @@ class CSeek:
             channels = table[np.arange(n), labels]
             coins = rng2.random((backoff_len, n)) < backoff_probs[:, None]
             jam = (
-                self.jammer.jam_mask(channels, backoff_len)
-                if self.jammer is not None
+                traffic.jam_mask(channels, backoff_len)
+                if traffic is not None
                 else None
             )
             outcome = resolve_step(
@@ -373,6 +391,21 @@ class CSeek:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _open_traffic(self):
+        """This execution's traffic process, or None when unjammed.
+
+        A legacy ``jammer=`` instance is used as-is (it owns its seed
+        and state); an ``environment=`` opens a fresh single-trial
+        stream seeded from this protocol's ``seed``, so repeated
+        executions and the trial-batched runner see identical
+        occupancy for identical seeds.
+        """
+        if self.jammer is not None:
+            return self.jammer
+        if self.environment is not None:
+            return self.environment.stream(self.seed)
+        return None
+
     def _choose_part2_labels(
         self,
         rng: np.random.Generator,
@@ -395,7 +428,9 @@ class CSeek:
         across the trial axis; ``batch().run([s])[0]`` is bit-identical
         to ``CSeek(..., seed=s).run()``. Works on subclasses too —
         a :class:`~repro.core.ckseek.CKSeek` prototype hands its
-        Section 4.4 budgets to the batch. Per-trial jammers come from
+        Section 4.4 budgets to the batch. The prototype's
+        ``environment`` carries over (environments open per-trial
+        streams on demand); per-trial legacy jammers come from
         ``jammer_factory`` (the prototype's own ``jammer`` is ignored:
         a single shared jammer instance cannot serve independent
         trials).

@@ -45,6 +45,7 @@ from repro.core.cseek import (
 )
 from repro.model.errors import ProtocolError
 from repro.model.spec import ModelKnowledge
+from repro.sim.environment import SpectrumEnvironment
 from repro.sim.interference import PrimaryUserTraffic
 from repro.sim.metrics import SlotLedger
 from repro.sim.network import CRNetwork
@@ -54,6 +55,32 @@ from repro.sim.trace import TraceRecorder, record_step_batch
 __all__ = ["CSeekBatch", "JammerFactory", "batched_discovery"]
 
 JammerFactory = Callable[[int], Optional[PrimaryUserTraffic]]
+
+
+class _PerTrialTraffic:
+    """Batched jam-mask view over independent per-trial jammer objects.
+
+    The legacy ``jammer_factory`` compatibility path: each trial's
+    sequential process advances on its own (a Python loop over trials),
+    presented behind the same ``jam_mask(channels, num_slots)``
+    interface a :class:`~repro.sim.environment.TrafficStream` offers so
+    :meth:`CSeekBatch.run` needs no per-path branching.
+    """
+
+    def __init__(
+        self, jammers: List[Optional[PrimaryUserTraffic]]
+    ) -> None:
+        self._jammers = jammers
+
+    def jam_mask(
+        self, channels: np.ndarray, num_slots: int
+    ) -> np.ndarray:
+        num_trials, n = channels.shape
+        jam = np.zeros((num_trials, num_slots, n), dtype=bool)
+        for b, jammer in enumerate(self._jammers):
+            if jammer is not None:
+                jam[b] = jammer.jam_mask(channels[b], num_slots)
+        return jam
 
 
 class CSeekBatch:
@@ -78,11 +105,17 @@ class CSeekBatch:
             (ablation) — the E10 ablation path batches like any other.
         rng_label: Randomness namespace, as on :class:`CSeek` (CGCAST's
             embedded discovery uses ``"cgcast.discovery"``).
-        jammer_factory: Optional per-trial-seed factory for
-            :class:`~repro.sim.interference.PrimaryUserTraffic`. A
-            factory rather than an instance because each trial must own
-            an independent traffic process whose occupancy stream
-            advances with that trial alone.
+        environment: Optional spectrum environment
+            (:class:`~repro.sim.environment.SpectrumEnvironment`); one
+            batched traffic stream covers all trials, so every
+            protocol step jams the whole trial axis with a single call
+            — this is what removed the per-trial Markov loop from the
+            batched hot path. Per trial, occupancy is bit-identical to
+            the serial ``CSeek(..., environment=...)`` execution.
+        jammer_factory: Deprecated per-trial-seed factory for
+            :class:`~repro.sim.interference.PrimaryUserTraffic` (the
+            pre-environment interface; jam masks then fall back to a
+            per-trial loop). Mutually exclusive with ``environment``.
     """
 
     def __init__(
@@ -95,6 +128,7 @@ class CSeekBatch:
         part2_listener: ListenerPolicy = "weighted",
         rng_label: str = "cseek",
         jammer_factory: Optional[JammerFactory] = None,
+        environment: Optional[SpectrumEnvironment] = None,
     ) -> None:
         # Delegate validation and budget resolution to the serial
         # protocol: one source of truth for schedule sizing.
@@ -108,13 +142,20 @@ class CSeekBatch:
             part2_listener=part2_listener,
             rng_label=rng_label,
         )
+        if jammer_factory is not None and environment is not None:
+            raise ProtocolError(
+                "pass either environment= or the deprecated "
+                "jammer_factory= alias, not both"
+            )
         self.jammer_factory = jammer_factory
+        self.environment = environment
 
     @classmethod
     def from_serial(
         cls,
         proto: CSeek,
         jammer_factory: Optional[JammerFactory] = None,
+        environment: Optional[SpectrumEnvironment] = None,
     ) -> "CSeekBatch":
         """A batch runner with a serial protocol's resolved configuration.
 
@@ -122,9 +163,13 @@ class CSeekBatch:
         only reparameterize budgets (:class:`~repro.core.ckseek.CKSeek`):
         the *resolved* step budgets, listener policy and rng namespace
         are copied, so the prototype's seed is irrelevant. The
-        prototype's ``jammer`` is deliberately not copied — pass
-        ``jammer_factory`` to give every trial its own traffic process.
+        prototype's ``environment`` carries over unless an explicit
+        ``environment`` or ``jammer_factory`` is given; its ``jammer``
+        is deliberately not copied — a single pre-seeded jammer
+        instance cannot serve independent trials.
         """
+        if environment is None and jammer_factory is None:
+            environment = proto.environment
         return cls(
             proto.network,
             knowledge=proto.knowledge,
@@ -134,6 +179,7 @@ class CSeekBatch:
             part2_listener=proto.part2_listener,
             rng_label=proto.rng_label,
             jammer_factory=jammer_factory,
+            environment=environment,
         )
 
     # Mirror the serial protocol's introspection surface.
@@ -174,10 +220,7 @@ class CSeekBatch:
         rows = np.arange(n)
 
         hubs = [RngHub(s).child(proto.rng_label) for s in seeds]
-        jammers = [
-            self.jammer_factory(s) if self.jammer_factory else None
-            for s in seeds
-        ]
+        traffic = self._open_traffic(seeds)
         counts = np.zeros((num_trials, n, c), dtype=np.float64)
         traces = [TraceRecorder() for _ in range(num_trials)]
         ledgers = [SlotLedger() for _ in range(num_trials)]
@@ -199,7 +242,11 @@ class CSeekBatch:
                 labels[b] = rng1[b].integers(0, c, size=n)
                 tx_role[b] = rng1[b].random(n) < 0.5
             channels = table[rows[None, :], labels]
-            jam = self._jam_mask(jammers, channels, count_slots)
+            jam = (
+                traffic.jam_mask(channels, count_slots)
+                if traffic is not None
+                else None
+            )
             outcome = run_count_step_batch(
                 net.adjacency,
                 channels,
@@ -243,7 +290,11 @@ class CSeekBatch:
                     policy=proto.part2_listener,
                 )
             channels = table[rows[None, :], labels]
-            jam = self._jam_mask(jammers, channels, backoff_len)
+            jam = (
+                traffic.jam_mask(channels, backoff_len)
+                if traffic is not None
+                else None
+            )
             outcome = resolve_backoff_batch(
                 net.adjacency, channels, tx_role, backoff_len, rng2, jam=jam
             )
@@ -284,26 +335,23 @@ class CSeekBatch:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _jam_mask(
-        jammers: List[Optional[PrimaryUserTraffic]],
-        channels: np.ndarray,
-        num_slots: int,
-    ) -> Optional[np.ndarray]:
-        """Stacked per-trial reception-kill masks, or None when unjammed.
+    def _open_traffic(self, seeds: Sequence[int]):
+        """One batched traffic handle for this run, or None when unjammed.
 
-        Each trial's jammer consumes its own occupancy stream exactly as
-        the serial protocol would; jammer-less trials contribute an
-        all-clear mask.
+        An environment opens a single batched stream (one jam-mask
+        gather per protocol step, no per-trial loop); a legacy
+        jammer factory falls back to per-trial sequential processes
+        wrapped behind the same ``jam_mask`` interface. Either way,
+        trial ``b`` consumes occupancy exactly as its serial
+        counterpart would.
         """
-        if all(j is None for j in jammers):
-            return None
-        num_trials, n = channels.shape
-        jam = np.zeros((num_trials, num_slots, n), dtype=bool)
-        for b, jammer in enumerate(jammers):
-            if jammer is not None:
-                jam[b] = jammer.jam_mask(channels[b], num_slots)
-        return jam
+        if self.environment is not None:
+            return self.environment.streams(seeds)
+        if self.jammer_factory is not None:
+            jammers = [self.jammer_factory(s) for s in seeds]
+            if any(j is not None for j in jammers):
+                return _PerTrialTraffic(jammers)
+        return None
 
 
 def batched_discovery(
@@ -311,12 +359,14 @@ def batched_discovery(
     seeds: Sequence[int],
     knowledge: Optional[ModelKnowledge] = None,
     constants: Optional[ProtocolConstants] = None,
+    environment: Optional[SpectrumEnvironment] = None,
 ) -> List[CSeekResult]:
     """Batch CGCAST's discovery phase across trial seeds.
 
     Returns one :class:`CSeekResult` per seed, bit-identical to the
     CSEEK execution :meth:`repro.core.cgcast.CGCast.run` performs
-    internally for that seed — hand result ``b`` to
+    internally for that seed (``environment`` must match the CGCAST
+    instance's) — hand result ``b`` to
     ``CGCast(..., seed=seeds[b], discovery=results[b])`` and the rest of
     the pipeline proceeds unchanged. This is how E6-style sweeps ride
     the trial axis through their most expensive phase without batching
@@ -327,5 +377,6 @@ def batched_discovery(
         knowledge=knowledge,
         constants=constants,
         rng_label="cgcast.discovery",
+        environment=environment,
     )
     return batch.run(seeds)

@@ -11,8 +11,9 @@ without the spec knowing — and produces identical rows either way,
 because per-trial seeds derive up front.
 
 Declarative specs are lowered here too: the topology and assignment
-specs build the network, the interference spec becomes a per-trial
-jammer factory, the protocol spec picks a trial factory from
+specs build the network, the interference spec becomes a spectrum
+environment (:mod:`repro.sim.environment` — Markov, Poisson or static
+primary-user traffic), the protocol spec picks a trial factory from
 :mod:`repro.scenarios.trials` (the single home of ``run_batch``
 generation), and a stock reducer computes the protocol family's metric
 columns. Plan-based specs (the paper experiments) skip the lowering and
@@ -49,7 +50,7 @@ from repro.scenarios.trials import (
     count_trial,
     cseek_trial,
 )
-from repro.sim import PrimaryUserTraffic
+from repro.sim import SpectrumEnvironment, make_environment
 
 __all__ = [
     "Point",
@@ -199,27 +200,30 @@ def _build_net(spec: ScenarioSpec, scope: Dict[str, object]):
     )
 
 
-def _jammer_factory(
+def _environment(
     spec: ScenarioSpec,
     scope: Dict[str, object],
     channel_ids: Sequence[int],
-) -> Optional[Callable[[int], PrimaryUserTraffic]]:
+) -> Optional[SpectrumEnvironment]:
+    """Lower the interference spec into a spectrum environment.
+
+    Returns None when the sweep point disables interference (zero
+    activity, or an empty blocked set for the static model), so
+    downstream trial factories skip jam masks entirely. Invalid
+    resolved model names fail here with the environment layer's error.
+    """
     inter = spec.interference
     if inter is None:
         return None
-    activity = float(resolve(inter.activity, scope))
-    if activity <= 0.0:
-        return None
-    mean_dwell = float(resolve(inter.mean_dwell, scope))
-    offset = int(resolve(inter.seed_offset, scope))
-    ids = sorted(channel_ids)
-
-    def factory(s: int) -> PrimaryUserTraffic:
-        return PrimaryUserTraffic(
-            ids, activity=activity, mean_dwell=mean_dwell, seed=s + offset
-        )
-
-    return factory
+    blocked = resolve(inter.blocked, scope)
+    return make_environment(
+        str(resolve(inter.model, scope)),
+        sorted(channel_ids),
+        activity=float(resolve(inter.activity, scope)),
+        mean_dwell=float(resolve(inter.mean_dwell, scope)),
+        seed_offset=int(resolve(inter.seed_offset, scope)),
+        blocked=None if blocked is None else list(blocked),
+    )
 
 
 def _filter_metrics(
@@ -300,7 +304,7 @@ def _declarative_point(
             log_n=log_n,
             constants=constants,
             postprocess=lambda est: float(est[0]),
-            jammer_factory=_jammer_factory(spec, scope, [0]),
+            environment=_environment(spec, scope, [0]),
         )
         rounds, length = count_schedule(max_count, log_n, constants)
 
@@ -320,7 +324,7 @@ def _declarative_point(
         )
 
     net = _build_net(spec, scope)
-    jammer_factory = _jammer_factory(
+    environment = _environment(
         spec, scope, sorted(net.assignment.universe())
     )
 
@@ -369,7 +373,7 @@ def _declarative_point(
 
             extra_cols = {}
         trial = cseek_trial(
-            make_protocol, postprocess, jammer_factory=jammer_factory
+            make_protocol, postprocess, environment=environment
         )
 
         def reduce_discovery(ctx, outcomes, extra_cols=extra_cols):
@@ -384,10 +388,12 @@ def _declarative_point(
     if kind == "cgcast":
         source = int(proto_params.pop("source", 0))
 
-        def make_cgcast(s, discovery=None, net=net, source=source):
+        def make_cgcast(
+            s, discovery=None, net=net, source=source, env=environment
+        ):
             return CGCast(
                 net, source=source, seed=s, discovery=discovery,
-                **proto_params,
+                environment=env, **proto_params,
             )
 
         def cg_outcome(result):
@@ -397,7 +403,9 @@ def _declarative_point(
                 result.total_slots,
             )
 
-        trial = cgcast_trial(make_cgcast, cg_outcome)
+        trial = cgcast_trial(
+            make_cgcast, cg_outcome, environment=environment
+        )
 
         def reduce_cgcast(ctx, outcomes):
             cg = outcomes["cgcast"]

@@ -78,7 +78,7 @@ from repro.scenarios.trials import (
     count_trial,
     cseek_trial,
 )
-from repro.sim import PrimaryUserTraffic
+from repro.sim import MarkovTraffic
 
 __all__ = ["PAPER_SPECS", "paper_spec"]
 
@@ -1036,14 +1036,15 @@ def _plan_e12(ctx: RunContext) -> Iterable[Point]:
         cases.append(("short bursts (dwell 4)", activity, 4.0))
         cases.append(("long bursts (dwell 500)", activity, 500.0))
     for name, activity, dwell in cases:
-        jammer_factory = (
-            (
-                lambda s, activity=activity, dwell=dwell: PrimaryUserTraffic(
-                    all_channels,
-                    activity=activity,
-                    mean_dwell=dwell,
-                    seed=s + 1000,
-                )
+        # Stream seeds are trial_seed + 1000, exactly as the
+        # pre-environment jammer factory seeded its per-trial
+        # PrimaryUserTraffic — the golden E12 rows depend on it.
+        environment = (
+            MarkovTraffic(
+                all_channels,
+                activity=activity,
+                mean_dwell=dwell,
+                seed_offset=1000,
             )
             if activity > 0
             else None
@@ -1056,7 +1057,7 @@ def _plan_e12(ctx: RunContext) -> Iterable[Point]:
         trial = cseek_trial(
             lambda s: CSeek(net, seed=s),
             verify_outcome,
-            jammer_factory=jammer_factory,
+            environment=environment,
         )
 
         def reduce(ctx, outcomes, name=name, activity=activity):

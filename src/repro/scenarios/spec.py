@@ -26,18 +26,25 @@ the scalar fields of the assignment/interference specs) is replaced by
 the sweep point's value for axis ``x``. Three built-ins are always in
 scope: ``$seed`` (the master seed), ``$point`` (the 0-based sweep point
 index) and ``$pseed`` (``seed + point`` — the conventional per-point
-seed for topology/assignment randomness).
+seed for topology/assignment randomness). For derived values, a
+``{"$expr": "..."}`` object evaluates a simple arithmetic expression
+over the same scope — ``{"$expr": "num_channels * 2"}`` doubles the
+``num_channels`` axis value; see :func:`resolve` for the permitted
+grammar.
 """
 
 from __future__ import annotations
 
+import ast
 import hashlib
 import json
+import operator
 from dataclasses import dataclass, field, fields, replace
 from itertools import product
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.model.errors import HarnessError
+from repro.sim.environment import ENVIRONMENT_MODELS
 
 __all__ = [
     "AssignmentSpec",
@@ -76,13 +83,131 @@ PROTOCOL_KINDS = (
 )
 
 
+_EXPR_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+_EXPR_UNARYOPS = {ast.USub: operator.neg, ast.UAdd: operator.pos}
+_EXPR_FUNCS = {"abs": abs, "int": int, "max": max, "min": min,
+               "round": round}
+# ** with an unbounded integer exponent can materialize astronomically
+# large ints before any other guard fires; no legitimate scenario
+# parameter needs exponents beyond this.
+_EXPR_MAX_EXPONENT = 64
+
+
+def _eval_expr(text: object, scope: Mapping[str, object]) -> object:
+    """Evaluate a ``{"$expr": ...}`` arithmetic expression over a scope.
+
+    The grammar is deliberately tiny: numeric literals, scope names,
+    the binary operators ``+ - * / // % **``, unary ``+``/``-``,
+    parentheses and calls to ``min``/``max``/``abs``/``int``/``round``.
+    Anything else — attribute access, subscripts, comparisons, lambdas
+    — is rejected, so a scenario file can compute derived parameters
+    without becoming a code-execution vector.
+    """
+    if not isinstance(text, str):
+        raise HarnessError(
+            f"$expr expects an expression string, got {text!r}"
+        )
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise HarnessError(
+            f"invalid $expr {text!r}: {exc.msg}"
+        ) from None
+
+    def ev(node: ast.AST) -> object:
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ):
+                return node.value
+            raise HarnessError(
+                f"$expr {text!r}: only numeric literals are allowed, "
+                f"got {node.value!r}"
+            )
+        if isinstance(node, ast.Name):
+            if node.id not in scope:
+                raise HarnessError(
+                    f"$expr {text!r}: unknown name {node.id!r}; in "
+                    f"scope: {', '.join(sorted(scope))}"
+                )
+            return scope[node.id]
+        if isinstance(node, ast.BinOp) and type(node.op) in _EXPR_BINOPS:
+            left, right = ev(node.left), ev(node.right)
+            if isinstance(node.op, ast.Pow) and (
+                not isinstance(right, (int, float))
+                or abs(right) > _EXPR_MAX_EXPONENT
+            ):
+                raise HarnessError(
+                    f"$expr {text!r}: ** exponents are limited to "
+                    f"|e| <= {_EXPR_MAX_EXPONENT}, got {right!r}"
+                )
+            return _EXPR_BINOPS[type(node.op)](left, right)
+        if (
+            isinstance(node, ast.UnaryOp)
+            and type(node.op) in _EXPR_UNARYOPS
+        ):
+            return _EXPR_UNARYOPS[type(node.op)](ev(node.operand))
+        if isinstance(node, ast.Call):
+            if (
+                not isinstance(node.func, ast.Name)
+                or node.func.id not in _EXPR_FUNCS
+                or node.keywords
+            ):
+                raise HarnessError(
+                    f"$expr {text!r}: only "
+                    f"{', '.join(sorted(_EXPR_FUNCS))} calls are "
+                    "allowed"
+                )
+            return _EXPR_FUNCS[node.func.id](
+                *(ev(arg) for arg in node.args)
+            )
+        raise HarnessError(
+            f"$expr {text!r}: unsupported syntax "
+            f"({type(node).__name__}); allowed: numbers, scope names, "
+            "+ - * / // % **, parentheses, "
+            f"{', '.join(sorted(_EXPR_FUNCS))}"
+        )
+
+    try:
+        return ev(tree)
+    except HarnessError:
+        raise
+    except (
+        ZeroDivisionError,
+        OverflowError,
+        ValueError,
+        TypeError,
+    ) as exc:
+        # Runtime arithmetic failures (division by zero, float
+        # overflow, int() over a non-numeric axis value, ...) are spec
+        # errors, not tracebacks.
+        raise HarnessError(
+            f"$expr {text!r} failed at this sweep point: {exc}"
+        ) from None
+
+
 def resolve(value: object, scope: Mapping[str, object]) -> object:
     """Substitute ``"$name"`` references against a sweep-point scope.
 
     Containers resolve recursively; non-reference values pass through.
+    A mapping of the single key ``"$expr"`` evaluates its value as a
+    small arithmetic expression over the scope (see :func:`_eval_expr`)
+    — the DSL's escape hatch for derived parameters such as
+    ``{"$expr": "num_channels * 2"}``.
 
     Raises:
-        HarnessError: for a reference naming no axis or built-in.
+        HarnessError: for a reference naming no axis or built-in, or an
+            invalid ``$expr``.
     """
     if isinstance(value, str) and value.startswith("$"):
         name = value[1:]
@@ -93,6 +218,14 @@ def resolve(value: object, scope: Mapping[str, object]) -> object:
             )
         return scope[name]
     if isinstance(value, Mapping):
+        if "$expr" in value:
+            if set(value) != {"$expr"}:
+                raise HarnessError(
+                    "a $expr object must contain only the '$expr' key, "
+                    f"got extra keys: "
+                    f"{', '.join(sorted(set(value) - {'$expr'}))}"
+                )
+            return _eval_expr(value["$expr"], scope)
         return {k: resolve(v, scope) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [resolve(v, scope) for v in value]
@@ -197,15 +330,41 @@ class AssignmentSpec:
 class InterferenceSpec:
     """Primary-user traffic over the network's channel universe.
 
-    ``activity`` 0 disables interference at that sweep point (so an
-    activity axis can include an interference-free control). Per-trial
-    traffic processes are seeded ``trial_seed + seed_offset`` to stay
+    ``model`` selects the spectrum environment
+    (:mod:`repro.sim.environment`): ``"markov"`` — bursty ON/OFF
+    chains, the historical default — ``"poisson"`` — memoryless
+    per-slot occupancy (``mean_dwell`` is ignored) — or ``"static"`` —
+    a fixed ``blocked`` list of global channel ids (``activity``,
+    ``mean_dwell`` and ``seed_offset`` are ignored). The model may be a
+    ``"$axis"`` reference, making the traffic process itself a sweep
+    axis.
+
+    ``activity`` 0 disables the stochastic models at that sweep point
+    (so an activity axis can include an interference-free control), as
+    does an empty ``blocked`` set for ``static``. Per-trial traffic
+    processes are seeded ``trial_seed + seed_offset`` to stay
     decorrelated from protocol coins.
     """
 
+    model: object = "markov"
     activity: object = 0.0
     mean_dwell: object = 8.0
     seed_offset: object = 1000
+    blocked: object = None
+
+    def __post_init__(self) -> None:
+        # Plain model names validate eagerly; "$axis" references (and
+        # {"$expr": ...}) wait for sweep-point resolution, where
+        # make_environment re-checks the resolved name.
+        if (
+            isinstance(self.model, str)
+            and not self.model.startswith("$")
+            and self.model.lower() not in ENVIRONMENT_MODELS
+        ):
+            raise HarnessError(
+                f"unknown interference model {self.model!r}; valid: "
+                f"{', '.join(ENVIRONMENT_MODELS)}"
+            )
 
 
 @dataclass(frozen=True)
@@ -484,10 +643,25 @@ def spec_digest(spec: ScenarioSpec) -> str:
         else:
             payload = spec_to_dict(spec)
     else:
+        # Plan behavior lives in code (covered by the cache's code
+        # version); the overridable data fields still belong in the
+        # digest so --set variants never collide.
         payload = {
             "name": spec.name,
             "plan": getattr(spec.plan, "__qualname__", repr(spec.plan)),
             "trials": spec.trials,
+            "title": spec.title,
+            "description": spec.description,
+            "experiment_id": spec.experiment_id,
+            "tags": list(spec.tags),
+            "notes": (
+                getattr(spec.notes, "__qualname__", repr(spec.notes))
+                if callable(spec.notes)
+                else spec.notes
+            ),
+            "columns": (
+                list(spec.columns) if spec.columns is not None else None
+            ),
         }
     canonical = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -519,6 +693,58 @@ def _parse_override_value(raw: str) -> object:
         return raw  # bare strings (e.g. part2_listener=uniform)
 
 
+# The spec fields that remain plain data on a plan-based (paper)
+# scenario: everything else about those specs lives in their plan code.
+_PLAN_DATA_FIELDS = (
+    "trials",
+    "title",
+    "description",
+    "experiment_id",
+    "tags",
+    "notes",
+    "columns",
+)
+
+
+def _apply_plan_overrides(
+    spec: ScenarioSpec, overrides: Mapping[str, str]
+) -> ScenarioSpec:
+    """``--set`` on a plan-based spec: full dotted paths over its data.
+
+    Reuses the declarative override machinery (:func:`_set_path` over a
+    dict form, JSON value parsing) restricted to the fields that are
+    data even when the workload itself is code — so
+    ``--set trials=8``, ``--set experiment_id=E12-jammed`` or
+    ``--set notes="..."`` work on E1-E12, while sweep/topology/
+    protocol paths are rejected with an explanation instead of
+    silently ignored.
+    """
+    tree: Dict[str, object] = {}
+    for path in overrides:
+        root = path.split(".", 1)[0]
+        if root not in _PLAN_DATA_FIELDS:
+            raise HarnessError(
+                f"scenario {spec.name!r} is code-defined (plan-based): "
+                f"--set path {path!r} addresses its plan, which is not "
+                "overridable data. Plan-based scenarios accept: "
+                f"{', '.join(_PLAN_DATA_FIELDS)}"
+            )
+        if root not in tree:
+            value = getattr(spec, root)
+            tree[root] = list(value) if isinstance(value, tuple) else value
+    for path, raw in overrides.items():
+        _set_path(tree, path, _parse_override_value(raw))
+    if "trials" in tree:
+        tree["trials"] = _as_int(tree["trials"], "trials")
+    if "tags" in tree:
+        if not isinstance(tree["tags"], (list, tuple)):
+            raise HarnessError(
+                f"tags must be a list, got {tree['tags']!r}"
+            )
+        tree["tags"] = tuple(tree["tags"])
+    return replace(spec, **tree)
+
+
 def apply_overrides(
     spec: ScenarioSpec, overrides: Mapping[str, str]
 ) -> ScenarioSpec:
@@ -529,22 +755,16 @@ def apply_overrides(
     and fall back to bare strings. Paths address the spec's dict form
     (``protocol.params.part1_steps``, ``trials``, ...).
 
-    Plan-based (paper) scenarios only accept ``trials`` — everything
-    else about them is code, not data.
+    Plan-based (paper) scenarios accept the same dotted-path syntax
+    over their data fields only (``trials``, ``title``,
+    ``description``, ``experiment_id``, ``tags``, ``notes``,
+    ``columns``); paths into their plan-owned structure (sweep,
+    topology, protocol, ...) are rejected with a clear error.
     """
     if not overrides:
         return spec
     if not spec.is_declarative:
-        extra = set(overrides) - {"trials"}
-        if extra:
-            raise HarnessError(
-                f"scenario {spec.name!r} is code-defined; --set supports "
-                "only 'trials' for it (declarative scenarios accept any "
-                f"spec path). Rejected: {', '.join(sorted(extra))}"
-            )
-        return replace(
-            spec, trials=_as_int(overrides["trials"], "trials")
-        )
+        return _apply_plan_overrides(spec, overrides)
     tree = spec_to_dict(spec)
     for path, raw in overrides.items():
         _set_path(tree, path, _parse_override_value(raw))

@@ -46,6 +46,7 @@ def cseek_trial(
     make_protocol: Callable[[int], CSeek],
     postprocess: Callable[..., object],
     jammer_factory: Callable[[int], object] | None = None,
+    environment=None,
 ) -> Callable[[int], object]:
     """A full-protocol CSEEK/CKSEEK trial with a vectorized trial axis.
 
@@ -56,19 +57,26 @@ def cseek_trial(
     instead, so each part-one step and part-two window of *all* trials
     resolves as one batched engine call; per-trial results are
     bit-identical to the serial path. ``make_protocol`` must be
-    homogeneous in the seed (same network/budgets/policy every call);
-    per-trial jammers come from ``jammer_factory``.
+    homogeneous in the seed (same network/budgets/policy every call).
+    Primary-user traffic comes from ``environment`` (a
+    :class:`~repro.sim.environment.SpectrumEnvironment`, jammed in one
+    batched gather per step) or the deprecated per-trial
+    ``jammer_factory``.
     """
 
     def trial(s: int):
         proto = make_protocol(s)
         if jammer_factory is not None:
             proto.jammer = jammer_factory(s)
+        elif environment is not None:
+            proto.environment = environment
         return postprocess(proto.run())
 
     def run_batch(seeds):
         batch = CSeekBatch.from_serial(
-            make_protocol(0), jammer_factory=jammer_factory
+            make_protocol(0),
+            jammer_factory=jammer_factory,
+            environment=environment,
         )
         return [postprocess(r) for r in batch.run(seeds)]
 
@@ -79,6 +87,7 @@ def cseek_trial(
 def cgcast_trial(
     make_protocol: Callable[..., CGCast],
     postprocess: Callable[..., object],
+    environment=None,
 ) -> Callable[[int], object]:
     """A CGCAST trial whose discovery phase batches over the trial axis.
 
@@ -87,7 +96,9 @@ def cgcast_trial(
     pipeline; under ``jobs="batch"`` the (dominant) discovery phase of
     all trials runs in lockstep via :func:`batched_discovery` and each
     trial is fed its bit-identical CSEEK result, while the
-    heterogeneous exchange/coloring stages stay serial.
+    heterogeneous exchange/coloring stages stay serial. When the
+    protocol is built with a spectrum environment, pass the same
+    ``environment`` here so the batched discovery jams identically.
     """
 
     def trial(s: int, discovery=None):
@@ -95,7 +106,9 @@ def cgcast_trial(
 
     def run_batch(seeds):
         network = make_protocol(0).network
-        discoveries = batched_discovery(network, seeds)
+        discoveries = batched_discovery(
+            network, seeds, environment=environment
+        )
         return [
             trial(s, discovery=d) for s, d in zip(seeds, discoveries)
         ]
@@ -129,22 +142,27 @@ def count_trial(
     constants: ProtocolConstants,
     postprocess: Callable[[np.ndarray], object],
     jammer_factory: Callable[[int], object] | None = None,
+    environment=None,
 ) -> Callable[[int], object]:
     """A single-COUNT-step trial with a vectorized trial axis.
 
     ``postprocess`` receives the ``(n,)`` listener-estimate vector of
     one trial. Under ``jobs="batch"`` the whole trial axis resolves
     through :func:`run_count_step_batch` in one engine call; per-trial
-    coins (and any per-trial jam masks) are drawn exactly as the serial
-    path draws them.
+    coins are drawn exactly as the serial path draws them, and a
+    spectrum ``environment`` jams the whole axis with one batched
+    gather (``jammer_factory`` is the deprecated per-trial
+    alternative).
     """
     rounds, round_length = count_schedule(max_count, log_n, constants)
     total_slots = rounds * round_length
 
     def _jam(s: int) -> Optional[np.ndarray]:
-        if jammer_factory is None:
-            return None
-        return jammer_factory(s).jam_mask(channels, total_slots)
+        if jammer_factory is not None:
+            return jammer_factory(s).jam_mask(channels, total_slots)
+        if environment is not None:
+            return environment.stream(s).jam_mask(channels, total_slots)
+        return None
 
     def trial(s: int):
         out = run_count_step(
@@ -161,7 +179,11 @@ def count_trial(
 
     def run_batch(seeds: Sequence[int]):
         jam = None
-        if jammer_factory is not None:
+        if environment is not None:
+            jam = environment.streams(seeds).jam_mask(
+                channels, total_slots
+            )
+        elif jammer_factory is not None:
             jam = np.stack([_jam(s) for s in seeds])
         out = run_count_step_batch(
             adj,

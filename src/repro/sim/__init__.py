@@ -9,6 +9,14 @@ from repro.sim.engine import (
     resolve_step_batch,
     resolve_varying,
 )
+from repro.sim.environment import (
+    MarkovTraffic,
+    PoissonTraffic,
+    SpectrumEnvironment,
+    StaticMask,
+    TrafficStream,
+    make_environment,
+)
 from repro.sim.interference import PrimaryUserTraffic
 from repro.sim.metrics import SlotLedger
 from repro.sim.network import CRNetwork
@@ -18,13 +26,19 @@ from repro.sim.trace import ReceptionEvent, TraceRecorder
 __all__ = [
     "BatchStepOutcome",
     "CRNetwork",
+    "MarkovTraffic",
+    "PoissonTraffic",
     "PrimaryUserTraffic",
     "ReceptionEvent",
     "RngHub",
     "SlotLedger",
     "SlotOutcome",
+    "SpectrumEnvironment",
+    "StaticMask",
     "StepOutcome",
     "TraceRecorder",
+    "TrafficStream",
+    "make_environment",
     "resolve_slot",
     "resolve_step",
     "resolve_step_batch",

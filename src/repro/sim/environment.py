@@ -1,0 +1,492 @@
+"""Pluggable spectrum environments — batched primary-user traffic.
+
+The paper motivates every primitive with licensed (primary) users
+disrupting channel availability: a slot spent listening on an occupied
+channel is lost (Section 1). This module makes that disruption a
+first-class, pluggable subsystem instead of a single jammer object
+bolted onto CSEEK:
+
+* A :class:`SpectrumEnvironment` is an immutable *description* of a
+  traffic process over a set of global channels. It knows nothing about
+  trials; it opens stateful occupancy streams on demand.
+* :meth:`SpectrumEnvironment.streams` opens one :class:`TrafficStream`
+  covering ``B`` Monte Carlo trials at once. The stream produces
+  ``(B, num_slots, num_channels)`` occupancy blocks and
+  ``(B, num_slots, n)`` per-node reception-kill masks, advancing all
+  trials' chains in lockstep — this is what lets
+  :class:`repro.core.cseek_batch.CSeekBatch` jam a whole trial axis
+  with one call per protocol step instead of a per-trial Python loop.
+* :meth:`SpectrumEnvironment.stream` is the single-trial view with the
+  legacy :class:`~repro.sim.interference.PrimaryUserTraffic` shapes
+  (``(num_slots, num_channels)`` / ``(num_slots, n)``), used by the
+  serial protocol path.
+
+Three models ship:
+
+* :class:`MarkovTraffic` — per-channel ON/OFF Markov chains with a
+  target stationary occupancy and geometric dwell times. Batched over
+  the trial axis, bit-identical per trial to the sequential
+  :class:`~repro.sim.interference.PrimaryUserTraffic` stream it
+  replaces (pinned in ``tests/test_environment.py``). Bursty: a single
+  long ON burst can erase a whole meeting step.
+* :class:`PoissonTraffic` — memoryless per-slot occupancy (each channel
+  occupied independently each slot with probability ``activity``).
+  Same stationary occupancy as a Markov model with ``mean_dwell``
+  ``1/(1-activity)``, but losses spread evenly across slots — the
+  Poissonian counterpoint the dynamic-spectrum-access literature
+  contrasts with Markovian traffic.
+* :class:`StaticMask` — a fixed set of blocked channels (a licensed
+  band that is simply never available). Deterministic; trial seeds are
+  ignored.
+
+Per-trial stream seeds derive as ``trial_seed + seed_offset`` so the
+traffic stays decorrelated from protocol coins; ``seed_offset``
+defaults to 1000, the convention the scenario layer and experiment E12
+have always used.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.model.errors import ProtocolError
+
+__all__ = [
+    "MarkovTraffic",
+    "PoissonTraffic",
+    "SpectrumEnvironment",
+    "StaticMask",
+    "TrafficStream",
+    "make_environment",
+]
+
+ENVIRONMENT_MODELS = ("markov", "poisson", "static")
+
+
+def _validated_channel_ids(
+    channel_ids: Sequence[int], allow_empty: bool = False
+) -> List[int]:
+    ids = sorted(set(int(g) for g in channel_ids))
+    if not ids and not allow_empty:
+        raise ProtocolError("need at least one channel id")
+    if any(g < 0 for g in ids):
+        raise ProtocolError("channel ids must be non-negative")
+    return ids
+
+
+def build_column_lut(
+    channel_ids: Sequence[int],
+) -> "tuple[np.ndarray, int]":
+    """``(lut, max_id)`` mapping global channel id -> occupancy column.
+
+    ``lut[g + 1]`` is the column of managed channel ``g``; every other
+    index (idle ``-1`` included) maps to the sentinel column
+    ``len(channel_ids)``, which callers keep permanently clear. Shared
+    by :class:`TrafficStream` and the legacy
+    :class:`~repro.sim.interference.PrimaryUserTraffic` so the gather
+    semantics cannot drift apart.
+    """
+    ids = np.asarray(list(channel_ids), dtype=np.int64)
+    max_id = int(ids[-1]) if ids.size else -1
+    lut = np.full(max_id + 2, ids.size, dtype=np.int64)
+    if ids.size:
+        lut[ids + 1] = np.arange(ids.size)
+    return lut, max_id
+
+
+def sentinel_columns(
+    lut: np.ndarray, max_id: int, channels: np.ndarray
+) -> np.ndarray:
+    """Occupancy columns for per-node channels, sentinel for the rest.
+
+    ``channels`` may carry ``-1`` (idle) and ids outside the managed
+    set; both land on the sentinel column.
+    """
+    managed = (channels >= 0) & (channels <= max_id)
+    return lut[np.where(managed, channels, -1) + 1]
+
+
+class TrafficStream(ABC):
+    """A stateful occupancy stream over ``B`` trials in lockstep.
+
+    Subclasses implement :meth:`occupied_block`; the per-node
+    :meth:`jam_mask` view is shared, built on a vectorized
+    channel-column gather (no per-node Python loop).
+    """
+
+    def __init__(self, channel_ids: Sequence[int], num_trials: int) -> None:
+        if num_trials < 1:
+            raise ProtocolError(
+                f"a stream needs at least one trial, got {num_trials}"
+            )
+        self.channel_ids = _validated_channel_ids(
+            channel_ids, allow_empty=True
+        )
+        self.num_trials = num_trials
+        self._column_lut, self._max_id = build_column_lut(
+            self.channel_ids
+        )
+
+    @property
+    def num_channels(self) -> int:
+        """Channels under primary-user control."""
+        return len(self.channel_ids)
+
+    @abstractmethod
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        """Advance all trials; return ``(B, num_slots, C)`` occupancy.
+
+        Column order matches ``self.channel_ids``; trial ``b``'s slice
+        continues exactly where its previous block ended.
+        """
+
+    def _check_slots(self, num_slots: int) -> None:
+        if num_slots < 1:
+            raise ProtocolError(
+                f"num_slots must be >= 1, got {num_slots}"
+            )
+
+    def jam_mask(
+        self, channels: np.ndarray, num_slots: int
+    ) -> np.ndarray:
+        """Per-node reception-kill masks for a fixed-channel step.
+
+        Args:
+            channels: ``(n,)`` (shared by every trial) or ``(B, n)``
+                global channel per node (``-1`` idle; idle nodes and
+                channels outside the managed set are never jammed).
+            num_slots: Step length; every trial's traffic advances by
+                this much.
+
+        Returns:
+            ``(B, num_slots, n)`` boolean; True where the node's
+            channel is occupied that slot in that trial.
+        """
+        occupied = self.occupied_block(num_slots)
+        channels = np.asarray(channels)
+        if channels.ndim == 1:
+            channels = np.broadcast_to(
+                channels, (self.num_trials, channels.shape[0])
+            )
+        elif channels.shape[0] != self.num_trials:
+            raise ProtocolError(
+                f"channels covers {channels.shape[0]} trials, stream "
+                f"has {self.num_trials}"
+            )
+        cols = sentinel_columns(self._column_lut, self._max_id, channels)
+        # Sentinel column C is all-clear; a single gather replaces the
+        # old per-node loop.
+        extended = np.concatenate(
+            [
+                occupied,
+                np.zeros(occupied.shape[:2] + (1,), dtype=bool),
+            ],
+            axis=2,
+        )
+        return np.take_along_axis(extended, cols[:, None, :], axis=2)
+
+
+class _SerialStream:
+    """Single-trial adapter with the legacy ``PrimaryUserTraffic`` shapes.
+
+    Wraps a one-trial :class:`TrafficStream`, dropping the leading
+    trial axis so the serial protocol path (:meth:`CSeek.run`) can
+    consume an environment exactly as it consumed a ``jammer=``.
+    """
+
+    def __init__(self, stream: TrafficStream) -> None:
+        if stream.num_trials != 1:
+            raise ProtocolError(
+                "a serial view needs a single-trial stream, got "
+                f"{stream.num_trials} trials"
+            )
+        self._stream = stream
+        self.channel_ids = stream.channel_ids
+
+    @property
+    def num_channels(self) -> int:
+        return self._stream.num_channels
+
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        """``(num_slots, num_channels)`` occupancy, trial axis dropped."""
+        return self._stream.occupied_block(num_slots)[0]
+
+    def jam_mask(
+        self, channels: np.ndarray, num_slots: int
+    ) -> np.ndarray:
+        """``(num_slots, n)`` reception-kill mask, trial axis dropped."""
+        return self._stream.jam_mask(channels, num_slots)[0]
+
+
+class SpectrumEnvironment(ABC):
+    """One primary-user traffic model over a set of global channels.
+
+    Environments are immutable descriptions; all mutable state lives in
+    the streams they open. One environment therefore serves any number
+    of trials, serial or batched, without cross-trial contamination —
+    which is what lets protocols take an ``environment=`` where they
+    used to need a per-trial ``jammer_factory``.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(
+        self, channel_ids: Sequence[int], seed_offset: int = 1000
+    ) -> None:
+        self.channel_ids = _validated_channel_ids(channel_ids)
+        self.seed_offset = int(seed_offset)
+
+    @property
+    def num_channels(self) -> int:
+        """Channels under primary-user control."""
+        return len(self.channel_ids)
+
+    @abstractmethod
+    def streams(self, seeds: Sequence[int]) -> TrafficStream:
+        """Open one batched occupancy stream over these trial seeds.
+
+        Trial ``b``'s chain seeds from ``seeds[b] + seed_offset``; its
+        slice of every block is bit-identical to the stream
+        ``self.stream(seeds[b])`` would produce on its own.
+        """
+
+    def stream(self, seed: int) -> _SerialStream:
+        """The single-trial serial view for one trial seed."""
+        return _SerialStream(self.streams([seed]))
+
+    def _stream_seeds(self, seeds: Sequence[int]) -> List[int]:
+        if len(seeds) == 0:
+            raise ProtocolError("seeds must name at least one trial")
+        return [int(s) + self.seed_offset for s in seeds]
+
+
+class MarkovTraffic(SpectrumEnvironment):
+    """Per-channel ON/OFF Markov chains (bursty licensed traffic).
+
+    The batched refactor of
+    :class:`~repro.sim.interference.PrimaryUserTraffic`: each channel
+    is an independent ON/OFF chain with target stationary occupancy
+    ``activity`` and geometric ON bursts of mean ``mean_dwell`` slots.
+    Streams stack each trial's flip blocks and run the ON/OFF
+    recurrence once, vectorized over trials x channels — per trial
+    bit-identical to the legacy sequential stream (same generator, same
+    draw order), so swapping the environment in changes throughput, not
+    results.
+
+    Feasibility: the OFF->ON probability needed for stationarity
+    saturates at 1, capping reachable occupancy at
+    ``mean_dwell / (mean_dwell + 1)``; :attr:`realized_activity`
+    reports the fraction the chains actually attain.
+    """
+
+    kind = "markov"
+
+    def __init__(
+        self,
+        channel_ids: Sequence[int],
+        activity: float,
+        mean_dwell: float = 8.0,
+        seed_offset: int = 1000,
+    ) -> None:
+        if not 0.0 <= activity < 1.0:
+            raise ProtocolError(
+                f"activity must be in [0, 1), got {activity}"
+            )
+        if mean_dwell < 1.0:
+            raise ProtocolError(
+                f"mean_dwell must be >= 1 slot, got {mean_dwell}"
+            )
+        super().__init__(channel_ids, seed_offset=seed_offset)
+        self.activity = float(activity)
+        self.mean_dwell = float(mean_dwell)
+        # ON -> OFF with prob 1/dwell; OFF -> ON tuned for stationarity.
+        self._off_prob = 1.0 / self.mean_dwell
+        if activity == 0.0:
+            self._on_prob = 0.0
+        else:
+            self._on_prob = min(
+                1.0, activity * self._off_prob / (1.0 - activity)
+            )
+
+    @property
+    def realized_activity(self) -> float:
+        """The stationary occupancy the chains actually attain."""
+        if self._on_prob == 0.0:
+            return 0.0
+        return self._on_prob / (self._on_prob + self._off_prob)
+
+    def streams(self, seeds: Sequence[int]) -> "_MarkovStream":
+        return _MarkovStream(self, self._stream_seeds(seeds))
+
+
+class _MarkovStream(TrafficStream):
+    def __init__(
+        self, env: MarkovTraffic, stream_seeds: Sequence[int]
+    ) -> None:
+        super().__init__(env.channel_ids, len(stream_seeds))
+        self._rngs = [np.random.default_rng(s) for s in stream_seeds]
+        self._off_prob = env._off_prob
+        self._on_prob = env._on_prob
+        # Every trial starts at stationarity, drawn exactly as the
+        # legacy sequential stream draws it.
+        self._state = np.stack(
+            [rng.random(self.num_channels) < env.activity
+             for rng in self._rngs]
+        )
+
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        self._check_slots(num_slots)
+        # Per-trial flip blocks keep each generator's draw order
+        # identical to the sequential stream; the recurrence then runs
+        # once over the (B, C) state, not once per trial.
+        flips = np.stack(
+            [rng.random((num_slots, self.num_channels))
+             for rng in self._rngs]
+        )
+        out = np.empty(
+            (self.num_trials, num_slots, self.num_channels), dtype=bool
+        )
+        state = self._state
+        for t in range(num_slots):
+            f = flips[:, t]
+            turn_off = state & (f < self._off_prob)
+            turn_on = ~state & (f < self._on_prob)
+            state = (state & ~turn_off) | turn_on
+            out[:, t] = state
+        self._state = state
+        return out
+
+
+class PoissonTraffic(SpectrumEnvironment):
+    """Memoryless per-slot occupancy (Poissonian licensed traffic).
+
+    Each channel is occupied independently every slot with probability
+    ``activity`` — mean burst length ``1/(1-activity)`` slots, no
+    memory between slots. At matched stationary occupancy this spreads
+    losses evenly where :class:`MarkovTraffic` concentrates them into
+    bursts, which is exactly the contrast the Markov-vs-Poisson
+    scenarios measure.
+    """
+
+    kind = "poisson"
+
+    def __init__(
+        self,
+        channel_ids: Sequence[int],
+        activity: float,
+        seed_offset: int = 1000,
+    ) -> None:
+        if not 0.0 <= activity < 1.0:
+            raise ProtocolError(
+                f"activity must be in [0, 1), got {activity}"
+            )
+        super().__init__(channel_ids, seed_offset=seed_offset)
+        self.activity = float(activity)
+
+    @property
+    def realized_activity(self) -> float:
+        """Stationary occupancy (every target is feasible here)."""
+        return self.activity
+
+    def streams(self, seeds: Sequence[int]) -> "_PoissonStream":
+        return _PoissonStream(self, self._stream_seeds(seeds))
+
+
+class _PoissonStream(TrafficStream):
+    def __init__(
+        self, env: PoissonTraffic, stream_seeds: Sequence[int]
+    ) -> None:
+        super().__init__(env.channel_ids, len(stream_seeds))
+        self._rngs = [np.random.default_rng(s) for s in stream_seeds]
+        self._activity = env.activity
+
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        self._check_slots(num_slots)
+        return np.stack(
+            [rng.random((num_slots, self.num_channels)) < self._activity
+             for rng in self._rngs]
+        )
+
+
+class StaticMask(SpectrumEnvironment):
+    """A fixed set of permanently blocked channels.
+
+    Deterministic: the blocked channels are occupied every slot of
+    every trial and everything else is always clear, so trial seeds and
+    ``seed_offset`` are irrelevant. Models a licensed band that is
+    simply off-limits (the paper's heterogeneous-availability setting
+    in its most extreme form).
+    """
+
+    kind = "static"
+
+    def __init__(self, blocked_channels: Sequence[int]) -> None:
+        # An empty blocked set is a valid (no-op) environment.
+        self.channel_ids = _validated_channel_ids(
+            blocked_channels, allow_empty=True
+        )
+        self.seed_offset = 0
+
+    @property
+    def blocked_channels(self) -> List[int]:
+        return list(self.channel_ids)
+
+    def streams(self, seeds: Sequence[int]) -> "_StaticStream":
+        if len(seeds) == 0:
+            raise ProtocolError("seeds must name at least one trial")
+        return _StaticStream(self.channel_ids, len(seeds))
+
+
+class _StaticStream(TrafficStream):
+    def occupied_block(self, num_slots: int) -> np.ndarray:
+        self._check_slots(num_slots)
+        return np.ones(
+            (self.num_trials, num_slots, self.num_channels), dtype=bool
+        )
+
+
+def make_environment(
+    model: str,
+    channel_ids: Sequence[int],
+    activity: float = 0.0,
+    mean_dwell: float = 8.0,
+    seed_offset: int = 1000,
+    blocked: Optional[Sequence[int]] = None,
+) -> Optional[SpectrumEnvironment]:
+    """Build an environment from plain (JSON-friendly) parameters.
+
+    The single lowering point shared by the scenario compiler and any
+    ad-hoc caller: returns None for configurations that disable
+    interference (zero activity for the stochastic models, an empty
+    ``blocked`` set for ``static``), so callers can treat "no
+    environment" and "inactive environment" the same way.
+
+    Raises:
+        ProtocolError: on an unknown model name or invalid parameters.
+    """
+    name = str(model).lower()
+    if name not in ENVIRONMENT_MODELS:
+        raise ProtocolError(
+            f"unknown interference model {model!r}; valid: "
+            f"{', '.join(ENVIRONMENT_MODELS)}"
+        )
+    if name == "static":
+        ids = list(blocked) if blocked is not None else []
+        if not ids:
+            return None
+        return StaticMask(ids)
+    if activity <= 0.0:
+        return None
+    if name == "poisson":
+        return PoissonTraffic(
+            channel_ids, activity=activity, seed_offset=seed_offset
+        )
+    return MarkovTraffic(
+        channel_ids,
+        activity=activity,
+        mean_dwell=mean_dwell,
+        seed_offset=seed_offset,
+    )

@@ -14,15 +14,25 @@ ON/OFF Markov chain with a target stationary occupancy (``activity``)
 and geometric dwell times (``mean_dwell`` slots per ON burst),
 generating occupancy sequentially so protocol executions consume it
 slot by slot, reproducibly from one seed.
+
+This class predates the pluggable spectrum-environment subsystem
+(:mod:`repro.sim.environment`) and remains as the sequential reference
+implementation its batched :class:`~repro.sim.environment.MarkovTraffic`
+refactor is pinned against (``jammer=`` on the protocols still accepts
+it). New code should construct a
+:class:`~repro.sim.environment.SpectrumEnvironment` instead — the
+environment serves serial and trial-batched execution alike and opens
+the door to non-Markovian traffic models.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.model.errors import ProtocolError
+from repro.sim.environment import build_column_lut, sentinel_columns
 
 __all__ = ["PrimaryUserTraffic"]
 
@@ -71,7 +81,9 @@ class PrimaryUserTraffic:
         self.channel_ids = ids
         self.activity = activity
         self.mean_dwell = mean_dwell
-        self._column: Dict[int, int] = {g: i for i, g in enumerate(ids)}
+        # One gather implementation with the environment subsystem:
+        # built once here, applied every step in jam_mask.
+        self._column_lut, self._max_id = build_column_lut(ids)
         self._rng = np.random.default_rng(seed)
         # ON -> OFF with prob 1/dwell; OFF -> ON tuned for stationarity:
         # p = on_rate / (on_rate + off_rate).
@@ -136,10 +148,11 @@ class PrimaryUserTraffic:
             set are never occupied.
         """
         occupied = self.occupied_block(num_slots)
-        n = channels.shape[0]
-        mask = np.zeros((num_slots, n), dtype=bool)
-        for u in range(n):
-            column = self._column.get(int(channels[u]))
-            if column is not None:
-                mask[:, u] = occupied[:, column]
-        return mask
+        channels = np.asarray(channels)
+        # Channel-column gather through the precomputed LUT: the
+        # sentinel column is never occupied (no per-node Python loop).
+        cols = sentinel_columns(self._column_lut, self._max_id, channels)
+        extended = np.concatenate(
+            [occupied, np.zeros((num_slots, 1), dtype=bool)], axis=1
+        )
+        return extended[:, cols]

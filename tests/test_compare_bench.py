@@ -205,3 +205,181 @@ class TestRatioGates:
         for numerator, denominator, _ in compare_bench.RATIO_GATES:
             assert numerator in compare_bench.KEY_BENCHMARKS
             assert denominator in compare_bench.KEY_BENCHMARKS
+
+    def test_jammed_cseek_pair_is_gated(self):
+        """The spectrum-environment PR's claim: the jammed batched path
+        beats the jammed serial loop, on whatever machine ran it."""
+        pairs = {(n, d) for n, d, _ in compare_bench.RATIO_GATES}
+        assert (
+            "bench_jammed_cseek16_batched",
+            "bench_jammed_cseek16_serial",
+        ) in pairs
+        baseline = compare_bench.load_means(compare_bench.DEFAULT_BASELINE)
+        assert (
+            baseline["bench_jammed_cseek16_batched"]
+            < baseline["bench_jammed_cseek16_serial"]
+        )
+
+
+class TestBaselineStore:
+    def store_dir(self, tmp_path):
+        return tmp_path / ".repro_cache"
+
+    def test_round_trip(self, tmp_path):
+        means = {"bench_key": 1.0, "bench_free": 2.0}
+        path = compare_bench.write_store_baseline(
+            self.store_dir(tmp_path), means
+        )
+        assert path.parent == self.store_dir(tmp_path)
+        assert (
+            compare_bench.load_store_baseline(
+                self.store_dir(tmp_path), tuple(means)
+            )
+            == means
+        )
+
+    def test_key_depends_on_benchmark_set(self):
+        a = compare_bench.store_key(("bench_a", "bench_b"))
+        assert a == compare_bench.store_key(("bench_b", "bench_a"))
+        assert a != compare_bench.store_key(("bench_a",))
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        store = self.store_dir(tmp_path)
+        names = ("bench_key",)
+        assert compare_bench.load_store_baseline(store, names) is None
+        store.mkdir()
+        compare_bench.store_path(store, names).write_text("{not json")
+        assert compare_bench.load_store_baseline(store, names) is None
+
+    def test_store_replaces_committed_baseline(
+        self, tmp_path, baseline, capsys
+    ):
+        # Committed baseline says 1.0; the store says 0.4 — a fresh 1.0
+        # run is a >30% regression against the *stored* numbers.
+        means = {"bench_key": 1.0, "bench_free": 1.0}
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        store = self.store_dir(tmp_path)
+        compare_bench.write_store_baseline(
+            store, {"bench_key": 0.4, "bench_free": 1.0}
+        )
+        assert run_gate(fresh, baseline, store=str(store)) == 1
+        out = capsys.readouterr().out
+        assert "bench-baseline-" in out  # the store was the baseline
+
+    def test_store_miss_falls_back_to_committed(
+        self, tmp_path, baseline, capsys
+    ):
+        means = {"bench_key": 1.0, "bench_free": 1.0}
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        assert (
+            run_gate(
+                fresh, baseline, store=str(self.store_dir(tmp_path))
+            )
+            == 0
+        )
+        assert "baseline.json" in capsys.readouterr().out
+
+    def test_write_store_records_passing_run(self, tmp_path, baseline):
+        means = {"bench_key": 0.9, "bench_free": 1.0}
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        store = self.store_dir(tmp_path)
+        argv = [
+            str(fresh),
+            "--baseline",
+            str(baseline),
+            "--key",
+            "bench_key",
+            "--store",
+            str(store),
+            "--write-store",
+        ]
+        assert compare_bench.main(argv) == 0
+        assert (
+            compare_bench.load_store_baseline(store, tuple(means)) == means
+        )
+        # The next run diffs against the stored means, not the
+        # committed file: 1.3 vs stored 0.9 is a >30% regression even
+        # though it matches the committed 1.0 within threshold.
+        fresh2 = write_bench_json(
+            tmp_path / "fresh2.json",
+            {"bench_key": 1.3, "bench_free": 1.0},
+        )
+        assert compare_bench.main(
+            [a if a != str(fresh) else str(fresh2) for a in argv]
+        ) == 1
+
+    def test_failing_run_seeds_a_cold_store(self, tmp_path, baseline):
+        # The committed baseline came from other hardware; a cold-store
+        # failure is reported once, then the fresh means become the
+        # comparable baseline for subsequent runs.
+        store = self.store_dir(tmp_path)
+        means = {"bench_key": 9.0, "bench_free": 1.0}
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        argv = [
+            str(fresh),
+            "--baseline",
+            str(baseline),
+            "--key",
+            "bench_key",
+            "--store",
+            str(store),
+            "--write-store",
+        ]
+        assert compare_bench.main(argv) == 1
+        assert (
+            compare_bench.load_store_baseline(store, tuple(means)) == means
+        )
+
+    def test_failing_run_ratchets_an_existing_entry(
+        self, tmp_path, baseline
+    ):
+        # An outlier-fast stored baseline must self-heal: the failing
+        # run moves the stored mean up by at most the threshold, so the
+        # job cannot stay red forever, and a corrupt store entry never
+        # crashes the comparison (it is a miss).
+        store = self.store_dir(tmp_path)
+        means = {"bench_key": 1.0, "bench_free": 1.0}
+        compare_bench.write_store_baseline(
+            store, {"bench_key": 0.4, "bench_free": 1.0}
+        )
+        fresh = write_bench_json(tmp_path / "fresh.json", means)
+        argv = [
+            str(fresh),
+            "--baseline",
+            str(baseline),
+            "--key",
+            "bench_key",
+            "--store",
+            str(store),
+            "--write-store",
+        ]
+        assert compare_bench.main(argv) == 1
+        stored = compare_bench.load_store_baseline(store, tuple(means))
+        assert stored["bench_key"] == pytest.approx(0.4 * 1.3)
+        assert stored["bench_free"] == 1.0
+        # Convergence: each identical re-run ratchets by another 30%
+        # until the comparison passes and adopts the fresh means
+        # outright — geometrically bounded, never wedged.
+        codes = [compare_bench.main(argv) for _ in range(4)]
+        assert 0 in codes
+        assert (
+            compare_bench.load_store_baseline(store, tuple(means)) == means
+        )
+
+    def test_corrupt_store_entry_is_a_miss_not_a_crash(self, tmp_path):
+        store = self.store_dir(tmp_path)
+        store.mkdir()
+        names = ("bench_key",)
+        compare_bench.store_path(store, names).write_text(
+            json.dumps({"means": {"bench_key": None}})
+        )
+        assert compare_bench.load_store_baseline(store, names) is None
+
+    def test_write_store_requires_store(self, tmp_path, baseline):
+        fresh = write_bench_json(
+            tmp_path / "fresh.json", {"bench_key": 1.0}
+        )
+        with pytest.raises(SystemExit):
+            compare_bench.main(
+                [str(fresh), "--baseline", str(baseline), "--write-store"]
+            )

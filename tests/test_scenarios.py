@@ -100,6 +100,100 @@ class TestResolve:
             resolve("$nope", {"m": 1})
 
 
+class TestExprReferences:
+    SCOPE = {"num_channels": 8, "seed": 3, "pseed": 5}
+
+    def test_arithmetic_over_scope(self):
+        assert resolve({"$expr": "num_channels * 2"}, self.SCOPE) == 16
+        assert resolve({"$expr": "num_channels + seed"}, self.SCOPE) == 11
+        assert resolve({"$expr": "num_channels // 3"}, self.SCOPE) == 2
+        assert resolve({"$expr": "2 ** 3 - 1"}, self.SCOPE) == 7
+        assert resolve({"$expr": "-seed"}, self.SCOPE) == -3
+        assert resolve(
+            {"$expr": "(num_channels + 1) % 4"}, self.SCOPE
+        ) == 1
+
+    def test_whitelisted_calls(self):
+        assert resolve({"$expr": "max(1, seed - 10)"}, self.SCOPE) == 1
+        assert resolve({"$expr": "int(seed / 2)"}, self.SCOPE) == 1
+        assert resolve(
+            {"$expr": "min(num_channels, 4)"}, self.SCOPE
+        ) == 4
+
+    def test_nested_inside_containers(self):
+        value = {"params": {"c": {"$expr": "num_channels * 2"}, "k": 1}}
+        assert resolve(value, self.SCOPE) == {
+            "params": {"c": 16, "k": 1}
+        }
+
+    def test_unknown_name_lists_scope(self):
+        with pytest.raises(HarnessError, match="unknown name"):
+            resolve({"$expr": "bogus + 1"}, self.SCOPE)
+
+    def test_unsafe_syntax_rejected(self):
+        for bad in (
+            "__import__('os').system('true')",
+            "seed.denominator",
+            "'a' * 3",
+            "[1, 2]",
+            "seed if seed else 0",
+            "lambda: 1",
+            "min(1, 2, key=abs)",
+        ):
+            with pytest.raises(HarnessError):
+                resolve({"$expr": bad}, self.SCOPE)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(HarnessError, match="invalid \\$expr"):
+            resolve({"$expr": "1 +"}, self.SCOPE)
+        with pytest.raises(HarnessError, match="expression string"):
+            resolve({"$expr": 7}, self.SCOPE)
+        with pytest.raises(HarnessError, match="failed at this sweep"):
+            resolve({"$expr": "1 / (seed - 3)"}, self.SCOPE)
+
+    def test_runtime_arithmetic_errors_become_harness_errors(self):
+        # Float overflow and non-numeric axis values are spec errors,
+        # not tracebacks.
+        with pytest.raises(HarnessError, match="failed at this sweep"):
+            resolve({"$expr": "1e300 ** 2"}, self.SCOPE)
+        with pytest.raises(HarnessError, match="failed at this sweep"):
+            resolve({"$expr": "int(model)"}, {"model": "markov"})
+
+    def test_unbounded_exponents_rejected(self):
+        # 9**9**9**9 would materialize an astronomically large int
+        # before any other guard could fire; the exponent cap rejects
+        # it without evaluating.
+        with pytest.raises(HarnessError, match="exponents are limited"):
+            resolve({"$expr": "9 ** 9 ** 9 ** 9"}, self.SCOPE)
+        with pytest.raises(HarnessError, match="exponents are limited"):
+            resolve({"$expr": "2 ** 65"}, self.SCOPE)
+        assert resolve({"$expr": "2 ** 64"}, self.SCOPE) == 2**64
+        assert resolve({"$expr": "2 ** -2"}, self.SCOPE) == 0.25
+
+    def test_expr_with_extra_keys_rejected(self):
+        # A stray key next to $expr must fail loudly, not pass the
+        # unevaluated dict downstream.
+        with pytest.raises(HarnessError, match="only the '\\$expr' key"):
+            resolve(
+                {"$expr": "seed * 2", "comment": "x"}, self.SCOPE
+            )
+
+    def test_expr_drives_a_real_sweep(self):
+        # Derived parameter end-to-end: max_count follows the m axis.
+        spec = tiny_count_spec(
+            protocol=ProtocolSpec(
+                "count",
+                {
+                    "m": "$m",
+                    "max_count": {"$expr": "m * 2"},
+                    "log_n": 3,
+                },
+            )
+        )
+        table = run_scenario(spec, seed=1)
+        assert len(table.rows) == 2
+
+
 class TestSpecValidation:
     def test_rejects_unknown_kinds(self):
         with pytest.raises(HarnessError):
@@ -184,11 +278,38 @@ class TestOverrides:
         )
         assert new.protocol.params["part2_listener"] == "uniform"
 
-    def test_plan_based_allows_only_trials(self):
+    def test_plan_based_accepts_data_field_paths(self):
         spec = get_scenario("E1")
         assert apply_overrides(spec, {"trials": "2"}).trials == 2
-        with pytest.raises(HarnessError, match="code-defined"):
-            apply_overrides(spec, {"assignment.c": "4"})
+        new = apply_overrides(
+            spec,
+            {
+                "trials": "3",
+                "experiment_id": "E1-variant",
+                "title": "retitled",
+                "notes": "custom notes",
+                "tags": '["paper", "variant"]',
+            },
+        )
+        assert new.trials == 3
+        assert new.table_id == "E1-variant"
+        assert new.title == "retitled"
+        assert new.notes == "custom notes"
+        assert new.tags == ("paper", "variant")
+        # The original registered spec is untouched.
+        assert spec.table_id == "E1"
+        # Overridden data fields reach the plan-based digest, so cache
+        # entries never collide.
+        assert spec_digest(new) != spec_digest(spec)
+
+    def test_plan_based_rejects_plan_owned_paths(self):
+        spec = get_scenario("E1")
+        for path in ("assignment.c", "sweep.axes.m", "protocol.params.x"):
+            with pytest.raises(HarnessError, match="code-defined"):
+                apply_overrides(spec, {path: "4"})
+        # The error names what plan-based specs do accept.
+        with pytest.raises(HarnessError, match="trials"):
+            apply_overrides(spec, {"topology.kind": "star"})
 
     def test_non_numeric_trials_fail_cleanly(self):
         # Both override paths (plan-based and declarative) must surface
@@ -267,6 +388,70 @@ class TestDeclarativeExecution:
         batched = run_scenario(spec, seed=2, jobs="batch")
         assert serial.rows == batched.rows
         assert {"success", "discovered_fraction"} <= set(serial.rows[0])
+
+    def test_interference_model_axis_produces_different_rows(self):
+        # The traffic process itself as a sweep axis: at identical
+        # activity the markov and poisson rows must come from different
+        # occupancy streams (and markov should lose at least as much).
+        spec = tiny_cseek_spec(
+            sweep=SweepSpec(
+                axes={"model": ["markov", "poisson"], "activity": [0.8]}
+            ),
+            interference=InterferenceSpec(
+                model="$model", activity="$activity", mean_dwell=100.0
+            ),
+        )
+        table = run_scenario(spec, seed=2)
+        assert [r["model"] for r in table.rows] == ["markov", "poisson"]
+        markov, poisson = table.rows
+        assert markov["discovered_fraction"] <= poisson[
+            "discovered_fraction"
+        ]
+
+    def test_static_interference_model(self):
+        spec = tiny_cseek_spec(
+            sweep=None,
+            interference=InterferenceSpec(
+                model="static", blocked=list(range(64))
+            ),
+        )
+        table = run_scenario(spec, seed=1)
+        # Every global channel blocked: discovery cannot succeed.
+        assert table.rows[0]["success"] == 0.0
+        assert table.rows[0]["discovered_fraction"] == 0.0
+
+    def test_unknown_interference_model_rejected(self):
+        with pytest.raises(HarnessError, match="unknown interference"):
+            InterferenceSpec(model="fractal")
+
+    def test_interference_model_round_trips_through_json(self):
+        spec = tiny_cseek_spec(
+            interference=InterferenceSpec(
+                model="poisson", activity="$activity"
+            )
+        )
+        payload = json.loads(json.dumps(spec_to_dict(spec)))
+        assert payload["interference"]["model"] == "poisson"
+        back = spec_from_dict(payload)
+        assert back.interference.model == "poisson"
+        assert spec_digest(back) == spec_digest(spec)
+
+    @pytest.mark.integration
+    def test_poisson_scenario_file_runs_via_batch(self, tmp_path):
+        # The acceptance path: a JSON scenario file selecting
+        # "model": "poisson", end-to-end through jobs="batch",
+        # row-identical to the serial executor.
+        spec = tiny_cseek_spec(
+            interference=InterferenceSpec(
+                model="poisson", activity="$activity"
+            )
+        )
+        path = tmp_path / "poisson.json"
+        path.write_text(json.dumps(spec_to_dict(spec)))
+        batched = run_scenario(str(path), seed=3, jobs="batch")
+        serial = run_scenario(str(path), seed=3)
+        assert batched.rows == serial.rows
+        assert len(batched.rows) == 2
 
     def test_interference_seed_offset_resolves_references(self):
         spec = tiny_count_spec(
