@@ -1,0 +1,73 @@
+"""Campaign subsystem — persistent, resumable multi-scenario studies.
+
+Layering: :mod:`~repro.campaigns.spec` defines the JSON-serializable
+:class:`CampaignSpec` (an ordered suite of scenario entries with
+overrides) and its registry; :mod:`~repro.campaigns.store` is the
+durable run store (manifests + rows under ``.repro_runs/``);
+:mod:`~repro.campaigns.orchestrate` executes campaigns — crash-safe,
+resumable, optionally across a campaign-level process pool on top of
+the per-trial executors; :mod:`~repro.campaigns.report` turns stored
+runs into markdown/CSV reports and cross-run diffs without re-executing
+anything. :mod:`~repro.campaigns.stock` registers the shipped studies
+(``paper-suite``, ``traffic-models``), so importing this package yields
+a fully populated registry.
+"""
+
+from repro.campaigns.orchestrate import (
+    CampaignResult,
+    EntryOutcome,
+    run_campaign,
+    run_id_for,
+)
+from repro.campaigns.report import (
+    campaign_report,
+    diff_refs,
+    entry_report,
+    load_ref,
+    summary_rows,
+    write_report,
+)
+from repro.campaigns.spec import (
+    CampaignEntry,
+    CampaignSpec,
+    campaign_digest,
+    campaign_from_dict,
+    campaign_ids,
+    campaign_to_dict,
+    get_campaign,
+    iter_campaigns,
+    load_campaign_file,
+    register_campaign,
+    resolve_campaign,
+)
+from repro.campaigns.store import DEFAULT_STORE_DIR, CampaignRun, RunStore
+from repro.campaigns import stock as _stock  # noqa: F401 — registration
+from repro.campaigns.stock import STOCK_CAMPAIGNS
+
+__all__ = [
+    "CampaignEntry",
+    "CampaignResult",
+    "CampaignRun",
+    "CampaignSpec",
+    "DEFAULT_STORE_DIR",
+    "EntryOutcome",
+    "RunStore",
+    "STOCK_CAMPAIGNS",
+    "campaign_digest",
+    "campaign_from_dict",
+    "campaign_ids",
+    "campaign_report",
+    "campaign_to_dict",
+    "diff_refs",
+    "entry_report",
+    "get_campaign",
+    "iter_campaigns",
+    "load_campaign_file",
+    "load_ref",
+    "register_campaign",
+    "resolve_campaign",
+    "run_campaign",
+    "run_id_for",
+    "summary_rows",
+    "write_report",
+]

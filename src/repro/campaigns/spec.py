@@ -1,0 +1,378 @@
+"""Campaign specifications: a suite of scenario runs as data.
+
+A :class:`CampaignSpec` names a *study* — the unit a paper actually
+ships: an ordered list of :class:`CampaignEntry` items, each naming one
+scenario (a registered name or a ``.json`` scenario file) plus
+``--set``-style overrides and optional per-entry trials/seed. Campaigns
+are JSON-serializable (:func:`campaign_to_dict` /
+:func:`campaign_from_dict`), carry a content digest
+(:func:`campaign_digest`), and register by name exactly like scenarios
+do, so ``python -m repro run-campaign paper-suite`` works out of the
+box and ``run-campaign my_study.json`` runs a user file.
+
+The campaign layer never executes anything itself — entries resolve
+through :func:`repro.scenarios.resolve_scenario` and run through the
+same ``run_scenario_spec`` path as a single CLI run, so a campaign is
+pure orchestration over already-deterministic scenario runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.model.errors import HarnessError
+from repro.scenarios.spec import _as_int
+
+__all__ = [
+    "CampaignEntry",
+    "CampaignSpec",
+    "campaign_digest",
+    "campaign_from_dict",
+    "campaign_ids",
+    "campaign_to_dict",
+    "get_campaign",
+    "iter_campaigns",
+    "load_campaign_file",
+    "register_campaign",
+    "resolve_campaign",
+]
+
+
+def _slug(text: str) -> str:
+    """A filesystem- and ref-safe lowercase identifier."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in text.lower()
+    ).strip("-")
+    return cleaned or "entry"
+
+
+def _as_str(value: object, where: str) -> str:
+    """Coerce-check a string field, failing as a clean spec error."""
+    if not isinstance(value, str):
+        raise HarnessError(f"{where} must be a string, got {value!r}")
+    return value
+
+
+def _as_tags(value: object, where: str) -> Tuple[str, ...]:
+    """Validate a tags field: a list/tuple of strings, never a string.
+
+    A bare string would silently explode into per-character tags via
+    ``tuple()`` — the classic ``"tags": "paper"`` typo must fail
+    loudly instead.
+    """
+    if not isinstance(value, (list, tuple)):
+        raise HarnessError(
+            f"{where} must be a list of strings, got {value!r}"
+        )
+    return tuple(_as_str(tag, f"{where} entry") for tag in value)
+
+
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One scenario run inside a campaign.
+
+    Attributes:
+        scenario: Registered scenario name or path to a ``.json``
+            scenario file (the same forms ``run-scenario`` accepts).
+        id: Stable entry id inside the campaign (used for store
+            directories and report/diff refs). Defaults to
+            ``<index>-<scenario slug>``.
+        overrides: ``--set``-style dotted-path overrides applied to the
+            scenario before running. Values may be raw strings (parsed
+            as JSON when possible, exactly like the CLI) or plain JSON
+            values.
+        trials: Per-entry trials override (None = campaign default,
+            then the scenario's own default).
+        seed: Per-entry master seed override (None = the campaign
+            seed).
+    """
+
+    scenario: str
+    id: Optional[str] = None
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    trials: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario:
+            raise HarnessError("a campaign entry needs a scenario")
+        if not isinstance(self.overrides, Mapping):
+            raise HarnessError(
+                f"entry overrides must be an object mapping --set-style "
+                f"paths to values, got {self.overrides!r}"
+            )
+        if self.trials is not None and self.trials < 1:
+            raise HarnessError(
+                f"entry trials must be >= 1, got {self.trials}"
+            )
+        if self.id is not None and self.id != _slug(self.id):
+            raise HarnessError(
+                f"entry id {self.id!r} must be a lowercase slug "
+                "(letters, digits, '-', '_')"
+            )
+
+    def resolved_id(self, index: int) -> str:
+        """The entry's store id: explicit, or derived from its slot."""
+        if self.id is not None:
+            return self.id
+        stem = Path(self.scenario).stem if (
+            "/" in self.scenario or self.scenario.endswith(".json")
+        ) else self.scenario
+        return f"{index + 1:02d}-{_slug(stem)}"
+
+    def normalized_overrides(self) -> Dict[str, str]:
+        """Overrides in the raw-string form ``apply_overrides`` takes.
+
+        String values pass through untouched (they get the CLI's
+        parse-as-JSON-when-possible treatment downstream); JSON values
+        are dumped, so ``{"sweep.axes.m": [2, 4]}`` in a campaign file
+        means exactly ``--set sweep.axes.m=[2,4]``.
+        """
+        out: Dict[str, str] = {}
+        for path, value in self.overrides.items():
+            out[path] = (
+                value if isinstance(value, str) else json.dumps(value)
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered suite of scenario runs with shared defaults.
+
+    Attributes:
+        name: Registry id (case-insensitive, unique; also the store
+            directory name).
+        title: Human-readable study headline.
+        description: One-line summary for ``campaigns`` listings.
+        entries: The scenario runs, in execution order; resolved entry
+            ids must be unique.
+        trials: Default trials per entry (None = each scenario's own
+            default).
+        seed: Default master seed for every entry.
+        tags: Free-form labels.
+    """
+
+    name: str
+    title: str
+    description: str = ""
+    entries: Tuple[CampaignEntry, ...] = ()
+    trials: Optional[int] = None
+    seed: int = 0
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # The name is a store directory component and the leading token
+        # of report/diff references, so it must be a slug: a path
+        # escape ("../evil") or a ref metacharacter ("@", ":") would
+        # write outside the store root or break reference parsing.
+        if not self.name or self.name != _slug(self.name):
+            raise HarnessError(
+                f"campaign name {self.name!r} must be a lowercase slug "
+                "(letters, digits, '-', '_')"
+            )
+        if not self.entries:
+            raise HarnessError(
+                f"campaign {self.name!r} needs at least one entry"
+            )
+        if self.trials is not None and self.trials < 1:
+            raise HarnessError(
+                f"campaign trials must be >= 1, got {self.trials}"
+            )
+        ids = [e.resolved_id(i) for i, e in enumerate(self.entries)]
+        dupes = {i for i in ids if ids.count(i) > 1}
+        if dupes:
+            raise HarnessError(
+                f"campaign {self.name!r} has duplicate entry ids: "
+                f"{', '.join(sorted(dupes))}"
+            )
+
+    def entry_ids(self) -> List[str]:
+        """Resolved entry ids, in execution order."""
+        return [e.resolved_id(i) for i, e in enumerate(self.entries)]
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def campaign_to_dict(spec: CampaignSpec) -> Dict[str, object]:
+    """A JSON-ready dict; round-trips through :func:`campaign_from_dict`."""
+    out: Dict[str, object] = {
+        "name": spec.name,
+        "title": spec.title,
+    }
+    if spec.description:
+        out["description"] = spec.description
+    if spec.tags:
+        out["tags"] = list(spec.tags)
+    if spec.trials is not None:
+        out["trials"] = spec.trials
+    if spec.seed:
+        out["seed"] = spec.seed
+    entries: List[Dict[str, object]] = []
+    for entry in spec.entries:
+        e: Dict[str, object] = {"scenario": entry.scenario}
+        if entry.id is not None:
+            e["id"] = entry.id
+        if entry.overrides:
+            e["overrides"] = dict(entry.overrides)
+        if entry.trials is not None:
+            e["trials"] = entry.trials
+        if entry.seed is not None:
+            e["seed"] = entry.seed
+        entries.append(e)
+    out["entries"] = entries
+    return out
+
+
+def campaign_from_dict(payload: Mapping[str, object]) -> CampaignSpec:
+    """Build a campaign from a dict (e.g. a parsed JSON file).
+
+    Unknown keys raise — a typo in a campaign file must fail loudly,
+    not silently run the wrong study.
+    """
+    if not isinstance(payload, Mapping):
+        raise HarnessError(
+            f"campaign payload must be an object, got {payload!r}"
+        )
+    known = {f.name for f in fields(CampaignSpec)}
+    unknown = set(payload) - known
+    if unknown:
+        raise HarnessError(
+            f"unknown campaign keys: {', '.join(sorted(unknown))}; "
+            f"valid: {', '.join(sorted(known))}"
+        )
+    if "name" not in payload or "entries" not in payload:
+        raise HarnessError(
+            "a campaign needs at least 'name' and 'entries'"
+        )
+    raw_entries = payload["entries"]
+    if not isinstance(raw_entries, (list, tuple)):
+        raise HarnessError(
+            f"campaign entries must be a list, got {raw_entries!r}"
+        )
+    entry_fields = {f.name for f in fields(CampaignEntry)}
+    entries: List[CampaignEntry] = []
+    for i, raw in enumerate(raw_entries):
+        if isinstance(raw, str):
+            # Shorthand: a bare scenario name is a default entry.
+            entries.append(CampaignEntry(scenario=raw))
+            continue
+        if not isinstance(raw, Mapping):
+            raise HarnessError(
+                f"campaign entry {i} must be an object or a scenario "
+                f"name, got {raw!r}"
+            )
+        bad = set(raw) - entry_fields
+        if bad:
+            raise HarnessError(
+                f"unknown campaign entry keys: {', '.join(sorted(bad))}; "
+                f"valid: {', '.join(sorted(entry_fields))}"
+            )
+        kwargs = dict(raw)
+        for field_name in ("trials", "seed"):
+            if kwargs.get(field_name) is not None:
+                kwargs[field_name] = _as_int(
+                    kwargs[field_name], f"entry {i} {field_name}"
+                )
+        kwargs["scenario"] = _as_str(
+            kwargs.get("scenario"), f"entry {i} scenario"
+        )
+        if kwargs.get("id") is not None:
+            kwargs["id"] = _as_str(kwargs["id"], f"entry {i} id")
+        entries.append(CampaignEntry(**kwargs))
+    trials = payload.get("trials")
+    name = _as_str(payload["name"], "campaign name")
+    return CampaignSpec(
+        name=name,
+        title=_as_str(payload.get("title", name), "campaign title"),
+        description=_as_str(
+            payload.get("description", ""), "campaign description"
+        ),
+        entries=tuple(entries),
+        trials=(
+            None if trials is None else _as_int(trials, "campaign trials")
+        ),
+        seed=_as_int(payload.get("seed", 0), "campaign seed"),
+        tags=_as_tags(payload.get("tags", ()), "campaign tags"),
+    )
+
+
+def campaign_digest(spec: CampaignSpec) -> str:
+    """A short stable digest of the campaign's own content.
+
+    Covers the entry list, overrides and defaults — anything that
+    changes what the campaign *asks for*. What each scenario's code
+    does with those asks is covered per entry by the run-store keys
+    (scenario digest + code version), not here.
+    """
+    canonical = json.dumps(
+        campaign_to_dict(spec), sort_keys=True, default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, CampaignSpec] = {}
+
+
+def register_campaign(spec: CampaignSpec) -> CampaignSpec:
+    """Register a campaign under its (case-insensitive) name."""
+    key = spec.name.lower()
+    if key in _REGISTRY:
+        raise HarnessError(
+            f"campaign {spec.name!r} is already registered"
+        )
+    _REGISTRY[key] = spec
+    return spec
+
+
+def campaign_ids() -> List[str]:
+    """Registered campaign names, in registration order."""
+    return [spec.name for spec in _REGISTRY.values()]
+
+
+def iter_campaigns() -> List[CampaignSpec]:
+    """Registered campaigns, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look a registered campaign up by name (case-insensitive)."""
+    spec = _REGISTRY.get(name.lower())
+    if spec is None:
+        raise HarnessError(
+            f"unknown campaign {name!r}; valid: "
+            f"{', '.join(campaign_ids())} (or a path to a .json "
+            "campaign file)"
+        )
+    return spec
+
+
+def load_campaign_file(path: "str | Path") -> CampaignSpec:
+    """Parse a JSON campaign file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise HarnessError(f"cannot read campaign file {path}: {exc}")
+    except ValueError as exc:
+        raise HarnessError(
+            f"campaign file {path} is not valid JSON: {exc}"
+        )
+    return campaign_from_dict(payload)
+
+
+def resolve_campaign(campaign: "str | CampaignSpec") -> CampaignSpec:
+    """A registered name, a ``.json`` file path, or a spec as-is."""
+    if isinstance(campaign, CampaignSpec):
+        return campaign
+    if "/" in campaign or campaign.endswith(".json"):
+        return load_campaign_file(campaign)
+    return get_campaign(campaign)

@@ -1,0 +1,61 @@
+"""Stock campaigns: the studies the repo ships ready to run.
+
+* ``paper-suite`` — the paper's full evaluation, E1–E12, as one
+  resumable run: the "regenerate every table in the paper" button.
+* ``traffic-models`` — the Markov-vs-Poisson primary-user comparison
+  (the Chaoub & Ibn-Elhaj question) as *two entries over the same
+  scenario*, one traffic model each, so ``diff-runs
+  traffic-models:markov traffic-models:poisson`` reads the burstiness
+  effect straight out of the store.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.spec import (
+    CampaignEntry,
+    CampaignSpec,
+    register_campaign,
+)
+
+__all__ = ["STOCK_CAMPAIGNS"]
+
+STOCK_CAMPAIGNS = [
+    register_campaign(
+        CampaignSpec(
+            name="paper-suite",
+            title="Full paper evaluation — experiments E1-E12",
+            description=(
+                "Every table of the reproduction in one resumable run; "
+                "interrupt at will, re-run to finish."
+            ),
+            tags=("paper",),
+            entries=tuple(
+                CampaignEntry(scenario=f"E{i}", id=f"e{i:02d}")
+                for i in range(1, 13)
+            ),
+        )
+    ),
+    register_campaign(
+        CampaignSpec(
+            name="traffic-models",
+            title="Markov vs Poisson primary-user traffic, per model",
+            description=(
+                "The markov-vs-poisson occupancy sweep split into one "
+                "entry per traffic model, for store-only diffing."
+            ),
+            tags=("stock", "interference"),
+            entries=(
+                CampaignEntry(
+                    scenario="markov-vs-poisson",
+                    id="markov",
+                    overrides={"sweep.axes.model": ["markov"]},
+                ),
+                CampaignEntry(
+                    scenario="markov-vs-poisson",
+                    id="poisson",
+                    overrides={"sweep.axes.model": ["poisson"]},
+                ),
+            ),
+        )
+    ),
+]

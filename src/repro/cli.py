@@ -12,6 +12,12 @@ Usage::
     python -m repro run-scenario count-interference \\
         --set sweep.axes.activity=[0.1,0.9] --set trials=8
     python -m repro run-scenario my_workload.json --cache
+    python -m repro campaigns                            # list studies
+    python -m repro run-campaign paper-suite --jobs batch
+    python -m repro run-campaign my_study.json --campaign-jobs 4
+    python -m repro report traffic-models --out report/
+    python -m repro diff-runs traffic-models:markov \\
+        traffic-models:poisson
 
 ``--jobs`` selects the trial execution strategy (serial by default; an
 int fans trials out to that many worker processes, ``batch`` vectorizes
@@ -31,6 +37,20 @@ data fields — ``trials``, ``title``, ``description``,
 ``experiment_id``, ``tags``, ``notes``, ``columns`` — and reject
 plan-owned paths with a clear error.
 
+``run-campaign`` executes a whole study — a registered campaign (see
+``campaigns``) or a JSON campaign file: an ordered list of scenario
+entries with per-entry overrides. Every entry's manifest and rows land
+in the persistent run store (default ``.repro_runs/``, ``--store`` to
+move it); re-running the same campaign resumes, skipping entries whose
+manifests prove their stored rows are bit-identical to a fresh run.
+``--campaign-jobs N`` runs entries concurrently on a process pool *on
+top of* the per-trial ``--jobs`` strategy. ``report`` renders a stored
+run as markdown (``--out`` also writes ``report.md``/``summary.csv``)
+and ``diff-runs`` compares two stored runs or entries
+(``campaign[@run][:entry]`` references, or store paths) without
+re-executing anything; its exit status is diff-like — 0 identical, 1
+different, 2 trouble.
+
 ``crn-repro`` (the console script declared in ``pyproject.toml``) is
 equivalent when the package is installed through a regular ``pip
 install``; legacy ``setup.py develop`` installs may expose only the
@@ -44,6 +64,16 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.campaigns import (
+    RunStore,
+    campaign_report,
+    diff_refs,
+    entry_report,
+    iter_campaigns,
+    load_ref,
+    run_campaign,
+    write_report,
+)
 from repro.harness import experiment_ids, run_experiment
 from repro.harness.executor import get_executor
 from repro.model.errors import HarnessError, ReproError
@@ -182,6 +212,116 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default .repro_cache/)",
     )
+
+    sub.add_parser(
+        "campaigns",
+        help="list registered campaigns (multi-scenario studies)",
+    )
+
+    run_cmp = sub.add_parser(
+        "run-campaign",
+        help=(
+            "run (or resume) a registered campaign or a JSON campaign "
+            "file into the persistent run store"
+        ),
+    )
+    run_cmp.add_argument(
+        "campaign",
+        help="campaign name (see 'campaigns') or path to a .json file",
+    )
+    run_cmp.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="trials override for every entry (smoke runs)",
+    )
+    run_cmp.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="master seed for every entry (default: the campaign's)",
+    )
+    run_cmp.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        help=(
+            "per-trial execution strategy inside each entry (int / "
+            "'batch' / 'batch:N' / 'serial'); never changes rows"
+        ),
+    )
+    run_cmp.add_argument(
+        "--campaign-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "entries executed concurrently on a process pool "
+            "(default 1: in order)"
+        ),
+    )
+    run_cmp.add_argument(
+        "--store",
+        default=None,
+        help="run store directory (default .repro_runs/)",
+    )
+    run_cmp.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "additionally consult/populate the .repro_cache result "
+            "cache inside each entry"
+        ),
+    )
+    run_cmp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default .repro_cache/)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help=(
+            "render a stored campaign run as markdown, from the store "
+            "alone (no re-execution)"
+        ),
+    )
+    report.add_argument(
+        "ref",
+        help=(
+            "reference: campaign[@run_id][:entry] (run defaults to the "
+            "latest stored one; with :entry, reports that entry alone) "
+            "or a path into a store"
+        ),
+    )
+    report.add_argument(
+        "--store",
+        default=None,
+        help="run store directory (default .repro_runs/)",
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="also write report.md and summary.csv into this directory",
+    )
+
+    diff = sub.add_parser(
+        "diff-runs",
+        help=(
+            "diff two stored runs or entries (exit 0 identical, 1 "
+            "different, 2 trouble)"
+        ),
+    )
+    diff.add_argument(
+        "ref_a",
+        help="first reference: campaign[@run_id][:entry] or a path",
+    )
+    diff.add_argument("ref_b", help="second reference")
+    diff.add_argument(
+        "--store",
+        default=None,
+        help="run store directory (default .repro_runs/)",
+    )
     return parser
 
 
@@ -201,22 +341,36 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, str]:
     return overrides
 
 
-def _list_scenarios() -> None:
-    specs = iter_scenarios()
+def _print_listing(specs, describe) -> None:
+    """Two-line name + description listing shared by every registry."""
     width = max(len(spec.name) for spec in specs)
     for spec in specs:
+        print(f"{spec.name:<{width}}  {describe(spec)}")
+        if spec.description:
+            print(f"{'':<{width}}  {spec.description}")
+
+
+def _list_scenarios() -> None:
+    def describe(spec) -> str:
         kind = "paper" if "paper" in spec.tags else "stock"
         points = (
             str(len(spec.sweep.points()))
             if spec.is_declarative and spec.sweep is not None
             else ("1" if spec.is_declarative else "-")
         )
-        print(
-            f"{spec.name:<{width}}  [{kind}]  trials={spec.trials:<3} "
-            f"points={points:<3} {spec.title}"
+        return (
+            f"[{kind}]  trials={spec.trials:<3} points={points:<3} "
+            f"{spec.title}"
         )
-        if spec.description:
-            print(f"{'':<{width}}  {spec.description}")
+
+    _print_listing(iter_scenarios(), describe)
+
+
+def _list_campaigns() -> None:
+    _print_listing(
+        iter_campaigns(),
+        lambda spec: f"entries={len(spec.entries):<3} {spec.title}",
+    )
 
 
 def _run_one(
@@ -257,6 +411,70 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "scenarios":
         _list_scenarios()
         return 0
+    if args.command == "campaigns":
+        _list_campaigns()
+        return 0
+    if args.command == "run-campaign":
+        try:
+            result = run_campaign(
+                args.campaign,
+                seed=args.seed,
+                trials=args.trials,
+                jobs=args.jobs,
+                campaign_jobs=args.campaign_jobs,
+                store=args.store,
+                cache=args.cache,
+                cache_dir=args.cache_dir,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except Exception as exc:  # noqa: BLE001
+            # Malformed campaign files must fail with a clean error,
+            # matching the report/diff-runs guards on the same surface.
+            print(f"error: {exc!r}", file=sys.stderr)
+            return 1
+        return 0 if not result.failed else 1
+    if args.command == "report":
+        try:
+            ref = load_ref(RunStore(args.store), args.ref)
+            if ref.entry_id is not None:
+                print(entry_report(ref.run, ref.entry_id), end="")
+            else:
+                print(campaign_report(ref.run), end="")
+            if args.out is not None:
+                paths = write_report(
+                    ref.run, args.out, entry_id=ref.entry_id
+                )
+                written = ", ".join(
+                    str(p) for p in paths.values()
+                )
+                print(f"[written: {written}]")
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except Exception as exc:  # noqa: BLE001
+            # Hand-edited store entries must fail with a clean error,
+            # exactly as diff-runs guards the same surface.
+            print(f"error: {exc!r}", file=sys.stderr)
+            return 1
+        return 0
+    if args.command == "diff-runs":
+        try:
+            markdown, identical = diff_refs(
+                RunStore(args.store), args.ref_a, args.ref_b
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # noqa: BLE001
+            # The exit contract is diff-like: 2 means trouble. An
+            # unexpected failure (e.g. a hand-edited store entry) must
+            # not exit 1 and masquerade as "runs differ".
+            print(f"error: {exc!r}", file=sys.stderr)
+            return 2
+        print(markdown, end="")
+        return 0 if identical else 1
     if args.command == "run-scenario":
         try:
             start = time.time()

@@ -31,6 +31,7 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "cache_key",
     "code_version",
+    "json_default",
     "load_table",
     "store_table",
 ]
@@ -104,8 +105,12 @@ def _entry_path(
     return _resolve_dir(cache_dir) / f"{safe_id}-{key}.json"
 
 
-def _jsonify(value: object) -> object:
-    """Coerce numpy scalars so rows serialize losslessly."""
+def json_default(value: object) -> object:
+    """``json.dumps`` default coercing numpy scalars losslessly.
+
+    Shared by the result cache and the campaign run store so every
+    persisted row survives a round-trip with plain-Python values.
+    """
     if hasattr(value, "item"):
         return value.item()
     raise TypeError(f"unserializable cache value: {value!r}")
@@ -122,11 +127,7 @@ def store_table(
     path = _entry_path(table.experiment_id, trials, seed, cache_dir, extra)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
-        "experiment_id": table.experiment_id,
-        "title": table.title,
-        "rows": table.rows,
-        "notes": table.notes,
-        "columns": list(table.columns) if table.columns else None,
+        **table.to_payload(),
         "trials": trials,
         "seed": seed,
         "code": code_version(),
@@ -135,7 +136,8 @@ def store_table(
         payload["extra"] = dict(extra)
     tmp = path.with_suffix(".tmp")
     tmp.write_text(
-        json.dumps(payload, default=_jsonify, indent=1), encoding="utf-8"
+        json.dumps(payload, default=json_default, indent=1),
+        encoding="utf-8",
     )
     tmp.replace(path)
     return path
@@ -159,12 +161,6 @@ def load_table(
     except (OSError, ValueError):
         return None
     try:
-        return ExperimentTable(
-            experiment_id=payload["experiment_id"],
-            title=payload["title"],
-            rows=payload["rows"],
-            notes=payload.get("notes", ""),
-            columns=payload.get("columns"),
-        )
-    except KeyError:
+        return ExperimentTable.from_payload(payload)
+    except (KeyError, ValueError):
         return None

@@ -70,6 +70,47 @@ class ExperimentTable:
         )
         return {"markdown": md_path, "csv": csv_path}
 
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-ready dict of the table's full content.
+
+        The single serialized form shared by the result cache and the
+        campaign run store, so a table persisted by either layer loads
+        back through :meth:`from_payload` without translation.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+            "columns": list(self.columns) if self.columns else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_payload` output.
+
+        Raises:
+            KeyError: when the payload misses a required field.
+            ValueError: when ``rows`` is not a list of flat dicts —
+                a hand-edited or corrupt persisted table. Callers (the
+                result cache, the campaign run store) treat both as a
+                miss and recompute.
+        """
+        rows = payload["rows"]
+        if not isinstance(rows, list) or not all(
+            isinstance(row, dict) for row in rows
+        ):
+            raise ValueError(
+                "malformed table payload: rows must be a list of objects"
+            )
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=rows,
+            notes=payload.get("notes", ""),
+            columns=payload.get("columns"),
+        )
+
 
 def run_trials(
     trial: Callable[[int], T],

@@ -20,10 +20,12 @@ from repro.scenarios.compile import (
     scenario_plan,
 )
 from repro.scenarios.registry import (
+    cache_extra,
     get_scenario,
     iter_scenarios,
     load_scenario_file,
     register,
+    resolve_scenario,
     run_scenario,
     scenario_ids,
 )
@@ -57,11 +59,13 @@ __all__ = [
     "SweepSpec",
     "TopologySpec",
     "apply_overrides",
+    "cache_extra",
     "get_scenario",
     "iter_scenarios",
     "load_scenario_file",
     "paper_spec",
     "register",
+    "resolve_scenario",
     "run_scenario",
     "run_scenario_spec",
     "scenario_ids",

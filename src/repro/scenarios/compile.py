@@ -175,16 +175,27 @@ _SEEDED_TOPOLOGIES = {"random_geometric", "erdos_renyi", "random_regular"}
 
 
 def _build_net(spec: ScenarioSpec, scope: Dict[str, object]):
-    params = dict(resolve(dict(spec.topology.params), scope))
-    if spec.topology.kind in _SEEDED_TOPOLOGIES:
-        params.setdefault("seed", scope["pseed"])
-    graph = _TOPOLOGY_BUILDERS[spec.topology.kind](**params)
     assignment = spec.assignment
     if assignment is None:
         raise HarnessError(
             f"scenario {spec.name!r} needs an assignment spec for "
             f"protocol {spec.protocol.kind!r}"
         )
+    if assignment.kind == "random_subsets":
+        # White-space lowering: the assignment induces the graph, so
+        # there is no topology to build (the spec layer enforces that).
+        return builders.build_random_subset_network(
+            n=int(resolve(assignment.n, scope)),
+            c=int(resolve(assignment.c, scope)),
+            k=int(resolve(assignment.k, scope)),
+            pool_size=int(resolve(assignment.pool_size, scope)),
+            seed=int(resolve(assignment.seed, scope)),
+            max_tries=int(resolve(assignment.max_tries, scope)),
+        )
+    params = dict(resolve(dict(spec.topology.params), scope))
+    if spec.topology.kind in _SEEDED_TOPOLOGIES:
+        params.setdefault("seed", scope["pseed"])
+    graph = _TOPOLOGY_BUILDERS[spec.topology.kind](**params)
     return builders.build_network(
         graph,
         c=int(resolve(assignment.c, scope)),
@@ -216,10 +227,17 @@ def _environment(
     if inter is None:
         return None
     blocked = resolve(inter.blocked, scope)
+    # A list activity is a per-channel vector (aligned with the sorted
+    # channel universe); scalars keep the homogeneous behavior.
+    activity = resolve(inter.activity, scope)
+    if isinstance(activity, (list, tuple)):
+        activity = [float(a) for a in activity]
+    else:
+        activity = float(activity)
     return make_environment(
         str(resolve(inter.model, scope)),
         sorted(channel_ids),
-        activity=float(resolve(inter.activity, scope)),
+        activity=activity,
         mean_dwell=float(resolve(inter.mean_dwell, scope)),
         seed_offset=int(resolve(inter.seed_offset, scope)),
         blocked=None if blocked is None else list(blocked),

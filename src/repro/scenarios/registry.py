@@ -27,10 +27,12 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "cache_extra",
     "get_scenario",
     "iter_scenarios",
     "load_scenario_file",
     "register",
+    "resolve_scenario",
     "run_scenario",
     "scenario_ids",
 ]
@@ -81,6 +83,40 @@ def load_scenario_file(path: "str | Path") -> ScenarioSpec:
     return spec_from_dict(payload)
 
 
+def resolve_scenario(
+    scenario: "str | ScenarioSpec",
+    overrides: Optional[Mapping[str, str]] = None,
+) -> ScenarioSpec:
+    """Resolve a name / file path / spec into an effective spec.
+
+    The single lookup used by :func:`run_scenario` and the campaign
+    layer: a registered name, a path to a ``.json`` scenario file
+    (anything containing a path separator or ending in ``.json``), or
+    an already-built spec — with ``--set``-style ``overrides`` applied
+    on top. Resolution never executes anything, so campaign planning
+    can compute spec digests and store keys up front.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        spec = scenario
+    elif "/" in scenario or scenario.endswith(".json"):
+        spec = load_scenario_file(scenario)
+    else:
+        spec = get_scenario(scenario)
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def cache_extra(spec: ScenarioSpec) -> Dict[str, object]:
+    """The extra identity a scenario run folds into its cache key.
+
+    Shared with the campaign run store, whose entry keys must match
+    what :func:`run_scenario` would use — that is what lets a campaign
+    resume skip completed entries bit-identically.
+    """
+    return {"scenario": spec.name.lower(), "digest": spec_digest(spec)}
+
+
 def run_scenario(
     scenario: "str | ScenarioSpec",
     trials: Optional[int] = None,
@@ -107,16 +143,9 @@ def run_scenario(
             with default-parameter entries.
         cache_dir: Cache location override.
     """
-    if isinstance(scenario, ScenarioSpec):
-        spec = scenario
-    elif "/" in scenario or scenario.endswith(".json"):
-        spec = load_scenario_file(scenario)
-    else:
-        spec = get_scenario(scenario)
-    if overrides:
-        spec = apply_overrides(spec, overrides)
+    spec = resolve_scenario(scenario, overrides)
     effective_trials = trials if trials is not None else spec.trials
-    extra = {"scenario": spec.name.lower(), "digest": spec_digest(spec)}
+    extra = cache_extra(spec)
     if cache:
         cached = load_table(
             spec.table_id,

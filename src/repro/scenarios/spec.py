@@ -72,7 +72,12 @@ TOPOLOGY_KINDS = (
     "random_regular",
     "two_node",
 )
-ASSIGNMENT_KINDS = ("exact_uniform", "heterogeneous", "global_core")
+ASSIGNMENT_KINDS = (
+    "exact_uniform",
+    "heterogeneous",
+    "global_core",
+    "random_subsets",
+)
 PROTOCOL_KINDS = (
     "count",
     "cseek",
@@ -304,11 +309,21 @@ class TopologySpec:
 
 @dataclass(frozen=True)
 class AssignmentSpec:
-    """Channel-assignment regime layered over the topology.
+    """Channel-assignment regime layered over (or inducing) the topology.
 
-    Mirrors :func:`repro.graphs.builders.build_network`: every node gets
-    ``c`` channels; edges overlap in at least ``k`` of them, per the
-    regime. ``seed`` defaults to ``$pseed``.
+    The first three kinds mirror :func:`repro.graphs.builders.build_network`:
+    every node gets ``c`` channels; edges overlap in at least ``k`` of
+    them, per the regime. ``seed`` defaults to ``$pseed``.
+
+    ``kind="random_subsets"`` is the white-space workload
+    (:func:`repro.graphs.builders.build_random_subset_network`): ``n``
+    nodes each sample ``c`` channels from a spectrum pool of
+    ``pool_size``, and connectivity is *emergent* — two nodes are
+    neighbors iff they share at least ``k`` channels (re-sampled up to
+    ``max_tries`` times until connected). Because the assignment
+    induces the graph, a ``random_subsets`` scenario must not carry a
+    topology spec. ``n``, ``pool_size`` and ``max_tries`` resolve like
+    every other field, so the pool size (or ``n``) can be a sweep axis.
     """
 
     kind: str = "exact_uniform"
@@ -317,12 +332,38 @@ class AssignmentSpec:
     kmax: object = None
     high_fraction: object = 0.5
     seed: object = "$pseed"
+    n: object = None
+    pool_size: object = None
+    max_tries: object = 64
 
     def __post_init__(self) -> None:
         if self.kind not in ASSIGNMENT_KINDS:
             raise HarnessError(
                 f"unknown assignment kind {self.kind!r}; valid: "
                 f"{', '.join(ASSIGNMENT_KINDS)}"
+            )
+        if self.kind == "random_subsets":
+            if self.n is None or self.pool_size is None:
+                raise HarnessError(
+                    "assignment kind 'random_subsets' needs 'n' (node "
+                    "count) and 'pool_size' (spectrum pool) parameters"
+                )
+            if self.kmax is not None or self.high_fraction != 0.5:
+                raise HarnessError(
+                    "assignment kind 'random_subsets' takes no "
+                    "'kmax'/'high_fraction' parameters (they belong to "
+                    "'heterogeneous'); overlap is emergent from the "
+                    "sampled channel sets"
+                )
+        elif (
+            self.n is not None
+            or self.pool_size is not None
+            or self.max_tries != 64
+        ):
+            raise HarnessError(
+                f"assignment kind {self.kind!r} takes no 'n'/'pool_size'"
+                "/'max_tries' parameters (they belong to "
+                "'random_subsets')"
             )
 
 
@@ -339,11 +380,14 @@ class InterferenceSpec:
     ``"$axis"`` reference, making the traffic process itself a sweep
     axis.
 
-    ``activity`` 0 disables the stochastic models at that sweep point
-    (so an activity axis can include an interference-free control), as
-    does an empty ``blocked`` set for ``static``. Per-trial traffic
-    processes are seeded ``trial_seed + seed_offset`` to stay
-    decorrelated from protocol coins.
+    ``activity`` is a scalar occupancy target, or a list giving one
+    target per channel of the network's (sorted) channel universe —
+    heterogeneous licensed bands. Activity 0 (or an all-zero vector)
+    disables the stochastic models at that sweep point (so an activity
+    axis can include an interference-free control), as does an empty
+    ``blocked`` set for ``static``. Per-trial traffic processes are
+    seeded ``trial_seed + seed_offset`` to stay decorrelated from
+    protocol coins.
     """
 
     model: object = "markov"
@@ -440,11 +484,22 @@ class ScenarioSpec:
             raise HarnessError(
                 f"scenario {self.name!r} needs a protocol spec or a plan"
             )
+        induces_graph = (
+            self.assignment is not None
+            and self.assignment.kind == "random_subsets"
+        )
+        if induces_graph and self.topology is not None:
+            raise HarnessError(
+                f"scenario {self.name!r}: a 'random_subsets' assignment "
+                "induces its own connectivity graph and cannot be "
+                "combined with a topology spec"
+            )
         if (
             self.plan is None
             and self.protocol is not None
             and self.protocol.kind != "count"
             and self.topology is None
+            and not induces_graph
         ):
             raise HarnessError(
                 f"scenario {self.name!r}: protocol {self.protocol.kind!r} "

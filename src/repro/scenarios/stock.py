@@ -176,6 +176,40 @@ STOCK_SPECS = [
     ),
     register(
         ScenarioSpec(
+            name="whitespace-cseek",
+            title="CSEEK on white-space overlap-induced deployments",
+            description=(
+                "Dense deployments sampling c channels from a finite "
+                "spectrum pool: connectivity is emergent from channel "
+                "overlap, swept over the pool size."
+            ),
+            trials=4,
+            tags=("stock", "whitespace"),
+            sweep=SweepSpec(axes={"pool_size": [12, 20, 28]}),
+            # No topology spec: random_subsets induces the graph from
+            # the sampled channel sets (>= k shared channels <=> edge).
+            assignment=AssignmentSpec(
+                kind="random_subsets",
+                n=14,
+                c=6,
+                k=2,
+                pool_size="$pool_size",
+            ),
+            protocol=ProtocolSpec("cseek"),
+            notes=(
+                "Extension workload: the introduction's white-space "
+                "setting, where nodes do not choose overlaps — they "
+                "sample from whatever spectrum is locally free. Small "
+                "pools make overlap (and contention) heavy; larger "
+                "pools thin both the induced graph and the per-edge "
+                "overlap toward the k=2 threshold, so discovery slows "
+                "as pool_size grows even though the protocol budget is "
+                "unchanged."
+            ),
+        )
+    ),
+    register(
+        ScenarioSpec(
             name="markov-vs-poisson",
             title="Markov vs Poisson primary-user traffic on CSEEK",
             description=(

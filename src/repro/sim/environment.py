@@ -77,6 +77,38 @@ def _validated_channel_ids(
     return ids
 
 
+def _validated_activity(
+    activity: "float | Sequence[float]", num_channels: int
+) -> "float | np.ndarray":
+    """Normalize a scalar or per-channel activity target.
+
+    Scalars stay plain Python floats (the historical homogeneous path,
+    bit-identical to before vectors existed). A sequence becomes a
+    float64 vector of one activity per managed channel, aligned with
+    the environment's *sorted, deduplicated* ``channel_ids``.
+    """
+    if np.ndim(activity) == 0:
+        value = float(activity)  # type: ignore[arg-type]
+        if not 0.0 <= value < 1.0:
+            raise ProtocolError(
+                f"activity must be in [0, 1), got {value}"
+            )
+        return value
+    vector = np.asarray(activity, dtype=float)
+    if vector.shape != (num_channels,):
+        raise ProtocolError(
+            f"activity vector must have one entry per managed channel "
+            f"({num_channels}), got shape {vector.shape}"
+        )
+    # ~isfinite catches NaN, which slips through both comparisons.
+    if np.any((vector < 0.0) | (vector >= 1.0) | ~np.isfinite(vector)):
+        raise ProtocolError(
+            "every activity entry must be in [0, 1), got "
+            f"{vector.tolist()}"
+        )
+    return vector
+
+
 def build_column_lut(
     channel_ids: Sequence[int],
 ) -> "tuple[np.ndarray, int]":
@@ -287,36 +319,61 @@ class MarkovTraffic(SpectrumEnvironment):
     def __init__(
         self,
         channel_ids: Sequence[int],
-        activity: float,
+        activity: "float | Sequence[float]",
         mean_dwell: float = 8.0,
         seed_offset: int = 1000,
     ) -> None:
-        if not 0.0 <= activity < 1.0:
-            raise ProtocolError(
-                f"activity must be in [0, 1), got {activity}"
-            )
         if mean_dwell < 1.0:
             raise ProtocolError(
                 f"mean_dwell must be >= 1 slot, got {mean_dwell}"
             )
         super().__init__(channel_ids, seed_offset=seed_offset)
-        self.activity = float(activity)
+        # A scalar targets every channel uniformly (the historical
+        # path, kept bit-identical); a length-C vector gives each
+        # channel its own stationary occupancy — heterogeneous licensed
+        # bands, aligned with the sorted channel_ids.
+        self.activity = _validated_activity(activity, self.num_channels)
         self.mean_dwell = float(mean_dwell)
         # ON -> OFF with prob 1/dwell; OFF -> ON tuned for stationarity.
         self._off_prob = 1.0 / self.mean_dwell
-        if activity == 0.0:
-            self._on_prob = 0.0
+        if isinstance(self.activity, float):
+            if self.activity == 0.0:
+                self._on_prob = 0.0
+            else:
+                self._on_prob = min(
+                    1.0,
+                    self.activity
+                    * self._off_prob
+                    / (1.0 - self.activity),
+                )
         else:
-            self._on_prob = min(
-                1.0, activity * self._off_prob / (1.0 - activity)
+            self._on_prob = np.where(
+                self.activity == 0.0,
+                0.0,
+                np.minimum(
+                    1.0,
+                    self.activity
+                    * self._off_prob
+                    / (1.0 - self.activity),
+                ),
             )
 
     @property
-    def realized_activity(self) -> float:
-        """The stationary occupancy the chains actually attain."""
-        if self._on_prob == 0.0:
-            return 0.0
-        return self._on_prob / (self._on_prob + self._off_prob)
+    def realized_activity(self) -> "float | np.ndarray":
+        """The stationary occupancy the chains actually attain.
+
+        A float for scalar targets; a per-channel vector when the
+        target was a vector.
+        """
+        if isinstance(self._on_prob, float):
+            if self._on_prob == 0.0:
+                return 0.0
+            return self._on_prob / (self._on_prob + self._off_prob)
+        return np.where(
+            self._on_prob == 0.0,
+            0.0,
+            self._on_prob / (self._on_prob + self._off_prob),
+        )
 
     def streams(self, seeds: Sequence[int]) -> "_MarkovStream":
         return _MarkovStream(self, self._stream_seeds(seeds))
@@ -376,18 +433,15 @@ class PoissonTraffic(SpectrumEnvironment):
     def __init__(
         self,
         channel_ids: Sequence[int],
-        activity: float,
+        activity: "float | Sequence[float]",
         seed_offset: int = 1000,
     ) -> None:
-        if not 0.0 <= activity < 1.0:
-            raise ProtocolError(
-                f"activity must be in [0, 1), got {activity}"
-            )
         super().__init__(channel_ids, seed_offset=seed_offset)
-        self.activity = float(activity)
+        # Scalar or per-channel vector, as for MarkovTraffic.
+        self.activity = _validated_activity(activity, self.num_channels)
 
     @property
-    def realized_activity(self) -> float:
+    def realized_activity(self) -> "float | np.ndarray":
         """Stationary occupancy (every target is feasible here)."""
         return self.activity
 
@@ -451,7 +505,7 @@ class _StaticStream(TrafficStream):
 def make_environment(
     model: str,
     channel_ids: Sequence[int],
-    activity: float = 0.0,
+    activity: "float | Sequence[float]" = 0.0,
     mean_dwell: float = 8.0,
     seed_offset: int = 1000,
     blocked: Optional[Sequence[int]] = None,
@@ -463,6 +517,11 @@ def make_environment(
     interference (zero activity for the stochastic models, an empty
     ``blocked`` set for ``static``), so callers can treat "no
     environment" and "inactive environment" the same way.
+
+    ``activity`` is a scalar (every channel shares one stationary
+    occupancy) or a per-channel vector aligned with the sorted
+    ``channel_ids`` — heterogeneous licensed bands. An all-zero vector
+    disables interference like a zero scalar does.
 
     Raises:
         ProtocolError: on an unknown model name or invalid parameters.
@@ -478,8 +537,18 @@ def make_environment(
         if not ids:
             return None
         return StaticMask(ids)
-    if activity <= 0.0:
-        return None
+    if np.ndim(activity) == 0:
+        if float(activity) <= 0.0:  # type: ignore[arg-type]
+            return None
+    else:
+        # Validate the vector (length included) before the all-zero
+        # short-circuit: a mis-sized zero vector is a spec error, not a
+        # silent interference-free run.
+        vector = _validated_activity(
+            activity, len({int(g) for g in channel_ids})
+        )
+        if not np.any(vector > 0.0):
+            return None
     if name == "poisson":
         return PoissonTraffic(
             channel_ids, activity=activity, seed_offset=seed_offset

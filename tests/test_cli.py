@@ -168,3 +168,191 @@ class TestMain:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first.splitlines()[0] == second.splitlines()[0]
+
+
+class TestCampaignCommands:
+    def test_parser_accepts_campaign_options(self):
+        args = build_parser().parse_args(
+            [
+                "run-campaign",
+                "tiny.json",
+                "--trials",
+                "2",
+                "--campaign-jobs",
+                "3",
+                "--jobs",
+                "batch",
+                "--store",
+                "s",
+            ]
+        )
+        assert args.campaign == "tiny.json"
+        assert args.trials == 2
+        assert args.campaign_jobs == 3
+        assert args.jobs == "batch"
+        assert args.store == "s"
+        assert args.seed is None  # campaign default applies
+
+    def test_campaigns_lists_stock_studies(self, capsys):
+        assert main(["campaigns"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-suite" in out
+        assert "traffic-models" in out
+
+    def test_run_campaign_report_and_diff_flow(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "run-campaign",
+                "examples/campaigns/tiny_suite.json",
+                "--jobs",
+                "batch",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[1/2] counts-clean: done" in out
+        assert "2 ran, 0 cached" in out
+
+        # Resume: everything replays from the store.
+        assert (
+            main(
+                [
+                    "run-campaign",
+                    "examples/campaigns/tiny_suite.json",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        assert "2 cached" in capsys.readouterr().out
+
+        out_dir = tmp_path / "report"
+        code = main(
+            [
+                "report",
+                "tiny-suite",
+                "--store",
+                str(store),
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert "# Campaign report — tiny-suite" in capsys.readouterr().out
+        assert (out_dir / "report.md").exists()
+        assert (out_dir / "summary.csv").exists()
+
+        # Self-diff: identical (exit 0); cross-entry diff: differs (1).
+        assert (
+            main(
+                ["diff-runs", "tiny-suite", "tiny-suite",
+                 "--store", str(store)]
+            )
+            == 0
+        )
+        assert "identical" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "diff-runs",
+                    "tiny-suite:counts-clean",
+                    "tiny-suite:counts-noisy",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 1
+        )
+        assert "runs differ" in capsys.readouterr().out
+
+    def test_run_campaign_unknown_name_fails(self, capsys):
+        assert main(["run-campaign", "no-such-study"]) == 1
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_report_without_store_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["report", "paper-suite", "--store", str(tmp_path)]
+        )
+        assert code == 1
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_diff_runs_trouble_exit_code(self, tmp_path, capsys):
+        code = main(
+            ["diff-runs", "ghost", "ghost", "--store", str(tmp_path)]
+        )
+        assert code == 2
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_report_entry_ref_prints_single_entry(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "run-campaign",
+                    "examples/campaigns/tiny_suite.json",
+                    "--jobs",
+                    "batch",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "report",
+                "tiny-suite:counts-clean",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Entry report — tiny-suite@" in out
+        assert "counts-clean" in out
+        assert "counts-noisy" not in out
+
+    def test_diff_runs_handles_corrupt_store_without_traceback(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "run-campaign",
+                    "examples/campaigns/tiny_suite.json",
+                    "--jobs",
+                    "batch",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # A structurally-wrong rows.json (valid JSON, rows not a list
+        # of dicts) is a clean miss: the diff reports the side as
+        # having no completed rows instead of crashing.
+        rows = next(store.rglob("counts-clean/rows.json"))
+        payload = json.loads(rows.read_text())
+        payload["rows"] = 42  # not even iterable
+        rows.write_text(json.dumps(payload))
+        code = main(
+            [
+                "diff-runs",
+                "tiny-suite:counts-clean",
+                "tiny-suite:counts-noisy",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "No completed rows" in out

@@ -351,3 +351,94 @@ class TestProtocolIntegration:
             ).run()
             assert np.array_equal(injected.informed, plain.informed)
             assert injected.ledger.as_dict() == plain.ledger.as_dict()
+
+
+class TestActivityVectors:
+    """Per-channel heterogeneous activity targets (scalar path pinned)."""
+
+    def test_markov_uniform_vector_is_bit_identical_to_scalar(self):
+        scalar = MarkovTraffic(IDS, activity=0.4, mean_dwell=6.0)
+        vector = MarkovTraffic(
+            IDS, activity=[0.4] * len(IDS), mean_dwell=6.0
+        )
+        a = scalar.streams(SEEDS).occupied_block(400)
+        b = vector.streams(SEEDS).occupied_block(400)
+        assert np.array_equal(a, b)
+
+    def test_poisson_uniform_vector_is_bit_identical_to_scalar(self):
+        scalar = PoissonTraffic(IDS, activity=0.3)
+        vector = PoissonTraffic(IDS, activity=[0.3] * len(IDS))
+        a = scalar.streams(SEEDS).occupied_block(400)
+        b = vector.streams(SEEDS).occupied_block(400)
+        assert np.array_equal(a, b)
+
+    def test_scalar_activity_stays_a_plain_float(self):
+        # The historical scalar surface must not silently become an
+        # array (reprs, JSON manifests and realized_activity rely on it).
+        env = MarkovTraffic(IDS, activity=0.4)
+        assert isinstance(env.activity, float)
+        assert isinstance(env.realized_activity, float)
+
+    @pytest.mark.parametrize("cls", [MarkovTraffic, PoissonTraffic])
+    def test_zero_entries_never_occupy_their_channel(self, cls):
+        env = cls(IDS, activity=[0.0, 0.5, 0.0, 0.8])
+        block = env.streams([7]).occupied_block(600)[0]
+        assert not block[:, 0].any()
+        assert not block[:, 2].any()
+        assert block[:, 1].any() and block[:, 3].any()
+
+    @pytest.mark.parametrize("cls", [MarkovTraffic, PoissonTraffic])
+    def test_per_channel_occupancy_tracks_targets(self, cls):
+        targets = [0.1, 0.5, 0.8, 0.3]
+        env = cls(IDS, activity=targets)
+        block = env.streams(list(range(8))).occupied_block(800)
+        means = block.reshape(-1, len(IDS)).mean(axis=0)
+        assert np.allclose(means, targets, atol=0.06)
+
+    def test_markov_vector_realized_activity_per_channel(self):
+        env = MarkovTraffic(IDS, activity=[0.0, 0.4, 0.6, 0.9],
+                            mean_dwell=4.0)
+        realized = env.realized_activity
+        assert realized.shape == (len(IDS),)
+        assert realized[0] == 0.0
+        # 0.9 exceeds the dwell/(dwell+1) = 0.8 cap; others are exact.
+        assert realized[1] == pytest.approx(0.4)
+        assert realized[2] == pytest.approx(0.6)
+        assert realized[3] == pytest.approx(0.8)
+
+    @pytest.mark.parametrize("cls", [MarkovTraffic, PoissonTraffic])
+    def test_wrong_length_vector_rejected(self, cls):
+        with pytest.raises(ProtocolError, match="one entry per"):
+            cls(IDS, activity=[0.5] * (len(IDS) + 1))
+
+    @pytest.mark.parametrize("cls", [MarkovTraffic, PoissonTraffic])
+    def test_out_of_range_entries_rejected(self, cls):
+        with pytest.raises(ProtocolError, match="\\[0, 1\\)"):
+            cls(IDS, activity=[0.5, 1.0, 0.2, 0.3])
+
+    def test_make_environment_accepts_vectors(self):
+        env = make_environment("poisson", IDS,
+                               activity=[0.0, 0.2, 0.0, 0.4])
+        assert isinstance(env, PoissonTraffic)
+        assert make_environment(
+            "markov", IDS, activity=[0.0] * len(IDS)
+        ) is None
+
+    def test_jam_mask_respects_heterogeneous_channels(self):
+        env = PoissonTraffic(IDS, activity=[0.0, 0.9, 0.0, 0.9])
+        channels = np.array([IDS[0], IDS[1], -1, IDS[3]])
+        mask = env.streams([5]).jam_mask(channels, 500)[0]
+        assert not mask[:, 0].any()  # zero-activity channel
+        assert not mask[:, 2].any()  # idle node
+        assert mask[:, 1].any() and mask[:, 3].any()
+
+    def test_make_environment_rejects_mis_sized_zero_vector(self):
+        # An all-zero vector of the wrong length is a spec error, not a
+        # silent interference-free run.
+        with pytest.raises(ProtocolError, match="one entry per"):
+            make_environment("markov", IDS, activity=[0.0, 0.0])
+
+    @pytest.mark.parametrize("cls", [MarkovTraffic, PoissonTraffic])
+    def test_nan_activity_entries_rejected(self, cls):
+        with pytest.raises(ProtocolError, match="\\[0, 1\\)"):
+            cls(IDS, activity=[0.4, float("nan"), 0.2, 0.1])

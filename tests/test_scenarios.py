@@ -558,3 +558,129 @@ class TestScenarioCache:
         entries = list(tmp_path.glob("*.json"))
         assert len(entries) == 1
         assert "/" not in entries[0].name.replace(tmp_path.name, "")
+
+
+class TestRandomSubsetsAssignment:
+    """The white-space builder as a first-class AssignmentSpec mode."""
+
+    def whitespace_spec(self, **kwargs):
+        base = dict(
+            name="tiny-whitespace",
+            title="tiny whitespace",
+            trials=2,
+            sweep=SweepSpec(axes={"pool_size": [10, 14]}),
+            assignment=AssignmentSpec(
+                kind="random_subsets",
+                n=8,
+                c=5,
+                k=2,
+                pool_size="$pool_size",
+            ),
+            protocol=ProtocolSpec("cseek"),
+        )
+        base.update(kwargs)
+        return ScenarioSpec(**base)
+
+    def test_requires_n_and_pool_size(self):
+        with pytest.raises(HarnessError, match="pool_size"):
+            AssignmentSpec(kind="random_subsets", n=8)
+        with pytest.raises(HarnessError, match="pool_size"):
+            AssignmentSpec(kind="random_subsets", pool_size=12)
+
+    def test_other_kinds_reject_whitespace_params(self):
+        with pytest.raises(HarnessError, match="random_subsets"):
+            AssignmentSpec(kind="global_core", n=8)
+        with pytest.raises(HarnessError, match="random_subsets"):
+            AssignmentSpec(kind="exact_uniform", pool_size=12)
+
+    def test_topology_conflicts_with_induced_graph(self):
+        with pytest.raises(HarnessError, match="induces"):
+            self.whitespace_spec(
+                topology=TopologySpec("star", {"n": 8})
+            )
+
+    def test_satisfies_topology_requirement(self):
+        self.whitespace_spec()  # must not raise
+
+    def test_json_round_trip_and_digest(self):
+        spec = self.whitespace_spec()
+        payload = json.loads(json.dumps(spec_to_dict(spec)))
+        back = spec_from_dict(payload)
+        assert back.assignment.kind == "random_subsets"
+        assert back.assignment.pool_size == "$pool_size"
+        assert spec_digest(back) == spec_digest(spec)
+
+    def test_digest_covers_whitespace_params(self):
+        a = self.whitespace_spec()
+        b = self.whitespace_spec(
+            assignment=AssignmentSpec(
+                kind="random_subsets", n=9, c=5, k=2,
+                pool_size="$pool_size",
+            )
+        )
+        assert spec_digest(a) != spec_digest(b)
+
+    @pytest.mark.integration
+    def test_pool_size_sweeps_and_rows_are_deterministic(self):
+        spec = self.whitespace_spec()
+        table = run_scenario(spec, seed=0, jobs="batch")
+        assert [r["pool_size"] for r in table.rows] == [10, 14]
+        again = run_scenario(spec, seed=0)
+        assert again.rows == table.rows
+
+    def test_stock_whitespace_scenario_registered(self):
+        spec = get_scenario("whitespace-cseek")
+        assert spec.assignment.kind == "random_subsets"
+        assert spec.is_declarative
+        spec_to_dict(spec)  # serializable like every stock scenario
+
+
+class TestVectorActivityInDsl:
+    """List-valued interference.activity lowers to per-channel traffic."""
+
+    def vector_spec(self):
+        return ScenarioSpec(
+            name="tiny-vector-count",
+            title="tiny",
+            trials=3,
+            protocol=ProtocolSpec(
+                "count", {"m": 2, "max_count": 4, "log_n": 3}
+            ),
+            interference=InterferenceSpec(
+                model="poisson", activity=[0.5]
+            ),
+        )
+
+    def test_vector_activity_runs(self):
+        table = run_scenario(self.vector_spec(), seed=0)
+        assert len(table.rows) == 1
+
+    def test_vector_digest_differs_from_scalar(self):
+        vector = self.vector_spec()
+        scalar = ScenarioSpec(
+            name="tiny-vector-count",
+            title="tiny",
+            trials=3,
+            protocol=ProtocolSpec(
+                "count", {"m": 2, "max_count": 4, "log_n": 3}
+            ),
+            interference=InterferenceSpec(
+                model="poisson", activity=0.5
+            ),
+        )
+        assert spec_digest(vector) != spec_digest(scalar)
+
+    def test_whitespace_rejects_heterogeneous_params(self):
+        with pytest.raises(HarnessError, match="kmax"):
+            AssignmentSpec(
+                kind="random_subsets", n=8, pool_size=12, kmax=4
+            )
+        with pytest.raises(HarnessError, match="high_fraction"):
+            AssignmentSpec(
+                kind="random_subsets", n=8, pool_size=12,
+                high_fraction=0.9,
+            )
+
+    def test_other_kinds_reject_stray_max_tries(self):
+        with pytest.raises(HarnessError, match="max_tries"):
+            AssignmentSpec(kind="exact_uniform", max_tries=5)

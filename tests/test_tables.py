@@ -1,0 +1,119 @@
+"""Unit tests for the table-rendering helpers (harness/tables.py)."""
+
+import csv
+import math
+
+import pytest
+
+from repro.harness.tables import format_value, render_markdown, write_csv
+from repro.model.errors import HarnessError
+
+
+class TestFormatValue:
+    def test_booleans_render_as_yes_no(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_none_renders_as_dash(self):
+        assert format_value(None) == "-"
+
+    def test_zero_float_is_bare_zero(self):
+        assert format_value(0.0) == "0"
+        assert format_value(-0.0) == "0"
+
+    def test_small_floats_get_three_significant_digits(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(1.0 / 3.0) == "0.333"
+        assert format_value(2.5) == "2.5"
+
+    def test_large_floats_get_thousands_separators(self):
+        assert format_value(1234.5) == "1,234"
+        assert format_value(1_000_000.0) == "1,000,000"
+
+    def test_negative_large_floats(self):
+        assert format_value(-12345.6) == "-12,346"
+
+    def test_boundary_just_below_thousand_stays_significant(self):
+        assert format_value(999.9) == "1e+03"
+        assert format_value(999.0) == "999"
+
+    def test_special_floats_do_not_crash(self):
+        assert format_value(math.inf) == "inf"
+        assert format_value(-math.inf) == "-inf"
+        assert format_value(math.nan) == "nan"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_value(42) == "42"
+        assert format_value("weighted") == "weighted"
+
+    def test_bool_wins_over_numeric_formatting(self):
+        # bool is an int subclass; it must not hit the number paths.
+        assert format_value(True) != "1"
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [
+            {"n": 4, "rate": 0.5, "ok": True},
+            {"n": 8, "rate": 0.25, "ok": False},
+        ]
+        path = write_csv(tmp_path / "out.csv", rows)
+        with path.open(newline="") as handle:
+            back = list(csv.DictReader(handle))
+        assert [r["n"] for r in back] == ["4", "8"]
+        assert [r["rate"] for r in back] == ["0.5", "0.25"]
+        assert [r["ok"] for r in back] == ["True", "False"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(
+            tmp_path / "deep" / "nested" / "out.csv", [{"a": 1}]
+        )
+        assert path.exists()
+
+    def test_explicit_columns_select_and_order(self, tmp_path):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        path = write_csv(tmp_path / "out.csv", rows, columns=["c", "a"])
+        header = path.read_text().splitlines()[0]
+        assert header == "c,a"
+
+    def test_missing_explicit_column_raises(self, tmp_path):
+        with pytest.raises(HarnessError, match="columns not in rows"):
+            write_csv(
+                tmp_path / "out.csv", [{"a": 1}], columns=["a", "nope"]
+            )
+
+    def test_zero_rows_raise(self, tmp_path):
+        with pytest.raises(HarnessError, match="zero rows"):
+            write_csv(tmp_path / "out.csv", [])
+
+    def test_ragged_rows_fill_missing_cells(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        with path.open(newline="") as handle:
+            back = list(csv.DictReader(handle))
+        assert back[0]["b"] == ""
+        assert back[1]["b"] == "3"
+
+
+class TestRenderMarkdown:
+    def test_column_union_preserves_first_seen_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        out = render_markdown(rows)
+        assert out.splitlines()[0] == "| a | b | c |"
+
+    def test_missing_cells_render_as_dash(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = render_markdown(rows)
+        assert out.splitlines()[2] == "| 1 | - |"
+
+    def test_title_becomes_heading(self):
+        out = render_markdown([{"a": 1}], title="T")
+        assert out.startswith("### T\n")
+
+    def test_missing_explicit_column_raises(self):
+        with pytest.raises(HarnessError, match="columns not in rows"):
+            render_markdown([{"a": 1}], columns=["z"])
+
+    def test_zero_rows_raise(self):
+        with pytest.raises(HarnessError, match="zero rows"):
+            render_markdown([])
