@@ -31,7 +31,12 @@ from repro.core.constants import ProtocolConstants
 from repro.core.cseek import DiscoveryReport
 from repro.model.errors import ProtocolError
 from repro.model.spec import ModelKnowledge
-from repro.sim.engine import resolve_varying
+from repro.sim.engine import StepOutcome, resolve_varying
+from repro.sim.environment import (
+    SpectrumEnvironment,
+    build_column_lut,
+    sentinel_columns,
+)
 from repro.sim.metrics import SlotLedger
 from repro.sim.network import CRNetwork
 from repro.sim.rng import RngHub
@@ -74,6 +79,12 @@ class NaiveDiscovery:
         seed: Randomness seed.
         max_slots: Optional hard override of the schedule length.
         chunk: Engine batch size (slots per 3-D resolution chunk).
+        environment: Optional spectrum environment
+            (:class:`repro.sim.environment.SpectrumEnvironment`); each
+            run opens a fresh single-trial stream seeded from ``seed``,
+            and receptions whose listener sits on an occupied channel
+            that slot are killed — the same primary-user semantics the
+            CSEEK family applies.
     """
 
     def __init__(
@@ -84,9 +95,11 @@ class NaiveDiscovery:
         seed: int = 0,
         max_slots: Optional[int] = None,
         chunk: int = 128,
+        environment: Optional[SpectrumEnvironment] = None,
     ) -> None:
         self.network = network
         self.knowledge = knowledge or network.knowledge()
+        self.environment = environment
         self.constants = constants or ProtocolConstants.fast()
         self.seed = seed
         kn = self.knowledge
@@ -115,6 +128,16 @@ class NaiveDiscovery:
         rng = RngHub(self.seed).child("naive-discovery").generator("slots")
         trace = TraceRecorder()
         ledger = SlotLedger()
+        traffic = (
+            self.environment.stream(self.seed)
+            if self.environment is not None
+            else None
+        )
+        lut = (
+            build_column_lut(traffic.channel_ids)
+            if traffic is not None
+            else None
+        )
         tx_prob = 0.5 / max(1, kn.max_degree)  # role coin x back-off rate
         slot_cursor = 0
         remaining = self.schedule_slots
@@ -128,6 +151,20 @@ class NaiveDiscovery:
             outcome = resolve_varying(
                 net.adjacency, channels, tx, chunk=self.chunk
             )
+            if traffic is not None:
+                # Per-slot occupancy kill: the naive hopper re-tunes
+                # every slot, so the mask is gathered per (slot, node)
+                # rather than per fixed-channel step.
+                occupied = traffic.occupied_block(batch)
+                cols = sentinel_columns(lut[0], lut[1], channels)
+                clear = np.zeros((batch, 1), dtype=bool)
+                jammed = np.take_along_axis(
+                    np.concatenate([occupied, clear], axis=1), cols, 1
+                )
+                outcome = StepOutcome(
+                    heard_from=np.where(jammed, -1, outcome.heard_from),
+                    contenders=outcome.contenders,
+                )
             trace.record_step(outcome, slot_cursor, "naive_discovery")
             slot_cursor += batch
             remaining -= batch

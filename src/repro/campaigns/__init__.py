@@ -1,18 +1,36 @@
 """Campaign subsystem — persistent, resumable multi-scenario studies.
 
 Layering: :mod:`~repro.campaigns.spec` defines the JSON-serializable
-:class:`CampaignSpec` (an ordered suite of scenario entries with
-overrides) and its registry; :mod:`~repro.campaigns.store` is the
-durable run store (manifests + rows under ``.repro_runs/``);
+:class:`CampaignSpec` (an experimental design: scenario entries with
+overrides, optional ``$axis`` grids, orderings and baseline/variant
+gate roles) and its registry; :mod:`~repro.campaigns.design` expands
+the design into concrete entries (factorial stamping + seeded
+orderings); :mod:`~repro.campaigns.store` is the durable run store
+(manifests + rows under ``.repro_runs/``);
 :mod:`~repro.campaigns.orchestrate` executes campaigns — crash-safe,
 resumable, optionally across a campaign-level process pool on top of
-the per-trial executors; :mod:`~repro.campaigns.report` turns stored
-runs into markdown/CSV reports and cross-run diffs without re-executing
+the per-trial executors; :mod:`~repro.campaigns.gates` judges declared
+``success_delta`` rules store-only (the acceptance-gate layer CI exits
+on); :mod:`~repro.campaigns.report` turns stored runs into
+markdown/CSV reports and cross-run diffs without re-executing
 anything. :mod:`~repro.campaigns.stock` registers the shipped studies
-(``paper-suite``, ``traffic-models``), so importing this package yields
-a fully populated registry.
+(``paper-suite``, ``traffic-models``, ``cseek-vs-naive``), so
+importing this package yields a fully populated registry.
 """
 
+from repro.campaigns.design import (
+    axis_references,
+    expand_campaign,
+    seeded_shuffle,
+)
+from repro.campaigns.gates import (
+    GateReport,
+    GateVerdict,
+    evaluate_run,
+    gate_exit_code,
+    verdict_rows,
+    verdict_table,
+)
 from repro.campaigns.orchestrate import (
     CampaignResult,
     EntryOutcome,
@@ -23,6 +41,7 @@ from repro.campaigns.report import (
     campaign_report,
     diff_refs,
     entry_report,
+    gate_section,
     load_ref,
     summary_rows,
     write_report,
@@ -30,6 +49,7 @@ from repro.campaigns.report import (
 from repro.campaigns.spec import (
     CampaignEntry,
     CampaignSpec,
+    SuccessDelta,
     campaign_digest,
     campaign_from_dict,
     campaign_ids,
@@ -51,8 +71,12 @@ __all__ = [
     "CampaignSpec",
     "DEFAULT_STORE_DIR",
     "EntryOutcome",
+    "GateReport",
+    "GateVerdict",
     "RunStore",
     "STOCK_CAMPAIGNS",
+    "SuccessDelta",
+    "axis_references",
     "campaign_digest",
     "campaign_from_dict",
     "campaign_ids",
@@ -60,6 +84,10 @@ __all__ = [
     "campaign_to_dict",
     "diff_refs",
     "entry_report",
+    "evaluate_run",
+    "expand_campaign",
+    "gate_exit_code",
+    "gate_section",
     "get_campaign",
     "iter_campaigns",
     "load_campaign_file",
@@ -68,6 +96,9 @@ __all__ = [
     "resolve_campaign",
     "run_campaign",
     "run_id_for",
+    "seeded_shuffle",
     "summary_rows",
+    "verdict_rows",
+    "verdict_table",
     "write_report",
 ]

@@ -1,0 +1,214 @@
+"""Experimental-design expansion: ``$axis`` grids and entry orderings.
+
+A campaign may declare *design axes* (``axes: {name: [values...]}``)
+and reference them from entry overrides as ``$name`` tokens. Such an
+entry is a **template**: :func:`expand_campaign` stamps it across the
+row-major factorial grid of exactly the axes it references, producing
+one concrete entry per grid point with the token substituted and a
+stable derived id (``<base-id>-<value-slug>...``). Entries that
+reference no axis pass through unchanged, but with their id made
+explicit at its *declaration* position — so reordering never changes
+an entry's identity, and the stamped campaign reuses the existing
+manifest-key == cache-key resume scheme untouched.
+
+Orderings make execution order a reproducible spec field:
+
+* ``factorial`` — declaration order, templates expanding in place in
+  row-major grid order (the default);
+* ``blocked`` — entries grouped by their value on the first declared
+  axis (entries not referencing it form a leading block), preserving
+  factorial order within each block;
+* ``shuffled`` — a deterministic permutation of the factorial order,
+  seeded by ``order_seed`` (falling back to the campaign ``seed``).
+
+The shuffle is an own-implementation SplitMix64-driven Fisher–Yates —
+never ``random.Random`` or NumPy — so the permutation is pinned by
+this module forever, independent of any library's generator history.
+
+Tokens that do not name a declared axis pass through untouched: they
+may be scenario-level placeholders (``$m``, ``$activity``) resolved by
+the sweep scope downstream. A declared axis that no entry references
+is an error — dead design knobs must fail loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.campaigns.spec import CampaignEntry, CampaignSpec, _slug
+from repro.model.errors import HarnessError
+
+__all__ = ["axis_references", "expand_campaign", "seeded_shuffle"]
+
+_TOKEN = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)")
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(state: int) -> Tuple[int, int]:
+    """One SplitMix64 step: (next state, 64-bit output)."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return state, z ^ (z >> 31)
+
+
+def seeded_shuffle(items: List[object], seed: int) -> List[object]:
+    """A deterministic Fisher–Yates permutation of ``items``.
+
+    The modulo draw has negligible bias at campaign sizes and keeps
+    the permutation a pure function of (items length, seed) — which is
+    the property the ``shuffled`` ordering pins.
+    """
+    out = list(items)
+    state = (seed ^ 0x5DEECE66D) & _MASK
+    for i in range(len(out) - 1, 0, -1):
+        state, draw = _splitmix64(state)
+        j = draw % (i + 1)
+        out[i], out[j] = out[j], out[i]
+    return out
+
+
+def _collect_tokens(value: object, found: set) -> None:
+    if isinstance(value, str):
+        found.update(_TOKEN.findall(value))
+    elif isinstance(value, Mapping):
+        for item in value.values():
+            _collect_tokens(item, found)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_tokens(item, found)
+
+
+def axis_references(
+    entry: CampaignEntry, axes: Mapping[str, object]
+) -> Tuple[str, ...]:
+    """The declared axes this entry's overrides reference, in
+    declaration order (the grid's row-major nesting order)."""
+    found: set = set()
+    _collect_tokens(dict(entry.overrides), found)
+    return tuple(axis for axis in axes if axis in found)
+
+
+def _substitute(value: object, binding: Mapping[str, object]) -> object:
+    """Replace ``$axis`` tokens with bound values, keeping types.
+
+    A string that *is* exactly one bound token becomes the typed axis
+    value; a token embedded in a longer string is spliced in as text.
+    Unbound tokens survive untouched for downstream scope resolution.
+    """
+    if isinstance(value, str):
+        match = _TOKEN.fullmatch(value)
+        if match and match.group(1) in binding:
+            return binding[match.group(1)]
+        return _TOKEN.sub(
+            lambda m: (
+                str(binding[m.group(1)])
+                if m.group(1) in binding
+                else m.group(0)
+            ),
+            value,
+        )
+    if isinstance(value, Mapping):
+        return {k: _substitute(v, binding) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_substitute(v, binding) for v in value]
+    return value
+
+
+def _value_slug(value: object) -> str:
+    """A value's id suffix: ``300.0`` -> ``300-0``, ``True`` -> ``true``."""
+    return _slug(str(value).lower())
+
+
+def _grid(
+    axes: Mapping[str, object], names: Tuple[str, ...]
+) -> List[Dict[str, object]]:
+    """Row-major bindings over the named axes (last axis fastest)."""
+    bindings: List[Dict[str, object]] = [{}]
+    for name in names:
+        bindings = [
+            {**binding, name: value}
+            for binding in bindings
+            for value in axes[name]  # type: ignore[index]
+        ]
+    return bindings
+
+
+def expand_campaign(spec: CampaignSpec) -> CampaignSpec:
+    """Resolve the design into a concrete, ordered campaign.
+
+    Returns a campaign with no axes, ``factorial`` ordering and every
+    entry id explicit — so expansion is idempotent and the result is
+    itself a valid campaign (what ``campaign.json`` effectively ran).
+    """
+    expanded: List[Tuple[CampaignEntry, Dict[str, object]]] = []
+    referenced: set = set()
+    for index, entry in enumerate(spec.entries):
+        base_id = entry.resolved_id(index)
+        names = axis_references(entry, spec.axes)
+        referenced.update(names)
+        if not names:
+            expanded.append((replace(entry, id=base_id), {}))
+            continue
+        for binding in _grid(spec.axes, names):
+            stamped_id = "-".join(
+                [base_id] + [_value_slug(binding[n]) for n in names]
+            )
+            expanded.append(
+                (
+                    replace(
+                        entry,
+                        id=stamped_id,
+                        overrides=_substitute(
+                            dict(entry.overrides), binding
+                        ),
+                    ),
+                    binding,
+                )
+            )
+    unused = [axis for axis in spec.axes if axis not in referenced]
+    if unused:
+        raise HarnessError(
+            f"campaign {spec.name!r} declares unreferenced axes: "
+            f"{', '.join(unused)}; reference them as $name in entry "
+            "overrides or drop them"
+        )
+    ids = [entry.id for entry, _ in expanded]
+    dupes = sorted({i for i in ids if ids.count(i) > 1})
+    if dupes:
+        raise HarnessError(
+            f"campaign {spec.name!r} expansion produced duplicate "
+            f"entry ids: {', '.join(dupes)}; give colliding templates "
+            "explicit distinct ids"
+        )
+
+    if spec.ordering == "blocked" and spec.axes:
+        first = next(iter(spec.axes))
+        values = list(spec.axes[first])  # type: ignore[arg-type]
+        blocks: List[Tuple[CampaignEntry, Dict[str, object]]] = [
+            pair for pair in expanded if first not in pair[1]
+        ]
+        for value in values:
+            blocks.extend(
+                pair
+                for pair in expanded
+                if first in pair[1] and pair[1][first] == value
+            )
+        expanded = blocks
+    elif spec.ordering == "shuffled":
+        seed = (
+            spec.order_seed if spec.order_seed is not None else spec.seed
+        )
+        expanded = seeded_shuffle(expanded, seed)  # type: ignore[arg-type]
+
+    return replace(
+        spec,
+        entries=tuple(entry for entry, _ in expanded),
+        axes={},
+        ordering="factorial",
+        order_seed=None,
+    )

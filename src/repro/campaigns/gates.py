@@ -1,0 +1,343 @@
+"""Acceptance gates: judge declared comparisons from the run store.
+
+A gated campaign marks entries as ``baseline`` or ``variant`` and
+attaches a :class:`~repro.campaigns.spec.SuccessDelta` rule to each
+variant. :func:`evaluate_run` replays those rules against a *stored*
+run — nothing is ever re-executed: per entry the rule's metric column
+is read from ``rows.json``, reduced with the declared aggregation, and
+the variant passes iff its aggregate beats the (pooled) baseline
+aggregate by at least the declared threshold in the declared direction.
+An exact tie at the threshold passes: the rule is a floor.
+
+Because evaluation is a pure function of the store, re-running ``gate``
+against the same run always reproduces the identical verdict, and CI
+can gate on science (``run-campaign --gate``) with diff-like exit
+codes: 0 every rule passed, 1 a rule failed, 2 the comparison could
+not be evaluated (missing entries, corrupt rows, unknown metric).
+
+Per-variant problems never raise: they produce an ``error`` verdict
+with the reason, so one broken comparison cannot hide the others'
+results. Only a run with no stored campaign record raises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import fmean, median
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaigns.design import expand_campaign
+from repro.campaigns.spec import (
+    CampaignSpec,
+    SuccessDelta,
+    campaign_from_dict,
+)
+from repro.campaigns.store import CampaignRun
+from repro.harness.tables import render_markdown
+from repro.model.errors import HarnessError, ReproError
+
+__all__ = [
+    "GateReport",
+    "GateVerdict",
+    "evaluate_run",
+    "gate_exit_code",
+    "verdict_rows",
+    "verdict_table",
+]
+
+_AGGREGATORS = {"mean": fmean, "median": median, "min": min, "max": max}
+
+
+@dataclass(frozen=True)
+class GateVerdict:
+    """One variant's judged comparison.
+
+    ``status`` is ``"pass"`` / ``"fail"`` (the rule was evaluated) or
+    ``"error"`` (it could not be — see ``reason``). ``delta`` is the
+    signed ``variant - baseline`` difference; ``margin`` is the same
+    number oriented so that positive always means "moved the declared
+    way" regardless of direction.
+    """
+
+    variant: str
+    baselines: Tuple[str, ...]
+    rule: SuccessDelta
+    status: str
+    reason: str = ""
+    baseline_value: Optional[float] = None
+    variant_value: Optional[float] = None
+    delta: Optional[float] = None
+    margin: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        def clean(value: Optional[float]) -> Optional[float]:
+            if value is None or math.isnan(value):
+                return None
+            return value
+
+        return {
+            "variant": self.variant,
+            "baselines": list(self.baselines),
+            "metric": self.rule.metric,
+            "direction": self.rule.direction,
+            "aggregation": self.rule.aggregation,
+            "threshold": self.rule.threshold,
+            "baseline_value": clean(self.baseline_value),
+            "variant_value": clean(self.variant_value),
+            "delta": clean(self.delta),
+            "margin": clean(self.margin),
+            "status": self.status,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Every verdict of one stored run, worst status first in spirit."""
+
+    campaign: str
+    run_id: str
+    verdicts: Tuple[GateVerdict, ...]
+
+    @property
+    def status(self) -> str:
+        """``error`` > ``fail`` > ``pass`` (empty reports are errors —
+        gating an ungated campaign is a caller mistake)."""
+        if not self.verdicts or any(
+            v.status == "error" for v in self.verdicts
+        ):
+            return "error"
+        if any(v.status == "fail" for v in self.verdicts):
+            return "fail"
+        return "pass"
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "pass"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def gate_exit_code(report: GateReport) -> int:
+    """The CLI contract: 0 pass, 1 gate failure, 2 not evaluable."""
+    return {"pass": 0, "fail": 1}.get(report.status, 2)
+
+
+def _metric_values(
+    run: CampaignRun, entry_id: str, metric: str
+) -> List[float]:
+    """An entry's stored metric column, as floats (None -> NaN).
+
+    Raises:
+        HarnessError: the entry is absent, unfinished, or its rows
+            lack the metric / hold non-numeric values.
+        StoreError: the entry claims ``done`` but its rows are missing
+            or empty (via :meth:`CampaignRun.vouched_entry_table`).
+    """
+    manifest = run.entry_manifest(entry_id)
+    if manifest is None:
+        raise HarnessError(
+            f"entry {entry_id!r} has no stored result in "
+            f"{run.campaign}@{run.run_id}; run the campaign first"
+        )
+    if manifest.get("status") != "done":
+        raise HarnessError(
+            f"entry {entry_id!r} did not complete "
+            f"(status {manifest.get('status')!r})"
+        )
+    table = run.vouched_entry_table(entry_id)
+    columns = table.columns or sorted(
+        {key for row in table.rows for key in row}
+    )
+    values: List[float] = []
+    for row in table.rows:
+        if metric not in row:
+            raise HarnessError(
+                f"rows of entry {entry_id!r} have no column "
+                f"{metric!r}; columns: {', '.join(columns)}"
+            )
+        value = row[metric]
+        if value is None:
+            values.append(float("nan"))
+        elif isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ):
+            values.append(float(value))
+        else:
+            raise HarnessError(
+                f"column {metric!r} of entry {entry_id!r} holds "
+                f"non-numeric value {value!r}"
+            )
+    return values
+
+
+def _aggregate(values: List[float], how: str) -> float:
+    """Reduce a metric column; any NaN poisons the aggregate."""
+    if any(math.isnan(v) for v in values):
+        return float("nan")
+    return float(_AGGREGATORS[how](values))
+
+
+def _judge(
+    run: CampaignRun,
+    variant_id: str,
+    baseline_ids: Tuple[str, ...],
+    rule: SuccessDelta,
+) -> GateVerdict:
+    try:
+        if not baseline_ids:
+            raise HarnessError(
+                f"variant {variant_id!r} has no baseline to compare "
+                "against"
+            )
+        variant_values = _metric_values(run, variant_id, rule.metric)
+        baseline_values: List[float] = []
+        for baseline_id in baseline_ids:
+            baseline_values.extend(
+                _metric_values(run, baseline_id, rule.metric)
+            )
+    except ReproError as exc:
+        return GateVerdict(
+            variant=variant_id,
+            baselines=baseline_ids,
+            rule=rule,
+            status="error",
+            reason=str(exc),
+        )
+    variant_value = _aggregate(variant_values, rule.aggregation)
+    baseline_value = _aggregate(baseline_values, rule.aggregation)
+    delta = variant_value - baseline_value
+    margin = delta if rule.direction == "increase" else -delta
+    if math.isnan(margin):
+        return GateVerdict(
+            variant=variant_id,
+            baselines=baseline_ids,
+            rule=rule,
+            status="fail",
+            reason=(
+                f"{rule.metric} aggregated to NaN (undefined for at "
+                "least one row); cannot demonstrate the declared margin"
+            ),
+            baseline_value=baseline_value,
+            variant_value=variant_value,
+            delta=delta,
+            margin=margin,
+        )
+    passed = margin >= rule.threshold
+    comparator = ">=" if passed else "<"
+    return GateVerdict(
+        variant=variant_id,
+        baselines=baseline_ids,
+        rule=rule,
+        status="pass" if passed else "fail",
+        reason=(
+            f"{rule.describe()}: margin {margin:g} {comparator} "
+            f"{rule.threshold:g}"
+        ),
+        baseline_value=baseline_value,
+        variant_value=variant_value,
+        delta=delta,
+        margin=margin,
+    )
+
+
+def evaluate_run(
+    run: CampaignRun, spec: Optional[CampaignSpec] = None
+) -> GateReport:
+    """Judge every declared gate of a stored run, store-only.
+
+    Args:
+        run: The stored run to judge.
+        spec: The campaign to take the rules from; default is the
+            run's own stored ``campaign.json`` — the normal case, and
+            the reason a later ``gate`` invocation needs nothing but
+            the store. Passing a spec judges the same rows under
+            different rules (e.g. a tightened threshold) without
+            re-running anything.
+
+    Raises:
+        HarnessError: the run has no stored campaign record.
+    """
+    if spec is None:
+        payload = run.campaign_payload() or {}
+        raw = payload.get("campaign")
+        if raw is None:
+            raise HarnessError(
+                f"run {run.campaign}@{run.run_id} has no stored "
+                "campaign.json to take gate rules from"
+            )
+        spec = campaign_from_dict(raw)
+    design = expand_campaign(spec)
+    ids = design.entry_ids()
+    baseline_ids = tuple(
+        eid
+        for eid, entry in zip(ids, design.entries)
+        if entry.role == "baseline"
+    )
+    verdicts: List[GateVerdict] = []
+    for entry_id, entry in zip(ids, design.entries):
+        if entry.role != "variant":
+            continue
+        rule = entry.success_delta
+        assert rule is not None  # enforced by CampaignEntry validation
+        targets = (
+            (rule.baseline,) if rule.baseline is not None else baseline_ids
+        )
+        missing = [t for t in targets if t not in ids]
+        if missing:
+            verdicts.append(
+                GateVerdict(
+                    variant=entry_id,
+                    baselines=targets,
+                    rule=rule,
+                    status="error",
+                    reason=(
+                        f"declared baseline {', '.join(missing)} is not "
+                        f"an entry of this campaign; entries: "
+                        f"{', '.join(ids)}"
+                    ),
+                )
+            )
+            continue
+        verdicts.append(_judge(run, entry_id, targets, rule))
+    return GateReport(
+        campaign=run.campaign,
+        run_id=run.run_id,
+        verdicts=tuple(verdicts),
+    )
+
+
+def verdict_rows(report: GateReport) -> List[Dict[str, object]]:
+    """One row per verdict, ready for ``render_markdown``."""
+    rows: List[Dict[str, object]] = []
+    for v in report.verdicts:
+        rows.append(
+            {
+                "gate": v.variant,
+                "rule": v.rule.describe(),
+                "baseline": " + ".join(v.baselines) or "(none)",
+                "baseline_value": v.baseline_value,
+                "variant_value": v.variant_value,
+                "margin": v.margin,
+                "verdict": v.status.upper(),
+            }
+        )
+    return rows
+
+
+def verdict_table(report: GateReport) -> str:
+    """The PASS/FAIL verdict table as markdown (with reasons below)."""
+    if not report.verdicts:
+        return "(no gates declared)"
+    lines = [render_markdown(verdict_rows(report))]
+    reasons = [
+        f"- {v.variant}: {v.reason}" for v in report.verdicts if v.reason
+    ]
+    if reasons:
+        lines += [""] + reasons
+    return "\n".join(lines)

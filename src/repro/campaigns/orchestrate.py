@@ -36,6 +36,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.campaigns.design import expand_campaign
+from repro.campaigns.gates import GateReport, evaluate_run
 from repro.campaigns.spec import (
     CampaignSpec,
     campaign_digest,
@@ -76,6 +78,7 @@ class CampaignResult:
     path: Path
     outcomes: List[EntryOutcome]
     wall_time: float
+    gates: Optional[GateReport] = None
 
     @property
     def failed(self) -> List[EntryOutcome]:
@@ -277,8 +280,15 @@ def run_campaign(
     Returns:
         A :class:`CampaignResult`; failed entries are recorded (and
         re-run on resume) rather than aborting the rest of the suite.
+        When the campaign declares gates, ``result.gates`` holds the
+        store-evaluated verdicts (also recorded in the run manifest).
     """
     spec = resolve_campaign(campaign)
+    # The design (axis stamping + ordering) resolves first: plans, the
+    # store layout and the logs all see concrete entries. The run id
+    # still derives from the *declared* spec — expansion is a pure
+    # function of it, so same study -> same run directory.
+    design = expand_campaign(spec)
     get_executor(jobs)  # validate before any work
     if campaign_jobs < 1:
         raise HarnessError(
@@ -288,7 +298,7 @@ def run_campaign(
     if not isinstance(store, RunStore):
         store = RunStore(store)
     effective_seed = seed if seed is not None else spec.seed
-    plans = _plan_entries(spec, effective_seed, trials)
+    plans = _plan_entries(design, effective_seed, trials)
     run_id = run_id_for(spec, effective_seed, trials)
     run = store.run(spec.name, run_id)
     run.write_campaign(
@@ -414,45 +424,54 @@ def run_campaign(
                 record(plan, result)
 
     wall_time = time.time() - start
+    gates = evaluate_run(run, spec=design) if design.gated() else None
     result = CampaignResult(
         campaign=spec.name,
         run_id=run_id,
         path=run.path,
         outcomes=outcomes,
         wall_time=wall_time,
+        gates=gates,
     )
     counts = result.counts()
-    run.write_manifest(
-        {
-            "campaign": spec.name,
-            "run_id": run_id,
-            "digest": campaign_digest(spec),
-            "seed": effective_seed,
-            "trials": trials,
-            "executor": "serial" if jobs is None else str(jobs),
-            "campaign_jobs": campaign_jobs,
-            "status": "done" if counts["failed"] == 0 else "partial",
-            "counts": counts,
-            "wall_time": wall_time,
-            "code": code_version(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "entries": [
-                {
-                    "entry_id": o.entry_id,
-                    "scenario": o.scenario,
-                    "status": o.status,
-                    "wall_time": o.wall_time,
-                    "row_count": o.row_count,
-                    "error": o.error,
-                }
-                for o in outcomes
-            ],
-        }
-    )
+    manifest: Dict[str, object] = {
+        "campaign": spec.name,
+        "run_id": run_id,
+        "digest": campaign_digest(spec),
+        "seed": effective_seed,
+        "trials": trials,
+        "executor": "serial" if jobs is None else str(jobs),
+        "campaign_jobs": campaign_jobs,
+        "status": "done" if counts["failed"] == 0 else "partial",
+        "counts": counts,
+        "wall_time": wall_time,
+        "code": code_version(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "entries": [
+            {
+                "entry_id": o.entry_id,
+                "scenario": o.scenario,
+                "status": o.status,
+                "wall_time": o.wall_time,
+                "row_count": o.row_count,
+                "error": o.error,
+            }
+            for o in outcomes
+        ],
+    }
+    if gates is not None:
+        manifest["gates"] = gates.to_dict()
+    run.write_manifest(manifest)
     emit(
         f"campaign {spec.name}: {counts['ran']} ran, "
         f"{counts['cached']} cached, {counts['failed']} failed "
         f"in {wall_time:.1f}s"
     )
+    if gates is not None:
+        for verdict in gates.verdicts:
+            emit(
+                f"gate {verdict.variant}: {verdict.status.upper()} — "
+                f"{verdict.reason}"
+            )
     return result

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaigns.gates import evaluate_run, verdict_table
+from repro.campaigns.spec import campaign_from_dict
 from repro.campaigns.store import CampaignRun, RunStore
 from repro.harness.runner import ExperimentTable
 from repro.harness.tables import format_value, render_markdown, write_csv
@@ -37,6 +39,7 @@ __all__ = [
     "campaign_report",
     "diff_refs",
     "entry_report",
+    "gate_section",
     "load_ref",
     "summary_rows",
     "write_report",
@@ -164,6 +167,10 @@ def campaign_report(run: CampaignRun) -> str:
 
     lines += ["## Summary", "", render_markdown(summary_rows(run)), ""]
 
+    gates = gate_section(run)
+    if gates:
+        lines += ["## Gates", "", gates, ""]
+
     for entry_id in run.entry_ids():
         entry_manifest = run.entry_manifest(entry_id) or {}
         if entry_manifest.get("status") != "done":
@@ -174,12 +181,30 @@ def campaign_report(run: CampaignRun) -> str:
             if entry_manifest.get("error"):
                 lines += [f"```\n{entry_manifest['error']}\n```", ""]
             continue
-        table = run.load_entry_table(entry_id)
-        if table is None:
-            lines += [f"## {entry_id} — rows missing", ""]
-            continue
+        table = run.vouched_entry_table(entry_id)
         lines += [f"## {entry_id}", "", table.to_markdown(), ""]
     return "\n".join(lines).rstrip() + "\n"
+
+
+def gate_section(run: CampaignRun) -> Optional[str]:
+    """The PASS/FAIL verdict table for a gated stored run, or None.
+
+    Verdicts are re-evaluated live from the store (never read back
+    from the manifest), so a report always shows what ``gate`` would
+    conclude right now — the two commands cannot disagree.
+    """
+    payload = run.campaign_payload() or {}
+    raw = payload.get("campaign")
+    if not isinstance(raw, dict):
+        return None
+    spec = campaign_from_dict(raw)
+    if not spec.gated():
+        return None
+    report = evaluate_run(run, spec=spec)
+    return (
+        f"Gate verdict: **{report.status.upper()}**\n\n"
+        + verdict_table(report)
+    )
 
 
 def entry_report(run: CampaignRun, entry_id: str) -> str:
@@ -202,11 +227,7 @@ def entry_report(run: CampaignRun, entry_id: str) -> str:
         if manifest.get("error"):
             lines += ["", f"```\n{manifest['error']}\n```"]
         return "\n".join(lines).rstrip() + "\n"
-    table = run.load_entry_table(entry_id)
-    if table is None:
-        lines.append("Stored rows are missing or corrupt.")
-        return "\n".join(lines).rstrip() + "\n"
-    lines.append(table.to_markdown())
+    lines.append(run.vouched_entry_table(entry_id).to_markdown())
     return "\n".join(lines).rstrip() + "\n"
 
 
@@ -233,7 +254,7 @@ def write_report(
     paths: Dict[str, Path] = {"markdown": md_path}
     manifest = run.entry_manifest(entry_id) or {}
     table = (
-        run.load_entry_table(entry_id)
+        run.vouched_entry_table(entry_id)
         if manifest.get("status") == "done"
         else None
     )
@@ -354,14 +375,15 @@ def _diff_entries(
     ]
     # Rows count only when the manifest vouches for them: a rows.json
     # left behind by an earlier success must not be diffed as current
-    # once the entry's latest state is "failed".
+    # once the entry's latest state is "failed". Conversely, a "done"
+    # manifest whose rows are gone is store corruption and raises.
     table_a = (
-        ref_a.run.load_entry_table(entry_a)
+        ref_a.run.vouched_entry_table(entry_a)
         if man_a.get("status") == "done"
         else None
     )
     table_b = (
-        ref_b.run.load_entry_table(entry_b)
+        ref_b.run.vouched_entry_table(entry_b)
         if man_b.get("status") == "done"
         else None
     )

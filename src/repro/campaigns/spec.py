@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -30,6 +31,7 @@ from repro.scenarios.spec import _as_int
 __all__ = [
     "CampaignEntry",
     "CampaignSpec",
+    "SuccessDelta",
     "campaign_digest",
     "campaign_from_dict",
     "campaign_ids",
@@ -40,6 +42,13 @@ __all__ = [
     "register_campaign",
     "resolve_campaign",
 ]
+
+ORDERINGS = ("factorial", "blocked", "shuffled")
+ENTRY_ROLES = ("baseline", "variant")
+DELTA_DIRECTIONS = ("increase", "decrease")
+DELTA_AGGREGATIONS = ("mean", "median", "min", "max")
+
+_AXIS_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
 
 
 def _slug(text: str) -> str:
@@ -72,6 +81,117 @@ def _as_tags(value: object, where: str) -> Tuple[str, ...]:
 
 
 @dataclass(frozen=True)
+class SuccessDelta:
+    """A declared acceptance rule for one variant entry.
+
+    The rule asserts a *signed margin* between the variant and its
+    baseline(s), evaluated store-only from the rows each entry wrote:
+    per entry the ``metric`` column is reduced with ``aggregation``,
+    and the gate passes iff the aggregate moved in ``direction`` by at
+    least ``threshold`` (an exact tie at the threshold passes — the
+    rule is a floor, not a strict inequality).
+
+    Attributes:
+        metric: Row column to compare (e.g. ``discovered_fraction``).
+        direction: ``"increase"`` (variant must exceed baseline) or
+            ``"decrease"`` (variant must undercut it).
+        threshold: Minimum required margin in metric units (>= 0).
+        aggregation: Per-entry row reduction: ``mean`` | ``median`` |
+            ``min`` | ``max``.
+        baseline: Entry id to compare against; None pools the rows of
+            every ``role: baseline`` entry in the campaign.
+    """
+
+    metric: str
+    direction: str = "increase"
+    threshold: float = 0.0
+    aggregation: str = "mean"
+    baseline: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.metric or not isinstance(self.metric, str):
+            raise HarnessError(
+                f"success_delta needs a metric column name, got "
+                f"{self.metric!r}"
+            )
+        if self.direction not in DELTA_DIRECTIONS:
+            raise HarnessError(
+                f"success_delta direction must be one of "
+                f"{', '.join(DELTA_DIRECTIONS)}, got {self.direction!r}"
+            )
+        if self.aggregation not in DELTA_AGGREGATIONS:
+            raise HarnessError(
+                f"success_delta aggregation must be one of "
+                f"{', '.join(DELTA_AGGREGATIONS)}, got "
+                f"{self.aggregation!r}"
+            )
+        if not isinstance(self.threshold, (int, float)) or isinstance(
+            self.threshold, bool
+        ):
+            raise HarnessError(
+                f"success_delta threshold must be a number, got "
+                f"{self.threshold!r}"
+            )
+        if self.threshold < 0:
+            raise HarnessError(
+                f"success_delta threshold must be >= 0, got "
+                f"{self.threshold} (flip direction instead)"
+            )
+
+    def describe(self) -> str:
+        """One-line human form, e.g. ``mean(x) increase >= 0.01``."""
+        return (
+            f"{self.aggregation}({self.metric}) {self.direction} "
+            f">= {self.threshold:g}"
+        )
+
+
+def _delta_to_dict(rule: SuccessDelta) -> Dict[str, object]:
+    out: Dict[str, object] = {"metric": rule.metric}
+    if rule.direction != "increase":
+        out["direction"] = rule.direction
+    if rule.threshold:
+        out["threshold"] = rule.threshold
+    if rule.aggregation != "mean":
+        out["aggregation"] = rule.aggregation
+    if rule.baseline is not None:
+        out["baseline"] = rule.baseline
+    return out
+
+
+def _delta_from_dict(raw: object, where: str) -> SuccessDelta:
+    if isinstance(raw, SuccessDelta):
+        return raw
+    if not isinstance(raw, Mapping):
+        raise HarnessError(
+            f"{where} must be an object with at least 'metric', got "
+            f"{raw!r}"
+        )
+    known = {f.name for f in fields(SuccessDelta)}
+    bad = set(raw) - known
+    if bad:
+        raise HarnessError(
+            f"unknown {where} keys: {', '.join(sorted(bad))}; valid: "
+            f"{', '.join(sorted(known))}"
+        )
+    kwargs = dict(raw)
+    kwargs["metric"] = _as_str(kwargs.get("metric"), f"{where} metric")
+    if "threshold" in kwargs:
+        threshold = kwargs["threshold"]
+        if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool
+        ):
+            raise HarnessError(
+                f"{where} threshold must be a number, got {threshold!r}"
+            )
+        kwargs["threshold"] = float(threshold)
+    for key in ("direction", "aggregation", "baseline"):
+        if kwargs.get(key) is not None:
+            kwargs[key] = _as_str(kwargs[key], f"{where} {key}")
+    return SuccessDelta(**kwargs)
+
+
+@dataclass(frozen=True)
 class CampaignEntry:
     """One scenario run inside a campaign.
 
@@ -89,6 +209,10 @@ class CampaignEntry:
             then the scenario's own default).
         seed: Per-entry master seed override (None = the campaign
             seed).
+        role: Gate role — ``"baseline"``, ``"variant"``, or None for
+            an ungated entry.
+        success_delta: The acceptance rule for a ``variant`` entry
+            (required for variants, forbidden otherwise).
     """
 
     scenario: str
@@ -96,6 +220,8 @@ class CampaignEntry:
     overrides: Mapping[str, object] = field(default_factory=dict)
     trials: Optional[int] = None
     seed: Optional[int] = None
+    role: Optional[str] = None
+    success_delta: Optional[SuccessDelta] = None
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -113,6 +239,21 @@ class CampaignEntry:
             raise HarnessError(
                 f"entry id {self.id!r} must be a lowercase slug "
                 "(letters, digits, '-', '_')"
+            )
+        if self.role is not None and self.role not in ENTRY_ROLES:
+            raise HarnessError(
+                f"entry role must be one of {', '.join(ENTRY_ROLES)}, "
+                f"got {self.role!r}"
+            )
+        if self.role == "variant" and self.success_delta is None:
+            raise HarnessError(
+                f"variant entry {self.id or self.scenario!r} needs a "
+                "success_delta rule to gate on"
+            )
+        if self.success_delta is not None and self.role != "variant":
+            raise HarnessError(
+                f"entry {self.id or self.scenario!r} declares a "
+                "success_delta but is not a variant; set role: variant"
             )
 
     def resolved_id(self, index: int) -> str:
@@ -155,6 +296,17 @@ class CampaignSpec:
             default).
         seed: Default master seed for every entry.
         tags: Free-form labels.
+        axes: Campaign-level design axes: ``{name: [values...]}``.
+            Entries whose override values reference ``$name`` are
+            *templates*, stamped across the factorial grid of the axes
+            they reference into concrete entries (see
+            :mod:`repro.campaigns.design`).
+        ordering: Entry execution order after stamping —
+            ``"factorial"`` (declaration/grid order, the default),
+            ``"blocked"`` (grouped by the first declared axis's value),
+            or ``"shuffled"`` (deterministic seeded permutation).
+        order_seed: Seed for ``shuffled`` ordering (None = the
+            campaign ``seed``).
     """
 
     name: str
@@ -164,6 +316,9 @@ class CampaignSpec:
     trials: Optional[int] = None
     seed: int = 0
     tags: Tuple[str, ...] = ()
+    axes: Mapping[str, Tuple[object, ...]] = field(default_factory=dict)
+    ordering: str = "factorial"
+    order_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         # The name is a store directory component and the leading token
@@ -190,10 +345,62 @@ class CampaignSpec:
                 f"campaign {self.name!r} has duplicate entry ids: "
                 f"{', '.join(sorted(dupes))}"
             )
+        if self.ordering not in ORDERINGS:
+            raise HarnessError(
+                f"campaign ordering must be one of "
+                f"{', '.join(ORDERINGS)}, got {self.ordering!r}"
+            )
+        if not isinstance(self.axes, Mapping):
+            raise HarnessError(
+                f"campaign axes must be an object mapping axis names "
+                f"to value lists, got {self.axes!r}"
+            )
+        for axis, values in self.axes.items():
+            if not isinstance(axis, str) or not _AXIS_NAME.match(axis):
+                raise HarnessError(
+                    f"campaign axis name {axis!r} must match "
+                    "[a-z][a-z0-9_]* (it is referenced as $name)"
+                )
+            if isinstance(values, str) or not isinstance(
+                values, (list, tuple)
+            ):
+                raise HarnessError(
+                    f"campaign axis {axis!r} must list its values, "
+                    f"got {values!r}"
+                )
+            if not values:
+                raise HarnessError(
+                    f"campaign axis {axis!r} needs at least one value"
+                )
+            for value in values:
+                if value is not None and not isinstance(
+                    value, (str, int, float, bool)
+                ):
+                    raise HarnessError(
+                        f"campaign axis {axis!r} values must be JSON "
+                        f"scalars, got {value!r}"
+                    )
+        # Normalize axis values to tuples so list- and tuple-declared
+        # axes compare (and digest) identically after a round-trip.
+        object.__setattr__(
+            self,
+            "axes",
+            {axis: tuple(values) for axis, values in self.axes.items()},
+        )
+        roles = [e.role for e in self.entries]
+        if "variant" in roles and "baseline" not in roles:
+            raise HarnessError(
+                f"campaign {self.name!r} declares variant entries but "
+                "no baseline entry to compare against"
+            )
 
     def entry_ids(self) -> List[str]:
         """Resolved entry ids, in execution order."""
         return [e.resolved_id(i) for i, e in enumerate(self.entries)]
+
+    def gated(self) -> bool:
+        """Whether any entry declares an acceptance rule."""
+        return any(e.role == "variant" for e in self.entries)
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +420,14 @@ def campaign_to_dict(spec: CampaignSpec) -> Dict[str, object]:
         out["trials"] = spec.trials
     if spec.seed:
         out["seed"] = spec.seed
+    if spec.axes:
+        out["axes"] = {
+            axis: list(values) for axis, values in spec.axes.items()
+        }
+    if spec.ordering != "factorial":
+        out["ordering"] = spec.ordering
+    if spec.order_seed is not None:
+        out["order_seed"] = spec.order_seed
     entries: List[Dict[str, object]] = []
     for entry in spec.entries:
         e: Dict[str, object] = {"scenario": entry.scenario}
@@ -224,6 +439,10 @@ def campaign_to_dict(spec: CampaignSpec) -> Dict[str, object]:
             e["trials"] = entry.trials
         if entry.seed is not None:
             e["seed"] = entry.seed
+        if entry.role is not None:
+            e["role"] = entry.role
+        if entry.success_delta is not None:
+            e["success_delta"] = _delta_to_dict(entry.success_delta)
         entries.append(e)
     out["entries"] = entries
     return out
@@ -284,9 +503,27 @@ def campaign_from_dict(payload: Mapping[str, object]) -> CampaignSpec:
         )
         if kwargs.get("id") is not None:
             kwargs["id"] = _as_str(kwargs["id"], f"entry {i} id")
+        if kwargs.get("role") is not None:
+            kwargs["role"] = _as_str(kwargs["role"], f"entry {i} role")
+        if kwargs.get("success_delta") is not None:
+            kwargs["success_delta"] = _delta_from_dict(
+                kwargs["success_delta"], f"entry {i} success_delta"
+            )
         entries.append(CampaignEntry(**kwargs))
     trials = payload.get("trials")
+    order_seed = payload.get("order_seed")
     name = _as_str(payload["name"], "campaign name")
+    raw_axes = payload.get("axes", {})
+    if not isinstance(raw_axes, Mapping):
+        raise HarnessError(
+            f"campaign axes must be an object, got {raw_axes!r}"
+        )
+    axes = {
+        _as_str(axis, "campaign axis name"): tuple(values)
+        if isinstance(values, (list, tuple))
+        else values
+        for axis, values in raw_axes.items()
+    }
     return CampaignSpec(
         name=name,
         title=_as_str(payload.get("title", name), "campaign title"),
@@ -299,6 +536,15 @@ def campaign_from_dict(payload: Mapping[str, object]) -> CampaignSpec:
         ),
         seed=_as_int(payload.get("seed", 0), "campaign seed"),
         tags=_as_tags(payload.get("tags", ()), "campaign tags"),
+        axes=axes,
+        ordering=_as_str(
+            payload.get("ordering", "factorial"), "campaign ordering"
+        ),
+        order_seed=(
+            None
+            if order_seed is None
+            else _as_int(order_seed, "campaign order_seed")
+        ),
     )
 
 

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional
 from repro.harness.cache import json_default
 from repro.harness.runner import ExperimentTable
 from repro.harness.tables import write_csv
-from repro.model.errors import HarnessError
+from repro.model.errors import HarnessError, StoreError
 
 __all__ = ["DEFAULT_STORE_DIR", "CampaignRun", "RunStore"]
 
@@ -212,6 +212,27 @@ class CampaignRun:
             return ExperimentTable.from_payload(payload)
         except (KeyError, ValueError):
             return None
+
+    def vouched_entry_table(self, entry_id: str) -> ExperimentTable:
+        """The rows an entry's own manifest vouches for — or raise.
+
+        For readers (reports, diffs, gates) that were *promised* rows:
+        the entry's manifest says ``status: done``, which by the
+        rows-before-manifest write ordering guarantees ``rows.json``
+        landed. If the rows are nonetheless missing, unreadable or
+        empty, the store is corrupt — that is a :class:`StoreError`
+        (exit code 2 territory), not a quiet "no rows" miss.
+        """
+        table = self.load_entry_table(entry_id)
+        if table is None or not table.rows:
+            raise StoreError(
+                f"entry {entry_id!r} of run "
+                f"{self.campaign}@{self.run_id} is marked done but its "
+                "stored rows.json is missing, corrupt or empty; re-run "
+                "the campaign (or delete the entry directory) to "
+                "repair the store"
+            )
+        return table
 
     def completed_entry(
         self, entry_id: str, key: str

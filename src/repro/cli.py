@@ -18,6 +18,8 @@ Usage::
     python -m repro report traffic-models --out report/
     python -m repro diff-runs traffic-models:markov \\
         traffic-models:poisson
+    python -m repro run-campaign cseek-vs-naive --gate  # science CI
+    python -m repro gate cseek-vs-naive                 # re-judge store
 
 ``--jobs`` selects the trial execution strategy (serial by default; an
 int fans trials out to that many worker processes, ``batch`` vectorizes
@@ -51,6 +53,15 @@ and ``diff-runs`` compares two stored runs or entries
 re-executing anything; its exit status is diff-like — 0 identical, 1
 different, 2 trouble.
 
+Gated campaigns (entries with ``role: baseline``/``variant`` and a
+``success_delta`` rule) are judged store-only: ``gate <ref>``
+re-evaluates a stored run's declared comparisons, and ``run-campaign
+--gate`` runs then judges in one command. Both exit 0 when every rule
+passes, 1 on a gate failure, and 2 when the comparison cannot be
+evaluated — and both append the verdict table to
+``$GITHUB_STEP_SUMMARY`` when that variable is set, so a CI job gets
+the science verdict in its summary for free.
+
 ``crn-repro`` (the console script declared in ``pyproject.toml``) is
 equivalent when the package is installed through a regular ``pip
 install``; legacy ``setup.py develop`` installs may expose only the
@@ -60,23 +71,28 @@ install``; legacy ``setup.py develop`` installs may expose only the
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.campaigns import (
+    GateReport,
     RunStore,
     campaign_report,
     diff_refs,
     entry_report,
+    evaluate_run,
+    gate_exit_code,
     iter_campaigns,
     load_ref,
     run_campaign,
+    verdict_table,
     write_report,
 )
 from repro.harness import experiment_ids, run_experiment
 from repro.harness.executor import get_executor
-from repro.model.errors import HarnessError, ReproError
+from repro.model.errors import HarnessError, ReproError, StoreError
 from repro.scenarios import iter_scenarios, run_scenario
 
 __all__ = ["main", "build_parser"]
@@ -278,6 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default .repro_cache/)",
     )
+    run_cmp.add_argument(
+        "--gate",
+        action="store_true",
+        help=(
+            "after running, judge the campaign's declared "
+            "success_delta gates from the store; exit 0 pass, 1 gate "
+            "failure, 2 not evaluable"
+        ),
+    )
+
+    gate = sub.add_parser(
+        "gate",
+        help=(
+            "judge a stored run's declared acceptance gates, from the "
+            "store alone (exit 0 pass, 1 gate failure, 2 not evaluable)"
+        ),
+    )
+    gate.add_argument(
+        "ref",
+        help=(
+            "run reference: campaign[@run_id] (defaults to the latest "
+            "stored run) or a path to a run directory"
+        ),
+    )
+    gate.add_argument(
+        "--store",
+        default=None,
+        help="run store directory (default .repro_runs/)",
+    )
 
     report = sub.add_parser(
         "report",
@@ -323,6 +368,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="run store directory (default .repro_runs/)",
     )
     return parser
+
+
+def _write_step_summary(markdown: str) -> None:
+    """Append markdown to ``$GITHUB_STEP_SUMMARY`` when CI set it."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(markdown.rstrip() + "\n\n")
+    except OSError as exc:  # pragma: no cover — CI filesystem trouble
+        print(f"warning: cannot write step summary: {exc}", file=sys.stderr)
+
+
+def _emit_gate_report(report: GateReport) -> None:
+    """Print (and step-summarize) a gate report's verdict table."""
+    table = verdict_table(report)
+    heading = f"Gate — {report.campaign}@{report.run_id}"
+    print(f"# {heading}")
+    print()
+    print(table)
+    print()
+    print(f"Gate verdict: {report.status.upper()}")
+    _write_step_summary(
+        f"## {heading}\n\n{table}\n\n"
+        f"Gate verdict: **{report.status.upper()}**"
+    )
 
 
 def _parse_overrides(pairs: List[str]) -> Dict[str, str]:
@@ -428,13 +500,47 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 1
+            return 2 if args.gate else 1
         except Exception as exc:  # noqa: BLE001
             # Malformed campaign files must fail with a clean error,
             # matching the report/diff-runs guards on the same surface.
             print(f"error: {exc!r}", file=sys.stderr)
-            return 1
+            return 2 if args.gate else 1
+        if args.gate:
+            if result.gates is None:
+                print(
+                    "error: campaign declares no gates (no variant "
+                    "entry with a success_delta rule)",
+                    file=sys.stderr,
+                )
+                return 2
+            _emit_gate_report(result.gates)
+            return gate_exit_code(result.gates)
         return 0 if not result.failed else 1
+    if args.command == "gate":
+        try:
+            ref = load_ref(RunStore(args.store), args.ref)
+            if ref.entry_id is not None:
+                raise HarnessError(
+                    "gate judges a whole run; drop the :entry suffix "
+                    f"from {args.ref!r}"
+                )
+            report = evaluate_run(ref.run)
+            if not report.verdicts:
+                raise HarnessError(
+                    f"campaign {ref.run.campaign!r} declares no gates "
+                    "(no variant entry with a success_delta rule)"
+                )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # noqa: BLE001
+            # Same surface as diff-runs: a hand-edited store must mean
+            # exit 2 "not evaluable", never a traceback.
+            print(f"error: {exc!r}", file=sys.stderr)
+            return 2
+        _emit_gate_report(report)
+        return gate_exit_code(report)
     if args.command == "report":
         try:
             ref = load_ref(RunStore(args.store), args.ref)
@@ -450,6 +556,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     str(p) for p in paths.values()
                 )
                 print(f"[written: {written}]")
+        except StoreError as exc:
+            # Corruption (done manifests with missing/empty rows) is
+            # exit 2 — "the store needs repair", distinct from a plain
+            # bad reference (exit 1).
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

@@ -62,3 +62,14 @@ class HarnessError(ReproError):
     Raised for unknown experiment ids, empty sweeps, or invalid repetition
     counts.
     """
+
+
+class StoreError(HarnessError):
+    """A run store is internally inconsistent (corrupted on disk).
+
+    Raised when stored state contradicts itself — e.g. an entry manifest
+    claims ``status: done`` but its ``rows.json`` is missing, unreadable,
+    or empty. Distinct from a plain :class:`HarnessError` (a bad request)
+    so callers can map corruption to a distinct exit code: the fix is to
+    re-run or repair the store, not to change the command line.
+    """

@@ -444,9 +444,13 @@ def _declarative_point(
 
     if kind == "naive_discovery":
         nd_truth = net.true_neighbor_sets()
+        if "max_slots" in proto_params:
+            proto_params["max_slots"] = int(proto_params["max_slots"])
 
-        def nd_trial(s, net=net, truth=nd_truth):
-            nd = NaiveDiscovery(net, seed=s)
+        def nd_trial(s, net=net, truth=nd_truth, params=proto_params):
+            nd = NaiveDiscovery(
+                net, seed=s, environment=environment, **params
+            )
             result = nd.run()
             report = nd.verify(result)
             return (

@@ -338,8 +338,9 @@ class TestCampaignCommands:
         )
         capsys.readouterr()
         # A structurally-wrong rows.json (valid JSON, rows not a list
-        # of dicts) is a clean miss: the diff reports the side as
-        # having no completed rows instead of crashing.
+        # of dicts) behind a "done" manifest is store corruption: the
+        # diff must exit 2 with a clean error, not crash and not
+        # masquerade as "runs differ" (exit 1).
         rows = next(store.rglob("counts-clean/rows.json"))
         payload = json.loads(rows.read_text())
         payload["rows"] = 42  # not even iterable
@@ -353,6 +354,30 @@ class TestCampaignCommands:
                 str(store),
             ]
         )
-        assert code == 1
-        out = capsys.readouterr().out
-        assert "No completed rows" in out
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "marked done" in err
+        assert "Traceback" not in err
+
+        # report on the same corrupted store: also exit 2, also clean.
+        assert (
+            main(["report", "tiny-suite", "--store", str(store)]) == 2
+        )
+        err = capsys.readouterr().err
+        assert "marked done" in err
+
+        # An empty rows list behind a done manifest is equally corrupt.
+        payload["rows"] = []
+        rows.write_text(json.dumps(payload))
+        assert (
+            main(
+                [
+                    "report",
+                    "tiny-suite:counts-clean",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 2
+        )
+        assert "marked done" in capsys.readouterr().err
