@@ -73,6 +73,8 @@ KEY_BENCHMARKS = (
     "bench_cseek16_batched",
     "bench_jammed_cseek16_serial",
     "bench_jammed_cseek16_batched",
+    "bench_stream4096_materialized",
+    "bench_stream4096_streaming",
 )
 
 # Machine-independent invariants checked *within* the fresh run: pairs
@@ -87,6 +89,10 @@ RATIO_GATES = (
     ("bench_cseek16_batched", "bench_cseek16_serial", 1.0),
     ("bench_backoff64_batched", "bench_backoff64_serial", 1.0),
     ("bench_jammed_cseek16_batched", "bench_jammed_cseek16_serial", 1.0),
+    # Streaming aggregation must stay within 25% of materialize-then-
+    # reduce at equal trial count — the accumulators are an O(1)-memory
+    # feature, not a speed tax.
+    ("bench_stream4096_streaming", "bench_stream4096_materialized", 1.25),
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"

@@ -4,19 +4,55 @@ The paper's guarantees are "with high probability"; empirically that is
 a success *frequency* across independent seeded trials, plus location
 statistics of the measured slot counts. :class:`TrialSummary` is the
 standard unit every experiment row reports.
+
+Two families of estimators live here:
+
+* **Materialized** — :func:`summarize` / :func:`success_rate` over the
+  full measurement list. The reference semantics every golden table
+  pins.
+* **Streaming** — fixed-size online accumulators for the chunked trial
+  path, where the measurement list never materializes:
+  :class:`StreamingMoments` (Welford/Chan mean and variance),
+  :class:`P2Quantile` (the Jain–Chlamtac P² quantile sketch, five
+  markers, with a commutative mixture-CDF ``merge``),
+  :class:`StreamingSummary` (the two combined, reproducing every
+  :class:`TrialSummary` field) and :class:`StreamingRate` (success
+  counts with Wilson intervals). Merging two accumulators is
+  *commutative* — ``a.merge(b)`` equals ``b.merge(a)`` — so chunk
+  summaries combined in any order agree (within sketch error) with the
+  exact statistics of the materialized array.
+
+Confidence-interval half-widths (:func:`mean_halfwidth`,
+:func:`rate_halfwidth`) drive CI-targeted stopping: both degrade to
+``math.inf`` — "not yet resolvable" — instead of dividing by zero when
+the trial count cannot support an interval.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from statistics import NormalDist
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.model.errors import HarnessError
 
-__all__ = ["TrialSummary", "summarize", "success_rate", "wilson_interval"]
+__all__ = [
+    "P2Quantile",
+    "StreamingMoments",
+    "StreamingRate",
+    "StreamingSummary",
+    "TrialSummary",
+    "mean_halfwidth",
+    "normal_quantile",
+    "rate_halfwidth",
+    "summarize",
+    "success_rate",
+    "t_quantile",
+    "wilson_interval",
+]
 
 
 @dataclass(frozen=True)
@@ -102,3 +138,535 @@ def wilson_interval(
         / denom
     )
     return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def normal_quantile(p: float) -> float:
+    """Standard-normal quantile (inverse CDF).
+
+    Raises:
+        HarnessError: unless ``0 < p < 1``.
+    """
+    if not 0.0 < p < 1.0:
+        raise HarnessError(f"quantile probability must lie in (0, 1), got {p}")
+    return NormalDist().inv_cdf(p)
+
+
+def t_quantile(p: float, df: int) -> float:
+    """Student-t quantile via a Cornish–Fisher expansion.
+
+    Accurate to well under 1% for ``df >= 2`` (the regime CI-targeted
+    stopping operates in; ``min_trials`` floors keep ``df`` large). At
+    ``df == 1`` the expansion undershoots the true quantile by ~10% —
+    acceptable because a 2-trial interval is only ever a coarse "not
+    yet converged" signal. Avoids a scipy dependency.
+
+    Raises:
+        HarnessError: unless ``0 < p < 1`` and ``df >= 1``.
+    """
+    if df < 1:
+        raise HarnessError(f"degrees of freedom must be >= 1, got {df}")
+    z = normal_quantile(p)
+    g1 = (z**3 + z) / 4.0
+    g2 = (5.0 * z**5 + 16.0 * z**3 + 3.0 * z) / 96.0
+    g3 = (3.0 * z**7 + 19.0 * z**5 + 17.0 * z**3 - 15.0 * z) / 384.0
+    g4 = (
+        79.0 * z**9
+        + 776.0 * z**7
+        + 1482.0 * z**5
+        - 1920.0 * z**3
+        - 945.0 * z
+    ) / 92160.0
+    return z + g1 / df + g2 / df**2 + g3 / df**3 + g4 / df**4
+
+
+def mean_halfwidth(count: int, std: float, confidence: float = 0.95) -> float:
+    """Half-width of the t-based confidence interval for a mean.
+
+    Degrades to ``math.inf`` ("not yet resolvable") when ``count < 2``:
+    a single trial has ``std == 0`` by convention and no degrees of
+    freedom, so the naive formula would divide by zero — an interval
+    that looks infinitely precise exactly when it carries no
+    information.
+
+    Raises:
+        HarnessError: unless ``0 < confidence < 1``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise HarnessError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if count < 2:
+        return math.inf
+    t = t_quantile(0.5 + confidence / 2.0, count - 1)
+    return t * std / math.sqrt(count)
+
+
+def rate_halfwidth(
+    successes: int, trials: int, confidence: float = 0.95
+) -> float:
+    """Half-width of the Wilson interval for a success rate.
+
+    Degrades to ``math.inf`` when ``trials == 0`` — no outcomes, no
+    interval.
+
+    Raises:
+        HarnessError: on negative/inconsistent counts or a confidence
+            outside ``(0, 1)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise HarnessError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if trials == 0:
+        return math.inf
+    z = normal_quantile(0.5 + confidence / 2.0)
+    low, high = wilson_interval(successes, trials, z=z)
+    return (high - low) / 2.0
+
+
+class StreamingMoments:
+    """Online count/mean/variance/extrema over chunked measurements.
+
+    Welford's algorithm in its parallel (Chan et al.) form: ``update``
+    folds in a whole chunk at once, ``merge`` combines two partial
+    accumulators. Merging is exact and commutative — the result is
+    bit-for-bit independent of argument order, and agrees with the
+    one-shot statistics of the concatenated data up to floating-point
+    rounding.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def update(self, values: Sequence[float]) -> None:
+        """Fold a chunk of measurements into the accumulator."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        other = StreamingMoments()
+        other.count = int(arr.size)
+        other.mean = float(arr.mean())
+        other._m2 = float(((arr - other.mean) ** 2).sum())
+        other.minimum = float(arr.min())
+        other.maximum = float(arr.max())
+        self.merge(other)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator into this one (commutative)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        # Weighted-mean form (rather than mean + delta*nb/total) keeps
+        # the merge exactly symmetric in its two operands.
+        mean = (self.count * self.mean + other.count * other.mean) / total
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean = mean
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``ddof=1``); 0.0 below two measurements."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation; 0.0 below two measurements."""
+        return math.sqrt(max(0.0, self.variance))
+
+
+# P² maintains five markers; marker i tracks the quantile at fraction
+# _P2_FRACTIONS[i](p) of the data seen so far.
+_P2_BUFFER = 5
+
+
+def _p2_fractions(p: float) -> List[float]:
+    return [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+
+class P2Quantile:
+    """Fixed-size P² quantile sketch (Jain & Chlamtac, 1985).
+
+    Tracks one quantile with five markers and O(1) memory. While fewer
+    than five values have been seen the sketch is exact (it keeps the
+    sorted buffer and interpolates like ``np.percentile``); after that
+    the classic marker-adjustment recurrence takes over.
+
+    ``merge`` combines two sketches by inverting their *mixture* CDF —
+    each sketch's markers define a piecewise-linear CDF, the mixture
+    weighs them by count, and the merged markers are placed at the
+    mixture's canonical marker fractions via bisection. The
+    construction is symmetric in its operands, so merging chunk
+    sketches is commutative and (like the sketch itself) approximate
+    but chunk-order-invariant.
+    """
+
+    __slots__ = (
+        "p",
+        "count",
+        "_fractions",
+        "_buffer",
+        "_heights",
+        "_positions",
+        "_desired",
+    )
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise HarnessError(
+                f"quantile fraction must lie in (0, 1), got {p}"
+            )
+        self.p = p
+        self.count = 0
+        self._fractions = _p2_fractions(p)
+        self._buffer: Optional[List[float]] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: Optional[List[float]] = None
+        self._desired: Optional[List[float]] = None
+
+    def _init_markers(self, values: Sequence[float]) -> None:
+        self._heights = sorted(float(v) for v in values)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = self._desired_positions(_P2_BUFFER)
+        self._buffer = None
+
+    def _desired_positions(self, n: int) -> List[float]:
+        return [1.0 + f * (n - 1.0) for f in self._fractions]
+
+    def update(self, values: Sequence[float]) -> None:
+        """Fold a chunk of measurements into the sketch."""
+        arr = np.asarray(values, dtype=float).ravel()
+        for x in arr.tolist():
+            self._add(x)
+
+    def _add(self, x: float) -> None:
+        self.count += 1
+        if self._buffer is not None:
+            self._buffer.append(x)
+            if len(self._buffer) == _P2_BUFFER:
+                self._init_markers(self._buffer)
+            return
+        q = self._heights
+        n = self._positions
+        d_pos = self._desired
+        assert q is not None and n is not None and d_pos is not None
+        if x < q[0]:
+            q[0] = x
+            cell = 0
+        elif x >= q[4]:
+            q[4] = x
+            cell = 3
+        elif x < q[1]:
+            cell = 0
+        elif x < q[2]:
+            cell = 1
+        elif x < q[3]:
+            cell = 2
+        else:
+            cell = 3
+        for i in range(cell + 1, _P2_BUFFER):
+            n[i] += 1.0
+        fr = self._fractions
+        for i in (1, 2, 3, 4):
+            d_pos[i] += fr[i]
+        for i in (1, 2, 3):
+            d = d_pos[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, step)
+                q[i] = candidate
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q = self._heights
+        n = self._positions
+        assert q is not None and n is not None
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q = self._heights
+        n = self._positions
+        assert q is not None and n is not None
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        Raises:
+            HarnessError: if no measurements have been seen.
+        """
+        if self.count == 0:
+            raise HarnessError("cannot estimate a quantile of zero values")
+        if self._buffer is not None:
+            return float(np.percentile(self._buffer, self.p * 100.0))
+        assert self._heights is not None
+        return float(self._heights[2])
+
+    def _cdf(self, xs: np.ndarray) -> np.ndarray:
+        """Normalized empirical CDF (order-statistic convention)."""
+        if self._buffer is not None:
+            heights = np.sort(np.asarray(self._buffer, dtype=float))
+            positions = np.arange(1.0, heights.size + 1.0)
+        else:
+            assert self._heights is not None and self._positions is not None
+            heights = np.asarray(self._heights)
+            positions = np.asarray(self._positions)
+        if heights.size == 1 or heights[0] == heights[-1]:
+            return np.where(xs < heights[0], 0.0, 1.0)
+        ranks = np.interp(xs, heights, positions)
+        return (ranks - 1.0) / (positions[-1] - 1.0)
+
+    def merge(self, other: "P2Quantile") -> None:
+        """Fold another sketch for the same quantile into this one.
+
+        Commutative: the merged state depends only on the (unordered)
+        pair of inputs.
+
+        Raises:
+            HarnessError: if the sketches track different quantiles.
+        """
+        if other.p != self.p:
+            raise HarnessError(
+                f"cannot merge sketches of p={self.p} and p={other.p}"
+            )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._buffer = (
+                None if other._buffer is None else list(other._buffer)
+            )
+            self._heights = (
+                None if other._heights is None else list(other._heights)
+            )
+            self._positions = (
+                None if other._positions is None else list(other._positions)
+            )
+            self._desired = (
+                None if other._desired is None else list(other._desired)
+            )
+            return
+        total = self.count + other.count
+        if self._buffer is not None and other._buffer is not None:
+            combined = sorted(self._buffer + other._buffer)
+            if total < _P2_BUFFER:
+                self._buffer = combined
+                self.count = total
+                return
+            # Exactly five (or more) buffered values: seed the markers
+            # from the combined sorted sample, then run any surplus
+            # through the normal update path. Sorting makes the result
+            # order-independent.
+            self._init_markers(combined[:_P2_BUFFER])
+            self.count = _P2_BUFFER
+            for x in combined[_P2_BUFFER:]:
+                self._add(x)
+            return
+        # Mixture-CDF inversion. Each operand contributes a monotone
+        # piecewise-linear CDF weighted by its count; the merged
+        # markers sit where the mixture crosses the canonical P²
+        # fractions.
+        lo = min(self._min_height(), other._min_height())
+        hi = max(self._max_height(), other._max_height())
+        wa = self.count / total
+        wb = other.count / total
+
+        def mixture(xs: np.ndarray) -> np.ndarray:
+            return wa * self._cdf(xs) + wb * other._cdf(xs)
+
+        heights = [lo]
+        for frac in self._fractions[1:-1]:
+            heights.append(_invert_monotone(mixture, frac, lo, hi))
+        heights.append(hi)
+        for i in range(1, _P2_BUFFER):
+            heights[i] = max(heights[i], heights[i - 1])
+        positions = (
+            [1.0]
+            + [
+                float(min(max(round(1.0 + f * (total - 1.0)), 2), total - 1))
+                for f in self._fractions[1:-1]
+            ]
+            + [float(total)]
+        )
+        # Enforce the strict ordering P² requires (possible because a
+        # merged sketch always holds >= 6 values).
+        for i in range(1, _P2_BUFFER):
+            positions[i] = max(positions[i], positions[i - 1] + 1.0)
+        for i in range(_P2_BUFFER - 2, -1, -1):
+            positions[i] = min(positions[i], positions[i + 1] - 1.0)
+        self._heights = heights
+        self._positions = positions
+        self._desired = self._desired_positions(total)
+        self._buffer = None
+        self.count = total
+
+    def _min_height(self) -> float:
+        if self._buffer is not None:
+            return min(self._buffer)
+        assert self._heights is not None
+        return float(self._heights[0])
+
+    def _max_height(self) -> float:
+        if self._buffer is not None:
+            return max(self._buffer)
+        assert self._heights is not None
+        return float(self._heights[-1])
+
+
+def _invert_monotone(fn, target: float, lo: float, hi: float) -> float:
+    """Bisection inverse of a nondecreasing function on [lo, hi]."""
+    if lo == hi:
+        return lo
+    f_lo = float(fn(np.asarray([lo]))[0])
+    f_hi = float(fn(np.asarray([hi]))[0])
+    if target <= f_lo:
+        return lo
+    if target >= f_hi:
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if float(fn(np.asarray([mid]))[0]) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+class StreamingSummary:
+    """Streaming replacement for :func:`summarize`.
+
+    Combines :class:`StreamingMoments` with three :class:`P2Quantile`
+    sketches (p10 / median / p90) so a chunked run can report every
+    :class:`TrialSummary` field in O(1) memory. Mean, std, count and
+    extrema are exact; quantiles are exact below five values and
+    sketched after.
+    """
+
+    __slots__ = ("moments", "_sketches")
+
+    def __init__(self) -> None:
+        self.moments = StreamingMoments()
+        self._sketches = {
+            "p10": P2Quantile(0.10),
+            "median": P2Quantile(0.50),
+            "p90": P2Quantile(0.90),
+        }
+
+    @property
+    def count(self) -> int:
+        return self.moments.count
+
+    @property
+    def mean(self) -> float:
+        return self.moments.mean
+
+    @property
+    def std(self) -> float:
+        return self.moments.std
+
+    def update(self, values: Sequence[float]) -> None:
+        """Fold a chunk of measurements into the accumulator."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self.moments.update(arr)
+        for sketch in self._sketches.values():
+            sketch.update(arr)
+
+    def merge(self, other: "StreamingSummary") -> None:
+        """Fold another accumulator into this one (commutative)."""
+        self.moments.merge(other.moments)
+        for name, sketch in self._sketches.items():
+            sketch.merge(other._sketches[name])
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """t-based CI half-width for the mean (inf below two trials)."""
+        return mean_halfwidth(self.count, self.std, confidence)
+
+    def summary(self) -> TrialSummary:
+        """Render the accumulated state as a :class:`TrialSummary`.
+
+        Raises:
+            HarnessError: if no measurements have been seen.
+        """
+        if self.count == 0:
+            raise HarnessError("cannot summarize zero measurements")
+        return TrialSummary(
+            count=self.moments.count,
+            mean=self.moments.mean,
+            std=self.moments.std,
+            median=self._sketches["median"].value(),
+            p10=self._sketches["p10"].value(),
+            p90=self._sketches["p90"].value(),
+            minimum=self.moments.minimum,
+            maximum=self.moments.maximum,
+        )
+
+
+class StreamingRate:
+    """Streaming replacement for :func:`success_rate`.
+
+    Counts boolean outcomes across chunks; the Wilson half-width feeds
+    CI-targeted stopping.
+    """
+
+    __slots__ = ("successes", "count")
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.count = 0
+
+    def update(self, outcomes: Sequence[bool]) -> None:
+        """Fold a chunk of outcomes into the accumulator."""
+        self.count += len(outcomes)
+        self.successes += sum(1 for o in outcomes if o)
+
+    def merge(self, other: "StreamingRate") -> None:
+        """Fold another accumulator into this one (commutative)."""
+        self.successes += other.successes
+        self.count += other.count
+
+    def rate(self) -> float:
+        """Observed success fraction.
+
+        Raises:
+            HarnessError: if no outcomes have been seen.
+        """
+        if self.count == 0:
+            raise HarnessError("cannot compute a rate of zero outcomes")
+        return self.successes / self.count
+
+    def halfwidth(self, confidence: float = 0.95) -> float:
+        """Wilson CI half-width (inf before any outcome arrives)."""
+        return rate_halfwidth(self.successes, self.count, confidence)

@@ -49,7 +49,12 @@ from repro.harness.cache import cache_key, code_version
 from repro.harness.executor import get_executor
 from repro.harness.runner import ExperimentTable
 from repro.model.errors import HarnessError, ReproError
-from repro.scenarios import cache_extra, resolve_scenario, run_scenario
+from repro.scenarios import (
+    cache_extra,
+    resolve_scenario,
+    run_scenario,
+    spec_to_dict,
+)
 
 __all__ = ["CampaignResult", "EntryOutcome", "run_campaign", "run_id_for"]
 
@@ -105,6 +110,7 @@ class _EntryPlan:
     title: str
     digest: str
     key: str
+    precision: Optional[Dict[str, object]] = None
 
 
 def run_id_for(
@@ -135,14 +141,22 @@ def _plan_entries(
     for index, entry in enumerate(spec.entries):
         overrides = entry.normalized_overrides()
         resolved = resolve_scenario(entry.scenario, overrides)
-        entry_trials = (
-            trials
-            if trials is not None
-            else entry.trials if entry.trials is not None else spec.trials
-        )
-        effective_trials = (
-            entry_trials if entry_trials is not None else resolved.trials
-        )
+        if resolved.precision is not None:
+            # Mirror run_scenario: a precision contract governs its own
+            # trial budget, and the store key must agree with the cache
+            # key the entry itself would compute.
+            effective_trials = resolved.precision.max_trials
+        else:
+            entry_trials = (
+                trials
+                if trials is not None
+                else entry.trials
+                if entry.trials is not None
+                else spec.trials
+            )
+            effective_trials = (
+                entry_trials if entry_trials is not None else resolved.trials
+            )
         entry_seed = entry.seed if entry.seed is not None else seed
         extra = cache_extra(resolved)
         plans.append(
@@ -162,6 +176,7 @@ def _plan_entries(
                     entry_seed,
                     extra=extra,
                 ),
+                precision=spec_to_dict(resolved).get("precision"),
             )
         )
     return plans
@@ -220,11 +235,42 @@ def _entry_payload(
     }
 
 
+def _achieved_precision(table: ExperimentTable) -> Dict[str, object]:
+    """Summarize a streamed table's per-point precision provenance.
+
+    Streamed rows carry ``trials``, ``converged`` and ``ci_<metric>``
+    columns (see :mod:`repro.scenarios.streaming`); this folds them
+    into the manifest block campaign reports read.
+    """
+    points: List[Dict[str, object]] = []
+    for row in table.rows:
+        point = {
+            key: row[key]
+            for key in ("trials", "converged")
+            if key in row
+        }
+        point.update(
+            {key: row[key] for key in row if key.startswith("ci_")}
+        )
+        points.append(point)
+    trials = [int(p["trials"]) for p in points if "trials" in p]
+    return {
+        "points": points,
+        "total_trials": sum(trials),
+        "max_point_trials": max(trials, default=0),
+        "all_converged": bool(points)
+        and all(bool(p.get("converged")) for p in points),
+    }
+
+
 def _entry_manifest(
-    plan: _EntryPlan, jobs: Jobs, wall_time: float
+    plan: _EntryPlan,
+    jobs: Jobs,
+    wall_time: float,
+    table: Optional[ExperimentTable] = None,
 ) -> Dict[str, object]:
     """The provenance block shared by done and failed entries."""
-    return {
+    manifest: Dict[str, object] = {
         "index": plan.index,
         "scenario": plan.scenario,
         "overrides": plan.overrides,
@@ -241,6 +287,12 @@ def _entry_manifest(
         "wall_time": wall_time,
         "finished": time.time(),
     }
+    if plan.precision is not None:
+        block: Dict[str, object] = {"declared": plan.precision}
+        if table is not None:
+            block["achieved"] = _achieved_precision(table)
+        manifest["precision"] = block
+    return manifest
 
 
 def run_campaign(
@@ -329,9 +381,9 @@ def run_campaign(
 
     def record(plan: _EntryPlan, result: Dict[str, object]) -> None:
         wall = float(result["wall_time"])
-        manifest = _entry_manifest(plan, jobs, wall)
         if result["ok"]:
             table = ExperimentTable.from_payload(result["table"])
+            manifest = _entry_manifest(plan, jobs, wall, table=table)
             run.write_entry(plan.entry_id, manifest, table)
             outcomes.append(
                 EntryOutcome(
@@ -345,6 +397,7 @@ def run_campaign(
             )
         else:
             error = str(result["error"])
+            manifest = _entry_manifest(plan, jobs, wall)
             run.write_failed_entry(plan.entry_id, manifest, error)
             outcomes.append(
                 EntryOutcome(

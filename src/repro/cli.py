@@ -216,6 +216,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_scn.add_argument(
+        "--precision",
+        action="append",
+        default=[],
+        metavar="METRIC=HALFWIDTH",
+        help=(
+            "CI-targeted stopping (repeatable): stream memory-capped "
+            "trial chunks until METRIC's confidence interval half-width "
+            "is <= HALFWIDTH (Wilson for rates, t-based for means), "
+            "e.g. --precision success=0.01 (a leading '±' on the value "
+            "is accepted)"
+        ),
+    )
+    run_scn.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="precision confidence level (default 0.95)",
+    )
+    run_scn.add_argument(
+        "--min-trials",
+        type=int,
+        default=None,
+        help="precision floor before the stopping rule may fire",
+    )
+    run_scn.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="precision ceiling per sweep point",
+    )
+    run_scn.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help=(
+            "trials resident per streaming chunk — the memory cap's "
+            "knob (default: the streaming executor's)"
+        ),
+    )
+    run_scn.add_argument(
         "--cache",
         action="store_true",
         help=(
@@ -395,6 +435,37 @@ def _emit_gate_report(report: GateReport) -> None:
         f"## {heading}\n\n{table}\n\n"
         f"Gate verdict: **{report.status.upper()}**"
     )
+
+
+def _precision_overrides(args) -> Dict[str, str]:
+    """Lower the precision flags into ``--set``-style override paths.
+
+    Routing through :func:`repro.scenarios.spec.apply_overrides` (not a
+    side channel) keeps the spec digest, the result cache and campaign
+    per-entry overrides all seeing one precision representation.
+    """
+    overrides: Dict[str, str] = {}
+    for pair in args.precision:
+        metric, sep, value = pair.partition("=")
+        metric = metric.strip()
+        # "±0.01" reads naturally in docs; accept it as "0.01".
+        value = value.strip().lstrip("±")
+        if not sep or not metric or not value:
+            raise HarnessError(
+                f"bad --precision value {pair!r}; expected "
+                "METRIC=HALFWIDTH (e.g. success=0.01)"
+            )
+        overrides[f"precision.targets.{metric}"] = value
+    for flag, path in (
+        ("confidence", "precision.confidence"),
+        ("min_trials", "precision.min_trials"),
+        ("max_trials", "precision.max_trials"),
+        ("chunk", "precision.chunk"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[path] = str(value)
+    return overrides
 
 
 def _parse_overrides(pairs: List[str]) -> Dict[str, str]:
@@ -590,12 +661,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-scenario":
         try:
             start = time.time()
+            overrides = {
+                **_parse_overrides(args.overrides),
+                **_precision_overrides(args),
+            }
             table = run_scenario(
                 args.scenario,
                 trials=args.trials,
                 seed=args.seed,
                 jobs=args.jobs,
-                overrides=_parse_overrides(args.overrides),
+                overrides=overrides,
                 cache=args.cache,
                 cache_dir=args.cache_dir,
             )

@@ -20,6 +20,7 @@ from repro.harness.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    StreamingExecutor,
     get_executor,
 )
 from repro.harness.experiments import (
@@ -27,7 +28,7 @@ from repro.harness.experiments import (
     experiment_ids,
     run_experiment,
 )
-from repro.harness.runner import ExperimentTable, run_trials
+from repro.harness.runner import ExperimentTable, run_trials, stream_trials
 from repro.harness.tables import render_markdown, write_csv
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "ExperimentTable",
     "ParallelExecutor",
     "SerialExecutor",
+    "StreamingExecutor",
     "cache_key",
     "code_version",
     "experiment_ids",
@@ -47,5 +49,6 @@ __all__ = [
     "run_experiment",
     "run_trials",
     "store_table",
+    "stream_trials",
     "write_csv",
 ]

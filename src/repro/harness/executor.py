@@ -22,6 +22,16 @@ vectorized batch. The strategies:
     list — see :func:`repro.sim.engine.resolve_step_batch` and
     :func:`repro.core.count.run_count_step_batch` for the sim-layer
     primitives this rides on); falls back to serial otherwise.
+:class:`StreamingExecutor`
+    Memory-capped chunked execution: splits the trial axis into
+    fixed-size chunks and delegates each to an inner strategy (the
+    vectorized batch by default), so resident state is bounded by the
+    chunk size rather than the trial count. Beyond the plain ``run``
+    contract it exposes :meth:`StreamingExecutor.iter_chunks`, which
+    pulls seeds lazily from a :class:`repro.sim.rng.SeedStream` and
+    yields one result chunk at a time — the entry point
+    :func:`repro.harness.runner.stream_trials` and CI-targeted stopping
+    ride on (results never materialize as one list).
 
 All strategies validate trial results eagerly: a raising trial surfaces
 as a :class:`~repro.model.errors.HarnessError` naming the trial seed
@@ -38,15 +48,28 @@ import math
 import multiprocessing
 import os
 import traceback
-from typing import Callable, List, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterator,
+    List,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
 
 from repro.model.errors import HarnessError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (rng is sim-side)
+    from repro.sim.rng import SeedStream
 
 __all__ = [
     "BatchedExecutor",
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
+    "StreamingExecutor",
     "get_executor",
 ]
 
@@ -226,16 +249,106 @@ class BatchedExecutor:
         return results
 
 
+#: Default trials resident per streaming chunk. Large enough that the
+#: per-chunk batch setup amortizes, small enough that batched engine
+#: state (``O(chunk * slots * nodes)``) stays in tens of megabytes for
+#: the stock scenarios.
+DEFAULT_STREAM_CHUNK = 4096
+
+
+class StreamingExecutor:
+    """Memory-capped chunked execution (``jobs='stream'``).
+
+    Splits the trial axis into chunks of at most ``chunk_size`` seeds
+    and delegates each chunk to an inner strategy — the vectorized
+    batch by default, so protocol trials still ride
+    :class:`repro.core.cseek_batch.CSeekBatch` /
+    :func:`repro.core.count.run_count_step_batch` within a chunk.
+    Resident simulation state is bounded by the chunk, not the trial
+    count, which is what lets a million-trial axis run under a fixed
+    memory cap.
+
+    ``run`` satisfies the :class:`Executor` protocol (and is
+    bit-identical to the inner strategy, since seeds derive up front);
+    :meth:`iter_chunks` is the genuinely streaming entry — seeds are
+    drawn lazily and results are yielded chunk by chunk, so a consumer
+    folding them into online accumulators (and possibly stopping
+    early) never holds more than one chunk.
+
+    Args:
+        chunk_size: Trials resident per chunk (default
+            ``DEFAULT_STREAM_CHUNK``).
+        inner: Strategy for each chunk — any ``jobs`` value
+            :func:`get_executor` accepts (default: vectorized batch).
+    """
+
+    def __init__(
+        self,
+        chunk_size: int = 0,
+        inner: "int | str | Executor | None" = None,
+    ) -> None:
+        if chunk_size < 0:
+            raise HarnessError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.chunk_size = chunk_size or DEFAULT_STREAM_CHUNK
+        self.inner: Executor = (
+            BatchedExecutor() if inner is None else get_executor(inner)
+        )
+        if isinstance(self.inner, StreamingExecutor):
+            raise HarnessError(
+                "a StreamingExecutor cannot nest another one"
+            )
+
+    def run(
+        self, trial: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        seeds = list(seeds)
+        results: List[T] = []
+        for i in range(0, len(seeds), self.chunk_size):
+            results.extend(
+                self.inner.run(trial, seeds[i : i + self.chunk_size])
+            )
+        return results
+
+    def iter_chunks(
+        self,
+        trial: Callable[[int], T],
+        stream: "SeedStream",
+        max_trials: int,
+    ) -> Iterator[List[T]]:
+        """Yield result chunks, drawing seeds lazily from ``stream``.
+
+        Stops after ``max_trials`` total trials; a consumer that breaks
+        out earlier leaves the stream positioned after the last chunk
+        it received, so the seeds consumed are always a prefix of the
+        one-shot derivation.
+
+        Raises:
+            HarnessError: if ``max_trials < 1``.
+        """
+        if max_trials < 1:
+            raise HarnessError(
+                f"max_trials must be >= 1, got {max_trials}"
+            )
+        done = 0
+        while done < max_trials:
+            count = min(self.chunk_size, max_trials - done)
+            yield self.inner.run(trial, stream.take(count))
+            done += count
+
+
 def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
     """Map a ``jobs`` knob value to an executor.
 
     Accepts ``None``/``1``/``"serial"`` (serial), an int ``>= 2``
     (process pool of that size), ``0`` (one worker per CPU),
     ``"batch"``/``"batched"`` (vectorized trial axis, one batch),
-    ``"batch:N"`` (vectorized in chunks of at most ``N`` trials), or an
-    existing :class:`Executor` instance (returned as-is, so experiment
-    functions can thread one executor through every ``run_trials``
-    call).
+    ``"batch:N"`` (vectorized in chunks of at most ``N`` trials),
+    ``"stream"``/``"stream:N"`` (memory-capped chunks of at most ``N``
+    trials, each chunk vectorized), or an existing :class:`Executor`
+    instance (returned as-is, so experiment functions can thread one
+    executor through every ``run_trials`` call).
     """
     if jobs is None:
         return SerialExecutor()
@@ -245,20 +358,27 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
             return SerialExecutor()
         if name in ("batch", "batched"):
             return BatchedExecutor()
-        for prefix in ("batch:", "batched:"):
+        if name in ("stream", "streaming"):
+            return StreamingExecutor()
+        for prefix, make in (
+            ("batch:", BatchedExecutor),
+            ("batched:", BatchedExecutor),
+            ("stream:", StreamingExecutor),
+            ("streaming:", StreamingExecutor),
+        ):
             if name.startswith(prefix):
                 size = name[len(prefix):]
                 if not size.isdigit() or int(size) < 1:
                     raise HarnessError(
-                        f"bad batch size in jobs value {jobs!r}; "
-                        "expected 'batch:<positive int>'"
+                        f"bad chunk size in jobs value {jobs!r}; "
+                        f"expected '{prefix}<positive int>'"
                     )
-                return BatchedExecutor(batch_size=int(size))
+                return make(int(size))
         if name.isdigit():
             return get_executor(int(name))
         raise HarnessError(
             f"unknown jobs value {jobs!r}; expected an int, 'serial', "
-            "'batch', or 'batch:N'"
+            "'batch', 'batch:N', 'stream', or 'stream:N'"
         )
     if isinstance(jobs, int) and not isinstance(jobs, bool):
         if jobs < 0:

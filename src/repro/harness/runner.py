@@ -17,12 +17,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
-from repro.harness.executor import Executor, get_executor
+from repro.harness.executor import Executor, StreamingExecutor, get_executor
 from repro.harness.tables import render_markdown, write_csv
 from repro.model.errors import HarnessError
 from repro.sim.rng import RngHub
 
-__all__ = ["ExperimentTable", "run_trials"]
+__all__ = ["ExperimentTable", "run_trials", "stream_trials"]
 
 T = TypeVar("T")
 Row = Dict[str, object]
@@ -145,3 +145,64 @@ def run_trials(
         raise HarnessError(f"trials must be >= 1, got {trials}")
     seeds = RngHub(seed).spawn_seeds(trials, name=label)
     return get_executor(executor).run(trial, seeds)
+
+
+def stream_trials(
+    trial: Callable[[int], T],
+    seed: int,
+    consume: Callable[[List[T], int], bool],
+    max_trials: int,
+    label: str = "trials",
+    executor: "Executor | int | str | None" = None,
+) -> int:
+    """Run ``trial`` in memory-capped chunks until ``consume`` says stop.
+
+    The streaming counterpart of :func:`run_trials`: per-trial seeds
+    come from the *same* derivation
+    (:meth:`~repro.sim.rng.RngHub.seed_stream` is prefix-stable with
+    ``spawn_seeds``), but are drawn lazily chunk by chunk, and each
+    chunk's results are handed to ``consume`` instead of accumulating
+    in a list. Trial ``i`` therefore sees exactly the seed a fixed
+    ``run_trials(trial, i + 1, seed, label)`` run would give it,
+    regardless of chunk size.
+
+    Args:
+        trial: Callable taking a trial seed (``run_batch`` opt-in as in
+            :func:`run_trials`; chunks ride the vectorized batch by
+            default).
+        seed: Master seed; per-trial seeds derive deterministically.
+        consume: Called after every chunk with ``(results, total_so_
+            far)``; folds the chunk into online accumulators and
+            returns ``True`` to stop early (e.g. a precision target
+            met).
+        max_trials: Hard ceiling on total trials.
+        label: Seed-stream label (vary to decorrelate phases).
+        executor: A :class:`~repro.harness.executor.StreamingExecutor`,
+            or any ``jobs`` value — non-streaming values become the
+            *inner* per-chunk strategy of a default-size streaming
+            executor.
+
+    Returns:
+        The total number of trials actually run.
+
+    Raises:
+        HarnessError: if ``max_trials < 1``, or eagerly when any trial
+            raises mid-chunk.
+    """
+    if isinstance(executor, StreamingExecutor):
+        streaming = executor
+    elif executor is None:
+        streaming = StreamingExecutor()
+    else:
+        resolved = get_executor(executor)
+        if isinstance(resolved, StreamingExecutor):
+            streaming = resolved
+        else:
+            streaming = StreamingExecutor(inner=resolved)
+    stream = RngHub(seed).seed_stream(name=label)
+    done = 0
+    for results in streaming.iter_chunks(trial, stream, max_trials):
+        done += len(results)
+        if consume(results, done):
+            break
+    return done

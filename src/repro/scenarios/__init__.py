@@ -13,9 +13,11 @@ this package yields a fully populated registry.
 """
 
 from repro.scenarios.compile import (
+    LoweredPoint,
     Point,
     Run,
     RunContext,
+    lower_points,
     run_scenario_spec,
     scenario_plan,
 )
@@ -32,6 +34,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     AssignmentSpec,
     InterferenceSpec,
+    PrecisionSpec,
     ProtocolSpec,
     ScenarioSpec,
     SweepSpec,
@@ -41,6 +44,7 @@ from repro.scenarios.spec import (
     spec_from_dict,
     spec_to_dict,
 )
+from repro.scenarios.streaming import stream_scenario_spec
 from repro.scenarios import paper as _paper  # noqa: F401 — registration
 from repro.scenarios import stock as _stock  # noqa: F401 — registration
 from repro.scenarios.paper import PAPER_SPECS, paper_spec
@@ -49,8 +53,10 @@ from repro.scenarios.stock import STOCK_SPECS
 __all__ = [
     "AssignmentSpec",
     "InterferenceSpec",
+    "LoweredPoint",
     "PAPER_SPECS",
     "Point",
+    "PrecisionSpec",
     "ProtocolSpec",
     "Run",
     "RunContext",
@@ -63,6 +69,7 @@ __all__ = [
     "get_scenario",
     "iter_scenarios",
     "load_scenario_file",
+    "lower_points",
     "paper_spec",
     "register",
     "resolve_scenario",
@@ -73,4 +80,5 @@ __all__ = [
     "spec_digest",
     "spec_from_dict",
     "spec_to_dict",
+    "stream_scenario_spec",
 ]

@@ -53,9 +53,11 @@ from repro.scenarios.trials import (
 from repro.sim import SpectrumEnvironment, make_environment
 
 __all__ = [
+    "LoweredPoint",
     "Point",
     "Run",
     "RunContext",
+    "lower_points",
     "run_scenario_spec",
     "scenario_plan",
 ]
@@ -104,6 +106,31 @@ class RunContext:
     trials: int
     seed: int
     extras: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class LoweredPoint:
+    """One declarative sweep point, lowered for both execution paths.
+
+    The fixed-trials path consumes :attr:`point` (whose reducer is the
+    reference arithmetic golden tables pin). The streaming path
+    (:mod:`repro.scenarios.streaming`) consumes the rest: the same
+    trial callable and seed-stream label, plus the metadata its online
+    accumulators need to reproduce the reducer's columns chunk by
+    chunk — the metric ``family`` names the outcome shape, ``static``
+    carries the point's constant columns (e.g. ``khat``), and
+    ``context`` carries family constants (e.g. the true broadcaster
+    count ``m`` the COUNT metrics normalize by).
+    """
+
+    point: Point
+    key: str
+    trial: Callable[[int], object]
+    label: str
+    params: Row
+    family: str
+    static: Row = field(default_factory=dict)
+    context: Row = field(default_factory=dict)
 
 
 def scenario_plan(spec: ScenarioSpec, ctx: RunContext) -> Iterable[Point]:
@@ -289,9 +316,9 @@ def _discovery_metrics(outcomes: list) -> Row:
     }
 
 
-def _declarative_point(
+def _lower_point(
     spec: ScenarioSpec, ctx: RunContext, idx: int, params: Row
-) -> Point:
+) -> LoweredPoint:
     scope: Dict[str, object] = dict(params)
     scope.update(seed=ctx.seed, point=idx, pseed=ctx.seed + idx)
     kind = spec.protocol.kind
@@ -337,8 +364,18 @@ def _declarative_point(
             }
             return _filter_metrics(spec, params, metrics)
 
-        return Point(
-            runs=[Run("count", trial, label, ctx.seed)], reduce=reduce_count
+        return LoweredPoint(
+            point=Point(
+                runs=[Run("count", trial, label, ctx.seed)],
+                reduce=reduce_count,
+            ),
+            key="count",
+            trial=trial,
+            label=label,
+            params=params,
+            family="count",
+            static={"slots": rounds * length},
+            context={"m": m},
         )
 
     net = _build_net(spec, scope)
@@ -398,9 +435,17 @@ def _declarative_point(
             metrics = {**extra_cols, **_discovery_metrics(outcomes[kind])}
             return _filter_metrics(spec, params, metrics)
 
-        return Point(
-            runs=[Run(kind, trial, label, ctx.seed)],
-            reduce=reduce_discovery,
+        return LoweredPoint(
+            point=Point(
+                runs=[Run(kind, trial, label, ctx.seed)],
+                reduce=reduce_discovery,
+            ),
+            key=kind,
+            trial=trial,
+            label=label,
+            params=params,
+            family="discovery",
+            static=dict(extra_cols),
         )
 
     if kind == "cgcast":
@@ -437,9 +482,16 @@ def _declarative_point(
             }
             return _filter_metrics(spec, params, metrics)
 
-        return Point(
-            runs=[Run("cgcast", trial, label, ctx.seed)],
-            reduce=reduce_cgcast,
+        return LoweredPoint(
+            point=Point(
+                runs=[Run("cgcast", trial, label, ctx.seed)],
+                reduce=reduce_cgcast,
+            ),
+            key="cgcast",
+            trial=trial,
+            label=label,
+            params=params,
+            family="cgcast",
         )
 
     if kind == "naive_discovery":
@@ -465,9 +517,16 @@ def _declarative_point(
                 spec, params, _discovery_metrics(outcomes["naive_discovery"])
             )
 
-        return Point(
-            runs=[Run("naive_discovery", nd_trial, label, ctx.seed)],
-            reduce=reduce_nd,
+        return LoweredPoint(
+            point=Point(
+                runs=[Run("naive_discovery", nd_trial, label, ctx.seed)],
+                reduce=reduce_nd,
+            ),
+            key="naive_discovery",
+            trial=nd_trial,
+            label=label,
+            params=params,
+            family="discovery",
         )
 
     # naive_broadcast
@@ -486,10 +545,41 @@ def _declarative_point(
         }
         return _filter_metrics(spec, params, metrics)
 
-    return Point(
-        runs=[Run("naive_broadcast", nb_trial, label, ctx.seed)],
-        reduce=reduce_nb,
+    return LoweredPoint(
+        point=Point(
+            runs=[Run("naive_broadcast", nb_trial, label, ctx.seed)],
+            reduce=reduce_nb,
+        ),
+        key="naive_broadcast",
+        trial=nb_trial,
+        label=label,
+        params=params,
+        family="broadcast",
     )
+
+
+def lower_points(
+    spec: ScenarioSpec, ctx: RunContext
+) -> Iterable[LoweredPoint]:
+    """Lower a declarative spec's sweep into :class:`LoweredPoint`\\ s.
+
+    The streaming path's entry into the lowering — same trial
+    construction as the fixed path (both come from one
+    :func:`_lower_point` call per sweep point), so the two paths run
+    identical workloads and differ only in how outcomes aggregate.
+
+    Raises:
+        HarnessError: for plan-based specs, which have no declarative
+            lowering.
+    """
+    if spec.plan is not None:
+        raise HarnessError(
+            f"scenario {spec.name!r} is code-defined (plan-based) and "
+            "has no declarative lowering"
+        )
+    points = spec.sweep.points() if spec.sweep is not None else [{}]
+    for idx, params in enumerate(points):
+        yield _lower_point(spec, ctx, idx, params)
 
 
 def _declarative_plan(
@@ -497,4 +587,4 @@ def _declarative_plan(
 ) -> Iterable[Point]:
     points = spec.sweep.points() if spec.sweep is not None else [{}]
     for idx, params in enumerate(points):
-        yield _declarative_point(spec, ctx, idx, params)
+        yield _lower_point(spec, ctx, idx, params).point

@@ -25,6 +25,7 @@ from repro.scenarios.spec import (
     spec_digest,
     spec_from_dict,
 )
+from repro.scenarios.streaming import stream_scenario_spec
 
 __all__ = [
     "cache_extra",
@@ -142,9 +143,21 @@ def run_scenario(
             includes the spec digest, so overridden runs never collide
             with default-parameter entries.
         cache_dir: Cache location override.
+
+    A spec carrying a ``precision`` contract routes through the
+    streaming path (:func:`repro.scenarios.streaming.
+    stream_scenario_spec`): memory-capped chunks with CI-targeted
+    stopping instead of a fixed trial count. ``trials`` is ignored
+    there — the contract's ``min_trials``/``max_trials`` govern — and
+    the cache keys on ``max_trials`` plus the spec digest (which covers
+    the whole precision block), so streamed results never collide with
+    fixed-trials entries.
     """
     spec = resolve_scenario(scenario, overrides)
-    effective_trials = trials if trials is not None else spec.trials
+    if spec.precision is not None:
+        effective_trials = spec.precision.max_trials
+    else:
+        effective_trials = trials if trials is not None else spec.trials
     extra = cache_extra(spec)
     if cache:
         cached = load_table(
@@ -156,9 +169,12 @@ def run_scenario(
         )
         if cached is not None:
             return cached
-    table = run_scenario_spec(
-        spec, trials=effective_trials, seed=seed, jobs=jobs
-    )
+    if spec.precision is not None:
+        table = stream_scenario_spec(spec, seed=seed, jobs=jobs)
+    else:
+        table = run_scenario_spec(
+            spec, trials=effective_trials, seed=seed, jobs=jobs
+        )
     if cache:
         try:
             store_table(

@@ -49,6 +49,7 @@ from repro.sim.environment import ENVIRONMENT_MODELS
 __all__ = [
     "AssignmentSpec",
     "InterferenceSpec",
+    "PrecisionSpec",
     "ProtocolSpec",
     "ScenarioSpec",
     "SweepSpec",
@@ -412,6 +413,97 @@ class InterferenceSpec:
 
 
 @dataclass(frozen=True)
+class PrecisionSpec:
+    """CI-targeted stopping: run trials until metrics resolve.
+
+    A scenario carrying a precision spec runs through the *streaming*
+    path (:func:`repro.scenarios.streaming.stream_scenario_spec`): each
+    sweep point executes memory-capped chunks of trials, folding
+    outcomes into online accumulators, until every targeted metric's
+    confidence interval is narrower than its target — or ``max_trials``
+    is reached.
+
+    Attributes:
+        targets: Metric name -> CI half-width target (a point stops
+            once every achieved half-width is <= its target). Rate
+            metrics (e.g.
+            ``success``, ``band_rate``) use Wilson intervals; mean
+            metrics (e.g. ``discovered_fraction``, ``mean_completion``)
+            use t-based intervals. Median/quantile metrics are not
+            targetable.
+        confidence: Interval confidence level, in ``(0, 1)``.
+        min_trials: Floor before the stopping rule may fire — guards
+            against lucky early chunks deciding convergence.
+        max_trials: Hard ceiling per sweep point.
+        chunk: Trials resident per chunk (``0`` = the streaming
+            executor's default). This is the memory cap's knob: peak
+            state is ``O(chunk)``, never ``O(max_trials)``.
+    """
+
+    targets: Mapping[str, float] = field(default_factory=dict)
+    confidence: float = 0.95
+    min_trials: int = 32
+    max_trials: int = 100_000
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.targets, Mapping) or not self.targets:
+            raise HarnessError(
+                "precision needs a non-empty 'targets' mapping of "
+                "metric -> CI half-width"
+            )
+        targets: Dict[str, float] = {}
+        for metric, value in self.targets.items():
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not value > 0
+            ):
+                raise HarnessError(
+                    f"precision target for {metric!r} must be a "
+                    f"positive number, got {value!r}"
+                )
+            targets[str(metric)] = float(value)
+        object.__setattr__(self, "targets", targets)
+        if (
+            isinstance(self.confidence, bool)
+            or not isinstance(self.confidence, (int, float))
+            or not 0.0 < self.confidence < 1.0
+        ):
+            raise HarnessError(
+                f"precision confidence must lie in (0, 1), got "
+                f"{self.confidence!r}"
+            )
+        object.__setattr__(self, "confidence", float(self.confidence))
+        object.__setattr__(
+            self,
+            "min_trials",
+            _as_int(self.min_trials, "precision min_trials"),
+        )
+        object.__setattr__(
+            self,
+            "max_trials",
+            _as_int(self.max_trials, "precision max_trials"),
+        )
+        object.__setattr__(
+            self, "chunk", _as_int(self.chunk, "precision chunk")
+        )
+        if self.min_trials < 1:
+            raise HarnessError(
+                f"precision min_trials must be >= 1, got {self.min_trials}"
+            )
+        if self.max_trials < self.min_trials:
+            raise HarnessError(
+                f"precision max_trials ({self.max_trials}) must be >= "
+                f"min_trials ({self.min_trials})"
+            )
+        if self.chunk < 0:
+            raise HarnessError(
+                f"precision chunk must be >= 0, got {self.chunk}"
+            )
+
+
+@dataclass(frozen=True)
 class ProtocolSpec:
     """The protocol under test plus its knobs.
 
@@ -449,6 +541,10 @@ class ScenarioSpec:
             declarative core; see the respective spec classes.
         metrics: Optional subset of the protocol's stock metric columns
             to report (sweep-axis columns always appear).
+        precision: Optional CI-targeted stopping contract
+            (:class:`PrecisionSpec`). A spec carrying one runs through
+            the streaming path; only declarative specs qualify (the
+            plan-based paper specs stay pinned to fixed trial counts).
         notes: Table notes — a string, or a callable
             ``(rows, ctx) -> str`` for notes computed from results.
         columns: Optional explicit column order.
@@ -469,6 +565,7 @@ class ScenarioSpec:
     interference: Optional[InterferenceSpec] = None
     protocol: Optional[ProtocolSpec] = None
     metrics: Optional[Tuple[str, ...]] = None
+    precision: Optional[PrecisionSpec] = None
     notes: "str | Callable[..., str]" = ""
     columns: Optional[Sequence[str]] = None
     plan: Optional[Callable] = None
@@ -483,6 +580,13 @@ class ScenarioSpec:
         if self.plan is None and self.protocol is None:
             raise HarnessError(
                 f"scenario {self.name!r} needs a protocol spec or a plan"
+            )
+        if self.precision is not None and self.plan is not None:
+            raise HarnessError(
+                f"scenario {self.name!r} is code-defined (plan-based): "
+                "CI-targeted stopping (precision) requires the "
+                "declarative lowering; paper specs stay pinned to fixed "
+                "trial counts"
             )
         induces_graph = (
             self.assignment is not None
@@ -569,6 +673,8 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, object]:
     out["protocol"] = _sub_to_dict(spec.protocol)
     if spec.metrics is not None:
         out["metrics"] = list(spec.metrics)
+    if spec.precision is not None:
+        out["precision"] = _sub_to_dict(spec.precision)
     if spec.notes:
         out["notes"] = spec.notes
     if spec.columns is not None:
@@ -628,6 +734,7 @@ def spec_from_dict(payload: Mapping[str, object]) -> ScenarioSpec:
         "interference",
         "protocol",
         "metrics",
+        "precision",
         "notes",
         "columns",
     }
@@ -674,6 +781,10 @@ def spec_from_dict(payload: Mapping[str, object]) -> ScenarioSpec:
         )
     if "metrics" in payload:
         kwargs["metrics"] = tuple(payload["metrics"])
+    if payload.get("precision") is not None:
+        kwargs["precision"] = _build_sub(
+            PrecisionSpec, payload["precision"], "precision"
+        )
     if "columns" in payload:
         kwargs["columns"] = list(payload["columns"])
     return ScenarioSpec(**kwargs)

@@ -18,7 +18,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-__all__ = ["RngHub"]
+__all__ = ["RngHub", "SeedStream"]
 
 
 def _stable_key(name: str) -> int:
@@ -72,3 +72,46 @@ class RngHub:
         """Derive ``count`` independent integer seeds (for repeated trials)."""
         gen = self.generator(name)
         return [int(s) for s in gen.integers(0, 2**63 - 1, size=count)]
+
+    def seed_stream(self, name: str = "trials") -> "SeedStream":
+        """An incremental view of the same stream :meth:`spawn_seeds` draws.
+
+        The stream is *prefix-stable*: the concatenation of successive
+        :meth:`SeedStream.take` calls equals ``spawn_seeds(total, name)``
+        for the same total, regardless of how the draws are chunked. A
+        chunked (streaming) run therefore hands trial ``i`` exactly the
+        seed a one-shot run would — chunk size is invisible to results.
+        """
+        return SeedStream(self.generator(name))
+
+
+class SeedStream:
+    """Chunked, prefix-stable trial-seed derivation.
+
+    Wraps one named generator; each :meth:`take` continues where the
+    previous call stopped. numpy's bounded-integer sampling draws one
+    64-bit word per value for a ``2**63`` range, so chunk boundaries
+    never change which seed lands at which trial index (pinned by
+    ``tests/test_streaming.py``).
+    """
+
+    def __init__(self, generator: np.random.Generator) -> None:
+        self._generator = generator
+        self._drawn = 0
+
+    @property
+    def drawn(self) -> int:
+        """Total seeds handed out so far."""
+        return self._drawn
+
+    def take(self, count: int) -> list[int]:
+        """The next ``count`` seeds of the stream."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return []
+        self._drawn += count
+        return [
+            int(s)
+            for s in self._generator.integers(0, 2**63 - 1, size=count)
+        ]

@@ -124,6 +124,42 @@ class TestMain:
         assert (out_dir / "from-file.csv").exists()
         assert "file scenario" in capsys.readouterr().out
 
+    def test_run_scenario_precision_flags(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "count-interference",
+                "--set",
+                "sweep.axes.m=[2]",
+                "--set",
+                "sweep.axes.activity=[0.0]",
+                "--precision",
+                "band_rate=±0.5",
+                "--min-trials",
+                "8",
+                "--max-trials",
+                "64",
+                "--chunk",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "ci_band_rate" in out
+
+    def test_run_scenario_rejects_bad_precision_flag(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "count-interference",
+                "--precision",
+                "band_rate",
+            ]
+        )
+        assert code == 1
+        assert "METRIC=HALFWIDTH" in capsys.readouterr().err
+
     def test_run_scenario_rejects_unknown_name(self, capsys):
         assert main(["run-scenario", "no-such-workload"]) == 1
         assert "unknown scenario" in capsys.readouterr().err

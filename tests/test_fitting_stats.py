@@ -1,11 +1,15 @@
 """Unit tests for fitting and trial statistics."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.analysis import (
     find_crossover,
     fit_power_law,
+    mean_halfwidth,
+    rate_halfwidth,
     ratio_curve,
     success_rate,
     summarize,
@@ -115,3 +119,24 @@ class TestTrialStats:
             wilson_interval(1, 0)
         with pytest.raises(HarnessError):
             wilson_interval(6, 5)
+
+
+class TestIntervalDegradation:
+    """Intervals over too few trials must be inf, never NaN.
+
+    Regression: a single trial has sample std 0.0 and df 0; a naive t
+    interval divides by zero. Stopping rules compare half-widths
+    against targets, and ``NaN <= target`` is silently False — the
+    point would stop immediately with garbage precision.
+    """
+
+    def test_single_trial_mean_halfwidth_is_inf(self):
+        assert mean_halfwidth(1, 0.0) == math.inf
+        assert mean_halfwidth(0, 0.0) == math.inf
+        assert not math.isnan(mean_halfwidth(1, 0.0))
+
+    def test_two_trials_resolve(self):
+        assert math.isfinite(mean_halfwidth(2, 1.0))
+
+    def test_zero_trial_rate_halfwidth_is_inf(self):
+        assert rate_halfwidth(0, 0) == math.inf
