@@ -1,0 +1,66 @@
+"""Cross-point lockstep batching vs per-point batching on a real sweep.
+
+``jobs="batch"`` already locksteps the trials of one sweep point; a
+multi-point sweep still pays the per-step Python and engine-dispatch
+overhead once per point. ``jobs="xbatch"`` concatenates every
+compatible point's trial axis and pays it once per *group* — the win
+this PR's tentpole bought, pinned here end to end:
+
+* ``xpoint16_batch``: a 16-point CSEEK sweep (one replication axis —
+  each point samples a fresh 10-node 4-regular network of the same
+  shape) executed point by point through ``CSeekBatch``.
+* ``xpoint16_xbatch``: the identical sweep (byte-identical rows — the
+  equivalence is pinned by tests/test_xbatch.py) as cross-point
+  lockstep groups. With only 4 trials per point, per-step overhead
+  dominates the per-point path, and the compare gate's ratio check
+  requires the grouped run to finish in at most ~2/3 of the per-point
+  time (>= 1.5x end-to-end).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    AssignmentSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TopologySpec,
+    run_scenario_spec,
+)
+
+POINTS = 16
+TRIALS = 4
+
+
+def _sweep_spec() -> ScenarioSpec:
+    """A replication-axis CSEEK sweep: 16 same-shape points, 4 trials.
+
+    Every point's network is freshly sampled (the seeded topology
+    defaults its seed to the point's ``pseed``), so the sweep is the
+    honest many-small-points workload: same lockstep signature, fresh
+    adjacency per point, too few trials per point for per-point
+    batching to amortize its per-step overhead.
+    """
+    return ScenarioSpec(
+        name="xpoint-bench",
+        title="cross-point batching benchmark sweep",
+        trials=TRIALS,
+        sweep=SweepSpec(axes={"rep": list(range(POINTS))}),
+        topology=TopologySpec("random_regular", {"n": 10, "d": 4}),
+        assignment=AssignmentSpec(c=8, k=2),
+        protocol=ProtocolSpec("cseek", {"part1_steps": 100}),
+    )
+
+
+def bench_xpoint16_batch(benchmark):
+    """The per-point reference: one CSeekBatch execution per point."""
+    spec = _sweep_spec()
+    table = benchmark(lambda: run_scenario_spec(spec, seed=0, jobs="batch"))
+    assert len(table.rows) == POINTS
+
+
+def bench_xpoint16_xbatch(benchmark):
+    """The same sweep as one cross-point lockstep group."""
+    spec = _sweep_spec()
+    table = benchmark(lambda: run_scenario_spec(spec, seed=0, jobs="xbatch"))
+    assert len(table.rows) == POINTS

@@ -75,6 +75,8 @@ KEY_BENCHMARKS = (
     "bench_jammed_cseek16_batched",
     "bench_stream4096_materialized",
     "bench_stream4096_streaming",
+    "bench_xpoint16_batch",
+    "bench_xpoint16_xbatch",
 )
 
 # Machine-independent invariants checked *within* the fresh run: pairs
@@ -93,6 +95,9 @@ RATIO_GATES = (
     # reduce at equal trial count — the accumulators are an O(1)-memory
     # feature, not a speed tax.
     ("bench_stream4096_streaming", "bench_stream4096_materialized", 1.25),
+    # Cross-point lockstep must beat per-point batching by >= 1.5x on
+    # the many-small-points sweep it was built for.
+    ("bench_xpoint16_xbatch", "bench_xpoint16_batch", 0.6667),
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"

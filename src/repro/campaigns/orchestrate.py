@@ -55,6 +55,7 @@ from repro.scenarios import (
     run_scenario,
     spec_to_dict,
 )
+from repro.sim.backend import active_backend
 
 __all__ = ["CampaignResult", "EntryOutcome", "run_campaign", "run_id_for"]
 
@@ -277,6 +278,7 @@ def _entry_manifest(
         "trials": plan.trials,
         "seed": plan.seed,
         "executor": "serial" if jobs is None else str(jobs),
+        "backend": active_backend().name,
         "experiment_id": plan.table_id,
         "title": plan.title,
         "scenario_digest": plan.digest,
@@ -494,6 +496,7 @@ def run_campaign(
         "seed": effective_seed,
         "trials": trials,
         "executor": "serial" if jobs is None else str(jobs),
+        "backend": active_backend().name,
         "campaign_jobs": campaign_jobs,
         "status": "done" if counts["failed"] == 0 else "partial",
         "counts": counts,

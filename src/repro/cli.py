@@ -94,6 +94,7 @@ from repro.harness import experiment_ids, run_experiment
 from repro.harness.executor import get_executor
 from repro.model.errors import HarnessError, ReproError, StoreError
 from repro.scenarios import iter_scenarios, run_scenario
+from repro.sim.backend import BACKEND_ENV, set_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +112,20 @@ def _parse_jobs(value: str) -> "int | str":
     except HarnessError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return int(name) if name.isdigit() else name
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default=None,
+        help=(
+            "array-compute backend for the engine's hot path (default: "
+            "numpy, or $REPRO_BACKEND); 'numba' JIT-compiles the step "
+            "products and requires numba to be installed; results are "
+            "bit-identical either way"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,10 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trial execution strategy: an int for that many worker "
             "processes (0 = one per CPU), 'batch' for vectorized trial "
-            "axes ('batch:N' bounds the chunk size), 'serial' "
-            "(default); results are identical either way"
+            "axes ('batch:N' bounds the chunk size), 'xbatch' to also "
+            "batch across compatible sweep points, 'serial' (default); "
+            "results are identical either way"
         ),
     )
+    _add_backend_arg(run)
     run.add_argument(
         "--cache",
         action="store_true",
@@ -199,9 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "trial execution strategy (int / 'batch' / 'batch:N' / "
-            "'serial'); results are identical either way"
+            "'xbatch' / 'serial'); results are identical either way"
         ),
     )
+    _add_backend_arg(run_scn)
     run_scn.add_argument(
         "--set",
         dest="overrides",
@@ -303,9 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "per-trial execution strategy inside each entry (int / "
-            "'batch' / 'batch:N' / 'serial'); never changes rows"
+            "'batch' / 'batch:N' / 'xbatch' / 'serial'); never "
+            "changes rows"
         ),
     )
+    _add_backend_arg(run_cmp)
     run_cmp.add_argument(
         "--campaign-jobs",
         type=int,
@@ -547,6 +567,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None) is not None:
+        # The env var (not just the in-process install) so process-pool
+        # workers (--jobs N, --campaign-jobs N) inherit the choice.
+        os.environ[BACKEND_ENV] = args.backend
+        try:
+            set_backend(args.backend)
+        except HarnessError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.command == "list":
         for experiment_id in experiment_ids():
             print(experiment_id)

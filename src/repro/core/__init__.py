@@ -23,7 +23,13 @@ from repro.core.cseek import (
     resolve_backoff_batch,
     verify_discovery,
 )
-from repro.core.cseek_batch import CSeekBatch, batched_discovery
+from repro.core.cseek_batch import (
+    CSeekBatch,
+    LockstepMember,
+    batched_discovery,
+    lockstep_signature,
+    run_cseek_lockstep,
+)
 from repro.core.dedicated import agree_dedicated_channels, first_heard_payloads
 from repro.core.dissemination import DisseminationResult, run_dissemination
 from repro.core.exchange import (
@@ -32,6 +38,12 @@ from repro.core.exchange import (
     simulated_exchange,
 )
 from repro.core.linegraph import LineGraph, edges_from_discovery
+from repro.core.xbatch import (
+    CountXBatch,
+    CSeekXBatch,
+    XBatchable,
+    run_group,
+)
 
 __all__ = [
     "CGCast",
@@ -41,13 +53,17 @@ __all__ = [
     "CSeekBatch",
     "CSeekResult",
     "ColoringResult",
+    "CSeekXBatch",
     "CountBatchOutcome",
     "CountOutcome",
+    "CountXBatch",
     "DiscoveryReport",
     "DisseminationResult",
     "LineGraph",
+    "LockstepMember",
     "LubyEdgeColoring",
     "ProtocolConstants",
+    "XBatchable",
     "agree_dedicated_channels",
     "batched_discovery",
     "choose_part2_labels",
@@ -56,9 +72,12 @@ __all__ = [
     "exchange_slot_cost",
     "first_heard_payloads",
     "is_valid_edge_coloring",
+    "lockstep_signature",
     "oracle_exchange",
     "redisseminate",
     "resolve_backoff_batch",
+    "run_cseek_lockstep",
+    "run_group",
     "run_count_step",
     "run_count_step_batch",
     "run_dissemination",

@@ -105,7 +105,9 @@ class CountBatchOutcome:
         )
 
 
-def count_schedule(max_count: int, log_n: int, constants: ProtocolConstants) -> tuple[int, int]:
+def count_schedule(
+    max_count: int, log_n: int, constants: ProtocolConstants
+) -> tuple[int, int]:
     """Return ``(rounds, round_length)`` for a COUNT execution.
 
     ``rounds = ceil(lg max_count) + 1`` so the probe probabilities
@@ -227,7 +229,8 @@ def run_count_step_batch(
     batching is a pure throughput decision.
 
     Args:
-        adjacency: ``(n, n)`` boolean adjacency matrix.
+        adjacency: ``(n, n)`` shared or ``(B, n, n)`` per-trial boolean
+            adjacency (the cross-point batching path).
         channels: ``(n,)`` shared or ``(B, n)`` per-trial global channel
             per node (``-1`` idle).
         tx_role: ``(n,)`` shared or ``(B, n)`` per-trial broadcaster
@@ -244,7 +247,7 @@ def run_count_step_batch(
     """
     if not rngs:
         raise ProtocolError("rngs must name at least one trial generator")
-    n = adjacency.shape[0]
+    n = adjacency.shape[-1]
     rounds, round_length = count_schedule(max_count, log_n, constants)
     total_slots = rounds * round_length
     probs = np.repeat(

@@ -126,7 +126,8 @@ def resolve_backoff_batch(
     homogeneous-trial experiments and benchmarks.
 
     Args:
-        adjacency: ``(n, n)`` boolean adjacency matrix.
+        adjacency: ``(n, n)`` shared or ``(B, n, n)`` per-trial boolean
+            adjacency (the cross-point batching path).
         channels: ``(n,)`` or ``(B, n)`` global channel per node.
         tx_role: ``(n,)`` or ``(B, n)`` broadcaster roles.
         backoff_len: Window length (``lg Delta`` in the paper).
@@ -138,7 +139,7 @@ def resolve_backoff_batch(
     """
     if not rngs:
         raise ProtocolError("rngs must name at least one trial generator")
-    n = adjacency.shape[0]
+    n = adjacency.shape[-1]
     probs = backoff_probabilities(backoff_len)
     coins = np.stack(
         [rng.random((backoff_len, n)) < probs[:, None] for rng in rngs]

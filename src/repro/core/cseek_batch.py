@@ -26,10 +26,24 @@ it from a :class:`~repro.core.ckseek.CKSeek` prototype via
 :meth:`CSeek.batch` / :meth:`CSeekBatch.from_serial`) and CGCAST's
 discovery phase (:func:`batched_discovery` + the ``discovery=``
 injection parameter on :class:`~repro.core.cgcast.CGCast`).
+
+Cross-point batching: :func:`run_cseek_lockstep` is the general form —
+it locksteps trials of *several* :class:`CSeekBatch` members at once
+(one per sweep point), provided they share a compatibility signature
+(:func:`lockstep_signature`: node/channel counts, step budgets,
+listener policy, rng namespace, knowledge, constants). Member networks
+may differ: the engine resolves against a per-trial ``(B, n, n)``
+adjacency stack when they do. The trial axis is the plain concatenation
+of every member's seeds, so ragged per-point trial counts need no
+padding — each trial draws from its own generators either way, which is
+also why per-trial bit-identity to the serial protocol is preserved
+member by member. :meth:`CSeekBatch.run` is the single-member special
+case.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -52,7 +66,14 @@ from repro.sim.network import CRNetwork
 from repro.sim.rng import RngHub
 from repro.sim.trace import TraceRecorder, record_step_batch
 
-__all__ = ["CSeekBatch", "JammerFactory", "batched_discovery"]
+__all__ = [
+    "CSeekBatch",
+    "JammerFactory",
+    "LockstepMember",
+    "batched_discovery",
+    "lockstep_signature",
+    "run_cseek_lockstep",
+]
 
 JammerFactory = Callable[[int], Optional[PrimaryUserTraffic]]
 
@@ -207,130 +228,12 @@ class CSeekBatch:
 
         Returns per-trial :class:`CSeekResult` objects, in seed order,
         each bit-identical to ``CSeek(..., seed=seeds[b]).run()``.
+        The single-member special case of :func:`run_cseek_lockstep`.
         """
         seeds = [int(s) for s in seeds]
         if not seeds:
             raise ProtocolError("seeds must name at least one trial")
-        proto = self._proto
-        net = proto.network
-        kn = proto.knowledge
-        n, c = net.n, net.c
-        num_trials = len(seeds)
-        table = net.channel_table()
-        rows = np.arange(n)
-
-        hubs = [RngHub(s).child(proto.rng_label) for s in seeds]
-        traffic = self._open_traffic(seeds)
-        counts = np.zeros((num_trials, n, c), dtype=np.float64)
-        traces = [TraceRecorder() for _ in range(num_trials)]
-        ledgers = [SlotLedger() for _ in range(num_trials)]
-        step_starts: List[int] = []
-        # Per-step (B, n) channel snapshots, re-sliced per trial at the end.
-        step_channels: List[np.ndarray] = []
-        slot_cursor = 0
-
-        count_rounds, count_round_len = count_schedule(
-            kn.max_degree, kn.log_n, proto.constants
-        )
-        count_slots = count_rounds * count_round_len
-
-        rng1 = [hub.generator("part1") for hub in hubs]
-        for _ in range(proto.part1_step_budget):
-            labels = np.empty((num_trials, n), dtype=np.int64)
-            tx_role = np.empty((num_trials, n), dtype=bool)
-            for b in range(num_trials):
-                labels[b] = rng1[b].integers(0, c, size=n)
-                tx_role[b] = rng1[b].random(n) < 0.5
-            channels = table[rows[None, :], labels]
-            jam = (
-                traffic.jam_mask(channels, count_slots)
-                if traffic is not None
-                else None
-            )
-            outcome = run_count_step_batch(
-                net.adjacency,
-                channels,
-                tx_role,
-                max_count=kn.max_degree,
-                log_n=kn.log_n,
-                constants=proto.constants,
-                rngs=rng1,
-                jam=jam,
-            )
-            listeners = ~tx_role
-            b_idx, u_idx = np.nonzero(listeners)
-            # (b, u) pairs are unique, so plain fancy-index accumulation
-            # matches the serial += exactly.
-            counts[b_idx, u_idx, labels[b_idx, u_idx]] += (
-                outcome.estimates[b_idx, u_idx]
-            )
-            record_step_batch(
-                traces, outcome.step, slot_cursor, "cseek.part1",
-                channels=channels,
-            )
-            step_starts.append(slot_cursor)
-            step_channels.append(channels)
-            slot_cursor += outcome.num_slots
-            for ledger in ledgers:
-                ledger.charge("part1", outcome.num_slots)
-
-        discovered_part_one = [
-            [set(trace.heard_by(u)) for u in range(n)] for trace in traces
-        ]
-
-        rng2 = [hub.generator("part2") for hub in hubs]
-        backoff_len = kn.log_delta
-        for _ in range(proto.part2_step_budget):
-            labels = np.empty((num_trials, n), dtype=np.int64)
-            tx_role = np.empty((num_trials, n), dtype=bool)
-            for b in range(num_trials):
-                tx_role[b] = rng2[b].random(n) < 0.5
-                labels[b] = choose_part2_labels(
-                    rng2[b], tx_role[b], counts[b],
-                    policy=proto.part2_listener,
-                )
-            channels = table[rows[None, :], labels]
-            jam = (
-                traffic.jam_mask(channels, backoff_len)
-                if traffic is not None
-                else None
-            )
-            outcome = resolve_backoff_batch(
-                net.adjacency, channels, tx_role, backoff_len, rng2, jam=jam
-            )
-            record_step_batch(
-                traces, outcome, slot_cursor, "cseek.part2",
-                channels=channels,
-            )
-            step_starts.append(slot_cursor)
-            step_channels.append(channels)
-            slot_cursor += backoff_len
-            for ledger in ledgers:
-                ledger.charge("part2", backoff_len)
-
-        # (S, B, n) -> per-trial (S, n) slices, matching serial vstack.
-        all_channels = (
-            np.stack(step_channels)
-            if step_channels
-            else np.zeros((0, num_trials, n), dtype=np.int64)
-        )
-        results: List[CSeekResult] = []
-        for b in range(num_trials):
-            results.append(
-                CSeekResult(
-                    discovered=[
-                        set(traces[b].heard_by(u)) for u in range(n)
-                    ],
-                    discovered_part_one=discovered_part_one[b],
-                    counts=counts[b].copy(),
-                    trace=traces[b],
-                    ledger=ledgers[b],
-                    step_start_slots=np.array(step_starts, dtype=np.int64),
-                    step_channels=np.ascontiguousarray(all_channels[:, b, :]),
-                    total_slots=slot_cursor,
-                )
-            )
-        return results
+        return run_cseek_lockstep([LockstepMember(self, seeds)])[0]
 
     # ------------------------------------------------------------------
     # Internals
@@ -352,6 +255,250 @@ class CSeekBatch:
             if any(j is not None for j in jammers):
                 return _PerTrialTraffic(jammers)
         return None
+
+
+@dataclass
+class LockstepMember:
+    """One sweep point's contribution to a cross-point lockstep run.
+
+    Attributes:
+        batch: The point's configured :class:`CSeekBatch` (network,
+            budgets, environment).
+        seeds: The point's trial seeds — any count; the cross-point
+            trial axis is the concatenation of every member's seeds, so
+            ragged per-point counts need no padding.
+    """
+
+    batch: CSeekBatch
+    seeds: Sequence[int]
+
+
+def lockstep_signature(batch: CSeekBatch) -> tuple:
+    """The compatibility key members of one lockstep run must share.
+
+    Everything that shapes the lockstep schedule: node and channel
+    counts, resolved step budgets, listener policy, rng namespace, the
+    knowledge values the schedule derives from, and the constants
+    profile. Networks are deliberately *not* part of the key — trials
+    from different graphs resolve against a per-trial adjacency stack.
+    Environments differ freely too (each member opens its own streams).
+    """
+    proto = batch._proto
+    net = proto.network
+    kn = proto.knowledge
+    return (
+        net.n,
+        net.c,
+        proto.part1_step_budget,
+        proto.part2_step_budget,
+        proto.part2_listener,
+        proto.rng_label,
+        kn.max_degree,
+        kn.log_n,
+        kn.log_delta,
+        proto.constants,
+    )
+
+
+def run_cseek_lockstep(
+    members: Sequence[LockstepMember],
+) -> List[List[CSeekResult]]:
+    """Run every member's trials in one cross-point lockstep execution.
+
+    All members must share :func:`lockstep_signature`; their networks
+    and environments may differ. Each part-one step and part-two window
+    resolves as *one* engine call over the concatenated trial axis —
+    with a shared adjacency when every member's network coincides (the
+    single-point case), or a per-trial ``(B, n, n)`` stack otherwise.
+    Per trial, generator draws, jam masks and bookkeeping are exactly
+    those of a per-member :meth:`CSeekBatch.run`, so results are
+    bit-identical to the per-point path (and hence to serial
+    :meth:`CSeek.run`) member by member.
+
+    Returns:
+        One result list per member, in member order, each in the
+        member's seed order.
+    """
+    if not members:
+        raise ProtocolError("lockstep run needs at least one member")
+    signature = lockstep_signature(members[0].batch)
+    for member in members[1:]:
+        other = lockstep_signature(member.batch)
+        if other != signature:
+            raise ProtocolError(
+                "lockstep members must share a compatibility signature "
+                "(n, c, budgets, policy, rng label, knowledge, "
+                f"constants); got {other} vs {signature}"
+            )
+    seed_lists = [[int(s) for s in m.seeds] for m in members]
+    if any(not seeds for seeds in seed_lists):
+        raise ProtocolError("seeds must name at least one trial")
+
+    proto = members[0].batch._proto
+    kn = proto.knowledge
+    n, c = proto.network.n, proto.network.c
+    per_member = [len(seeds) for seeds in seed_lists]
+    num_trials = sum(per_member)
+    offsets = np.concatenate([[0], np.cumsum(per_member)])
+    slices = [
+        slice(int(offsets[j]), int(offsets[j + 1]))
+        for j in range(len(members))
+    ]
+    tables = [m.batch.network.channel_table() for m in members]
+    adjacencies = [m.batch.network.adjacency for m in members]
+    if all(
+        a is adjacencies[0] or np.array_equal(a, adjacencies[0])
+        for a in adjacencies[1:]
+    ):
+        # One shared graph (always true for a single member): keep the
+        # 2-D adjacency so the engine's shared-mask path applies.
+        adjacency = adjacencies[0]
+    else:
+        adjacency = np.concatenate(
+            [
+                np.broadcast_to(adj, (cnt, n, n))
+                for adj, cnt in zip(adjacencies, per_member)
+            ]
+        )
+    rows = np.arange(n)
+
+    hubs = [
+        RngHub(s).child(proto.rng_label)
+        for seeds in seed_lists
+        for s in seeds
+    ]
+    traffics = [
+        m.batch._open_traffic(seeds)
+        for m, seeds in zip(members, seed_lists)
+    ]
+
+    def gather_jam(channels: np.ndarray, num_slots: int):
+        """Per-member jam gathers assembled over the full trial axis.
+
+        Unjammed members contribute zeros, which the engine treats
+        exactly like the no-jam path — so mixing jammed and unjammed
+        points in one group perturbs nothing.
+        """
+        if all(t is None for t in traffics):
+            return None
+        jam = np.zeros((num_trials, num_slots, n), dtype=bool)
+        for sl, traffic in zip(slices, traffics):
+            if traffic is not None:
+                jam[sl] = traffic.jam_mask(channels[sl], num_slots)
+        return jam
+
+    counts = np.zeros((num_trials, n, c), dtype=np.float64)
+    traces = [TraceRecorder() for _ in range(num_trials)]
+    ledgers = [SlotLedger() for _ in range(num_trials)]
+    step_starts: List[int] = []
+    # Per-step (B, n) channel snapshots, re-sliced per trial at the end.
+    step_channels: List[np.ndarray] = []
+    slot_cursor = 0
+
+    count_rounds, count_round_len = count_schedule(
+        kn.max_degree, kn.log_n, proto.constants
+    )
+    count_slots = count_rounds * count_round_len
+
+    rng1 = [hub.generator("part1") for hub in hubs]
+    for _ in range(proto.part1_step_budget):
+        labels = np.empty((num_trials, n), dtype=np.int64)
+        tx_role = np.empty((num_trials, n), dtype=bool)
+        for b in range(num_trials):
+            labels[b] = rng1[b].integers(0, c, size=n)
+            tx_role[b] = rng1[b].random(n) < 0.5
+        channels = np.empty((num_trials, n), dtype=np.int64)
+        for sl, table in zip(slices, tables):
+            channels[sl] = table[rows[None, :], labels[sl]]
+        jam = gather_jam(channels, count_slots)
+        outcome = run_count_step_batch(
+            adjacency,
+            channels,
+            tx_role,
+            max_count=kn.max_degree,
+            log_n=kn.log_n,
+            constants=proto.constants,
+            rngs=rng1,
+            jam=jam,
+        )
+        listeners = ~tx_role
+        b_idx, u_idx = np.nonzero(listeners)
+        # (b, u) pairs are unique, so plain fancy-index accumulation
+        # matches the serial += exactly.
+        counts[b_idx, u_idx, labels[b_idx, u_idx]] += (
+            outcome.estimates[b_idx, u_idx]
+        )
+        record_step_batch(
+            traces, outcome.step, slot_cursor, "cseek.part1",
+            channels=channels,
+        )
+        step_starts.append(slot_cursor)
+        step_channels.append(channels)
+        slot_cursor += outcome.num_slots
+        for ledger in ledgers:
+            ledger.charge("part1", outcome.num_slots)
+
+    discovered_part_one = [
+        [set(trace.heard_by(u)) for u in range(n)] for trace in traces
+    ]
+
+    rng2 = [hub.generator("part2") for hub in hubs]
+    backoff_len = kn.log_delta
+    for _ in range(proto.part2_step_budget):
+        labels = np.empty((num_trials, n), dtype=np.int64)
+        tx_role = np.empty((num_trials, n), dtype=bool)
+        for b in range(num_trials):
+            tx_role[b] = rng2[b].random(n) < 0.5
+            labels[b] = choose_part2_labels(
+                rng2[b], tx_role[b], counts[b],
+                policy=proto.part2_listener,
+            )
+        channels = np.empty((num_trials, n), dtype=np.int64)
+        for sl, table in zip(slices, tables):
+            channels[sl] = table[rows[None, :], labels[sl]]
+        jam = gather_jam(channels, backoff_len)
+        outcome = resolve_backoff_batch(
+            adjacency, channels, tx_role, backoff_len, rng2, jam=jam
+        )
+        record_step_batch(
+            traces, outcome, slot_cursor, "cseek.part2",
+            channels=channels,
+        )
+        step_starts.append(slot_cursor)
+        step_channels.append(channels)
+        slot_cursor += backoff_len
+        for ledger in ledgers:
+            ledger.charge("part2", backoff_len)
+
+    # (S, B, n) -> per-trial (S, n) slices, matching serial vstack.
+    all_channels = (
+        np.stack(step_channels)
+        if step_channels
+        else np.zeros((0, num_trials, n), dtype=np.int64)
+    )
+    step_start_arr = np.array(step_starts, dtype=np.int64)
+    results: List[List[CSeekResult]] = []
+    for sl in slices:
+        member_results: List[CSeekResult] = []
+        for b in range(sl.start, sl.stop):
+            member_results.append(
+                CSeekResult(
+                    discovered=[
+                        set(traces[b].heard_by(u)) for u in range(n)
+                    ],
+                    discovered_part_one=discovered_part_one[b],
+                    counts=counts[b].copy(),
+                    trace=traces[b],
+                    ledger=ledgers[b],
+                    step_start_slots=step_start_arr,
+                    step_channels=np.ascontiguousarray(
+                        all_channels[:, b, :]
+                    ),
+                    total_slots=slot_cursor,
+                )
+            )
+        results.append(member_results)
+    return results
 
 
 def batched_discovery(

@@ -22,6 +22,14 @@ vectorized batch. The strategies:
     list — see :func:`repro.sim.engine.resolve_step_batch` and
     :func:`repro.core.count.run_count_step_batch` for the sim-layer
     primitives this rides on); falls back to serial otherwise.
+:class:`XBatchExecutor`
+    The cross-point strategy (``jobs="xbatch"``): per run it behaves
+    exactly like :class:`BatchedExecutor`, but scenario-level drivers
+    (:func:`repro.scenarios.compile.run_scenario_spec`, the streaming
+    path) recognize it and batch *across* sweep points — every point
+    whose trial advertises a matching ``xbatch`` compatibility
+    signature joins one lockstep execution
+    (:func:`repro.core.xbatch.run_group`).
 :class:`StreamingExecutor`
     Memory-capped chunked execution: splits the trial axis into
     fixed-size chunks and delegates each to an inner strategy (the
@@ -70,6 +78,7 @@ __all__ = [
     "ParallelExecutor",
     "SerialExecutor",
     "StreamingExecutor",
+    "XBatchExecutor",
     "get_executor",
 ]
 
@@ -249,6 +258,25 @@ class BatchedExecutor:
         return results
 
 
+class XBatchExecutor(BatchedExecutor):
+    """Cross-point vectorized execution (``jobs='xbatch'``).
+
+    For a single ``run`` call this *is* the batched strategy (same
+    contract, same results). Its extra meaning lives one layer up:
+    scenario drivers that see an ``XBatchExecutor`` group the sweep's
+    points by their trials' ``xbatch`` compatibility signatures and
+    run each group as one lockstep execution spanning every member
+    point, so a whole sweep resolves in a handful of giant engine
+    calls instead of one batch per point. Points that cannot group
+    (no ``xbatch`` descriptor, or a unique signature) degrade to
+    per-point batching — never an error.
+
+    ``batch_size`` (``jobs="xbatch:N"``) caps trials per lockstep
+    execution in both roles, bounding the ``O(B * T * n)`` (and, for
+    mixed-network groups, ``O(B * n^2)``) engine state.
+    """
+
+
 #: Default trials resident per streaming chunk. Large enough that the
 #: per-chunk batch setup amortizes, small enough that batched engine
 #: state (``O(chunk * slots * nodes)``) stays in tens of megabytes for
@@ -277,21 +305,40 @@ class StreamingExecutor:
 
     Args:
         chunk_size: Trials resident per chunk (default
-            ``DEFAULT_STREAM_CHUNK``).
+            ``DEFAULT_STREAM_CHUNK``). Always the *cap* — adaptive
+            growth never exceeds it.
         inner: Strategy for each chunk — any ``jobs`` value
             :func:`get_executor` accepts (default: vectorized batch).
+        initial_chunk: When set (``0 < initial_chunk < chunk_size``),
+            :meth:`iter_chunks` grows the chunk geometrically — the
+            first chunk has ``initial_chunk`` trials, each subsequent
+            chunk doubles, capped at ``chunk_size``. Easy points (a
+            CI-targeted consumer that stops after a few hundred
+            trials) then never pay for a full-size chunk, while hard
+            points quickly reach the cap and amortize per-chunk
+            overhead. The schedule is deterministic, and seeds are
+            prefix-stable under any chunking, so per-trial results
+            never depend on it. ``0`` (default) keeps fixed-size
+            chunks. ``run`` ignores it — the trial count is already
+            known there, so there is nothing to probe.
     """
 
     def __init__(
         self,
         chunk_size: int = 0,
         inner: "int | str | Executor | None" = None,
+        initial_chunk: int = 0,
     ) -> None:
         if chunk_size < 0:
             raise HarnessError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if initial_chunk < 0:
+            raise HarnessError(
+                f"initial_chunk must be >= 0, got {initial_chunk}"
+            )
         self.chunk_size = chunk_size or DEFAULT_STREAM_CHUNK
+        self.initial_chunk = min(initial_chunk, self.chunk_size)
         self.inner: Executor = (
             BatchedExecutor() if inner is None else get_executor(inner)
         )
@@ -322,7 +369,8 @@ class StreamingExecutor:
         Stops after ``max_trials`` total trials; a consumer that breaks
         out earlier leaves the stream positioned after the last chunk
         it received, so the seeds consumed are always a prefix of the
-        one-shot derivation.
+        one-shot derivation. With ``initial_chunk`` set, chunk sizes
+        grow geometrically (doubling) from it up to ``chunk_size``.
 
         Raises:
             HarnessError: if ``max_trials < 1``.
@@ -331,11 +379,13 @@ class StreamingExecutor:
             raise HarnessError(
                 f"max_trials must be >= 1, got {max_trials}"
             )
+        chunk = self.initial_chunk or self.chunk_size
         done = 0
         while done < max_trials:
-            count = min(self.chunk_size, max_trials - done)
+            count = min(chunk, max_trials - done)
             yield self.inner.run(trial, stream.take(count))
             done += count
+            chunk = min(chunk * 2, self.chunk_size)
 
 
 def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
@@ -345,6 +395,8 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
     (process pool of that size), ``0`` (one worker per CPU),
     ``"batch"``/``"batched"`` (vectorized trial axis, one batch),
     ``"batch:N"`` (vectorized in chunks of at most ``N`` trials),
+    ``"xbatch"``/``"xbatch:N"`` (vectorized *across* sweep points with
+    compatible shapes; per-run it equals ``"batch"``),
     ``"stream"``/``"stream:N"`` (memory-capped chunks of at most ``N``
     trials, each chunk vectorized), or an existing :class:`Executor`
     instance (returned as-is, so experiment functions can thread one
@@ -358,11 +410,14 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
             return SerialExecutor()
         if name in ("batch", "batched"):
             return BatchedExecutor()
+        if name == "xbatch":
+            return XBatchExecutor()
         if name in ("stream", "streaming"):
             return StreamingExecutor()
         for prefix, make in (
             ("batch:", BatchedExecutor),
             ("batched:", BatchedExecutor),
+            ("xbatch:", XBatchExecutor),
             ("stream:", StreamingExecutor),
             ("streaming:", StreamingExecutor),
         ):
@@ -378,7 +433,8 @@ def get_executor(jobs: "int | str | Executor | None" = None) -> Executor:
             return get_executor(int(name))
         raise HarnessError(
             f"unknown jobs value {jobs!r}; expected an int, 'serial', "
-            "'batch', 'batch:N', 'stream', or 'stream:N'"
+            "'batch', 'batch:N', 'xbatch', 'xbatch:N', 'stream', or "
+            "'stream:N'"
         )
     if isinstance(jobs, int) and not isinstance(jobs, bool):
         if jobs < 0:

@@ -35,15 +35,17 @@ from repro.core import (
     CSeek,
     ProtocolConstants,
     count_schedule,
+    run_group,
     verify_discovery,
     verify_k_discovery,
 )
 from repro.graphs import builders, topologies
-from repro.harness.executor import Executor, get_executor
+from repro.harness.executor import Executor, XBatchExecutor, get_executor
 from repro.harness.runner import ExperimentTable, run_trials
 from repro.model.errors import HarnessError
 from repro.model.spec import ceil_log2
 from repro.scenarios.spec import ScenarioSpec, resolve
+from repro.sim.rng import RngHub
 from repro.scenarios.trials import (
     broadcaster_star,
     cgcast_trial,
@@ -154,24 +156,29 @@ def run_scenario_spec(
         seed: Master seed.
         jobs: Execution strategy (see
             :func:`repro.harness.executor.get_executor`); never changes
-            rows, only wall-clock.
+            rows, only wall-clock. ``jobs="xbatch"`` additionally
+            groups declarative sweep points with matching cross-point
+            signatures into single lockstep executions.
     """
     executor = get_executor(jobs)
     ctx = RunContext(
         trials=trials if trials is not None else spec.trials, seed=seed
     )
-    rows: List[Row] = []
-    for point in scenario_plan(spec, ctx):
-        outcomes: Dict[str, list] = {}
-        for run in point.runs:
-            outcomes[run.key] = run_trials(
-                run.trial,
-                run.trials if run.trials is not None else ctx.trials,
-                run.seed,
-                label=run.label,
-                executor=executor,
-            )
-        rows.extend(point.reduce(ctx, outcomes))
+    if isinstance(executor, XBatchExecutor) and spec.plan is None:
+        rows = _xbatch_rows(spec, ctx, executor)
+    else:
+        rows = []
+        for point in scenario_plan(spec, ctx):
+            outcomes: Dict[str, list] = {}
+            for run in point.runs:
+                outcomes[run.key] = run_trials(
+                    run.trial,
+                    run.trials if run.trials is not None else ctx.trials,
+                    run.seed,
+                    label=run.label,
+                    executor=executor,
+                )
+            rows.extend(point.reduce(ctx, outcomes))
     notes = spec.notes(rows, ctx) if callable(spec.notes) else spec.notes
     return ExperimentTable(
         experiment_id=spec.table_id,
@@ -180,6 +187,69 @@ def run_scenario_spec(
         notes=notes,
         columns=spec.columns,
     )
+
+
+def _xbatch_rows(
+    spec: ScenarioSpec, ctx: RunContext, executor: XBatchExecutor
+) -> List[Row]:
+    """Execute a declarative spec with cross-point lockstep grouping.
+
+    Runs whose trial factories publish matching
+    :meth:`~repro.core.xbatch.XBatchable.signature` descriptors are
+    concatenated along one trial axis and executed through
+    :func:`repro.core.run_group` — one engine call per protocol step
+    for the whole compatibility group, instead of one per sweep point.
+    Runs without a descriptor fall back to the executor's inherited
+    per-run batch path. Per-trial seeds derive exactly as
+    :func:`~repro.harness.runner.run_trials` derives them, so rows are
+    byte-identical to every other ``jobs`` value; reducers still see
+    outcomes per point, in sweep order.
+    """
+    lowered = list(lower_points(spec, ctx))
+    entries: List[Run] = []  # flattened (point, run) pairs
+    by_point: List[List[int]] = []  # entry indices per lowered point
+    groups: Dict[tuple, List[int]] = {}
+    for lp in lowered:
+        idxs: List[int] = []
+        for run in lp.point.runs:
+            e = len(entries)
+            entries.append(run)
+            idxs.append(e)
+            xb = getattr(run.trial, "xbatch", None)
+            if xb is not None:
+                groups.setdefault(xb.signature(), []).append(e)
+        by_point.append(idxs)
+
+    def run_seeds(run: Run) -> List[int]:
+        count = run.trials if run.trials is not None else ctx.trials
+        return RngHub(run.seed).spawn_seeds(count, name=run.label)
+
+    grouped: Dict[int, list] = {}
+    for members in groups.values():
+        xs = [entries[e].trial.xbatch for e in members]
+        seed_lists = [run_seeds(entries[e]) for e in members]
+        for e, outs in zip(
+            members, run_group(xs, seed_lists, executor.batch_size)
+        ):
+            grouped[e] = outs
+
+    rows: List[Row] = []
+    for lp, idxs in zip(lowered, by_point):
+        outcomes: Dict[str, list] = {}
+        for e in idxs:
+            run = entries[e]
+            if e in grouped:
+                outcomes[run.key] = grouped[e]
+            else:
+                outcomes[run.key] = run_trials(
+                    run.trial,
+                    run.trials if run.trials is not None else ctx.trials,
+                    run.seed,
+                    label=run.label,
+                    executor=executor,
+                )
+        rows.extend(lp.point.reduce(ctx, outcomes))
+    return rows
 
 
 # ----------------------------------------------------------------------

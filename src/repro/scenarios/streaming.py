@@ -36,9 +36,11 @@ from repro.analysis.stats import (
     StreamingRate,
     mean_halfwidth,
 )
+from repro.core import run_group
 from repro.harness.executor import (
     Executor,
     StreamingExecutor,
+    XBatchExecutor,
     get_executor,
 )
 from repro.harness.runner import ExperimentTable, stream_trials
@@ -50,6 +52,7 @@ from repro.scenarios.compile import (
     lower_points,
 )
 from repro.scenarios.spec import PrecisionSpec, ScenarioSpec
+from repro.sim.rng import RngHub
 
 __all__ = ["PointAccumulator", "make_accumulator", "stream_scenario_spec"]
 
@@ -284,6 +287,13 @@ def make_accumulator(lowered: LoweredPoint) -> PointAccumulator:
     return cls(lowered)
 
 
+#: First chunk size of the scenario streaming path; chunks double per
+#: round toward the cap while a point (or group) remains unconverged,
+#: so easy points stop within a few trials of their convergence point
+#: instead of overshooting by a whole fixed-size chunk.
+ADAPTIVE_START = 64
+
+
 def _streaming_executor(
     jobs: Jobs, precision: PrecisionSpec
 ) -> StreamingExecutor:
@@ -292,20 +302,177 @@ def _streaming_executor(
     Non-streaming values become the per-chunk inner strategy
     (vectorized batch when unspecified). ``precision.chunk`` overrides
     the chunk size when set — it is the spec's declared memory cap.
+    Chunks start at :data:`ADAPTIVE_START` trials and grow
+    geometrically toward the cap, unless the caller hands a ready-made
+    :class:`StreamingExecutor` instance, whose settings (including a
+    fixed chunk schedule) are respected.
     """
-    if jobs is None:
-        streaming = StreamingExecutor()
+    if isinstance(jobs, StreamingExecutor):
+        streaming = jobs
+    elif jobs is None:
+        streaming = StreamingExecutor(initial_chunk=ADAPTIVE_START)
     else:
         resolved = get_executor(jobs)
         if isinstance(resolved, StreamingExecutor):
-            streaming = resolved
+            streaming = StreamingExecutor(
+                chunk_size=resolved.chunk_size,
+                inner=resolved.inner,
+                initial_chunk=resolved.initial_chunk or ADAPTIVE_START,
+            )
         else:
-            streaming = StreamingExecutor(inner=resolved)
+            streaming = StreamingExecutor(
+                inner=resolved, initial_chunk=ADAPTIVE_START
+            )
     if precision.chunk and precision.chunk != streaming.chunk_size:
         streaming = StreamingExecutor(
-            chunk_size=precision.chunk, inner=streaming.inner
+            chunk_size=precision.chunk,
+            inner=streaming.inner,
+            initial_chunk=streaming.initial_chunk,
         )
     return streaming
+
+
+def _validate_targets(
+    spec: ScenarioSpec,
+    precision: PrecisionSpec,
+    acc: PointAccumulator,
+    lowered: LoweredPoint,
+) -> None:
+    for metric in precision.targets:
+        if metric not in acc.targetable:
+            raise HarnessError(
+                f"scenario {spec.name!r}: precision target "
+                f"{metric!r} is not CI-targetable for protocol "
+                f"family {lowered.family!r}; targetable: "
+                f"{', '.join(sorted(acc.targetable)) or 'none'}"
+            )
+
+
+def _targets_met(acc: PointAccumulator, precision: PrecisionSpec) -> bool:
+    return all(
+        acc.halfwidth(metric, precision.confidence) <= target
+        for metric, target in precision.targets.items()
+    )
+
+
+def _finish_row(
+    spec: ScenarioSpec,
+    precision: PrecisionSpec,
+    lowered: LoweredPoint,
+    acc: PointAccumulator,
+    ran: int,
+) -> Row:
+    row = _filter_metrics(spec, lowered.params, acc.metrics())[0]
+    row["trials"] = ran
+    row["converged"] = _targets_met(acc, precision)
+    for metric in precision.targets:
+        row[f"ci_{metric}"] = acc.halfwidth(metric, precision.confidence)
+    return row
+
+
+def _stream_xbatch_rows(
+    spec: ScenarioSpec,
+    precision: PrecisionSpec,
+    executor: StreamingExecutor,
+    lowered: List[LoweredPoint],
+) -> List[Row]:
+    """Stream a sweep with chunks interleaved across compatible points.
+
+    The cross-point counterpart of the per-point streaming loop: points
+    whose trial factories publish matching
+    :meth:`~repro.core.xbatch.XBatchable.signature` descriptors draw
+    their next chunk of seeds together and execute it as one lockstep
+    group per round (:func:`repro.core.run_group`, capped at the
+    executor's chunk size), so per-step engine overhead amortizes over
+    every still-unconverged point instead of one. A point leaves its
+    group's rotation as soon as its targets are met (past
+    ``min_trials``) or it exhausts ``max_trials``; chunks start at the
+    executor's ``initial_chunk`` and double per round toward the cap.
+    Seeds come from each point's own prefix-stable stream, so trial
+    ``i`` of every point is bit-identical to the per-point paths; only
+    chunk boundaries (and therefore stopping granularity) differ.
+    Points without a cross-point descriptor fall back to the per-point
+    streaming loop.
+    """
+    states = []
+    for lp in lowered:
+        acc = make_accumulator(lp)
+        _validate_targets(spec, precision, acc, lp)
+        run = lp.point.runs[0]
+        states.append(
+            {
+                "lp": lp,
+                "acc": acc,
+                "done": 0,
+                "stopped": False,
+                "stream": RngHub(run.seed).seed_stream(name=run.label),
+                "xb": getattr(lp.trial, "xbatch", None),
+            }
+        )
+    groups: Dict[tuple, list] = {}
+    for st in states:
+        if st["xb"] is not None:
+            groups.setdefault(st["xb"].signature(), []).append(st)
+    for members in groups.values():
+        chunk = executor.initial_chunk or executor.chunk_size
+        while True:
+            active = [st for st in members if not st["stopped"]]
+            if not active:
+                break
+            seed_lists = [
+                st["stream"].take(
+                    min(chunk, precision.max_trials - st["done"])
+                )
+                for st in active
+            ]
+            group_outs = run_group(
+                [st["xb"] for st in active],
+                seed_lists,
+                executor.chunk_size,
+            )
+            for st, outcomes in zip(active, group_outs):
+                st["acc"].consume(outcomes)
+                st["done"] += len(outcomes)
+                if st["done"] >= precision.max_trials or (
+                    st["done"] >= precision.min_trials
+                    and _targets_met(st["acc"], precision)
+                ):
+                    st["stopped"] = True
+            chunk = min(chunk * 2, executor.chunk_size)
+    rows: List[Row] = []
+    for st in states:
+        lp, acc = st["lp"], st["acc"]
+        if st["xb"] is None:
+            st["done"] = _stream_point(
+                spec, precision, executor, lp, acc
+            )
+        rows.append(_finish_row(spec, precision, lp, acc, st["done"]))
+    return rows
+
+
+def _stream_point(
+    spec: ScenarioSpec,
+    precision: PrecisionSpec,
+    executor: StreamingExecutor,
+    lowered: LoweredPoint,
+    acc: PointAccumulator,
+) -> int:
+    """Stream one point through ``stream_trials``; return trials run."""
+
+    def consume(outcomes: list, total: int) -> bool:
+        acc.consume(outcomes)
+        if total < precision.min_trials:
+            return False
+        return _targets_met(acc, precision)
+
+    return stream_trials(
+        lowered.trial,
+        lowered.point.runs[0].seed,
+        consume,
+        max_trials=precision.max_trials,
+        label=lowered.label,
+        executor=executor,
+    )
 
 
 def stream_scenario_spec(
@@ -321,7 +488,10 @@ def stream_scenario_spec(
         seed: Master seed — trial ``i`` of every point sees the same
             seed the fixed path would derive.
         jobs: Execution strategy for each chunk (default: vectorized
-            batch); a ``"stream:N"`` value sets the chunk size too.
+            batch); a ``"stream:N"`` value sets the chunk size too,
+            and ``"xbatch"`` interleaves chunks across sweep points
+            with matching cross-point signatures (see
+            :func:`_stream_xbatch_rows`).
         precision: The stopping contract; defaults to the spec's own
             ``precision`` field.
 
@@ -343,48 +513,18 @@ def stream_scenario_spec(
         )
     executor = _streaming_executor(jobs, precision)
     ctx = RunContext(trials=precision.max_trials, seed=seed)
-    rows: List[Row] = []
-    for lowered in lower_points(spec, ctx):
-        acc = make_accumulator(lowered)
-        for metric in precision.targets:
-            if metric not in acc.targetable:
-                raise HarnessError(
-                    f"scenario {spec.name!r}: precision target "
-                    f"{metric!r} is not CI-targetable for protocol "
-                    f"family {lowered.family!r}; targetable: "
-                    f"{', '.join(sorted(acc.targetable)) or 'none'}"
-                )
-
-        def consume(
-            outcomes: list, total: int, acc: PointAccumulator = acc
-        ) -> bool:
-            acc.consume(outcomes)
-            if total < precision.min_trials:
-                return False
-            return all(
-                acc.halfwidth(metric, precision.confidence) <= target
-                for metric, target in precision.targets.items()
-            )
-
-        ran = stream_trials(
-            lowered.trial,
-            lowered.point.runs[0].seed,
-            consume,
-            max_trials=precision.max_trials,
-            label=lowered.label,
-            executor=executor,
+    if isinstance(executor.inner, XBatchExecutor):
+        lowered_points = list(lower_points(spec, ctx))
+        rows = _stream_xbatch_rows(
+            spec, precision, executor, lowered_points
         )
-        row = _filter_metrics(spec, lowered.params, acc.metrics())[0]
-        row["trials"] = ran
-        row["converged"] = all(
-            acc.halfwidth(metric, precision.confidence) <= target
-            for metric, target in precision.targets.items()
-        )
-        for metric in precision.targets:
-            row[f"ci_{metric}"] = acc.halfwidth(
-                metric, precision.confidence
-            )
-        rows.append(row)
+    else:
+        rows = []
+        for lowered in lower_points(spec, ctx):
+            acc = make_accumulator(lowered)
+            _validate_targets(spec, precision, acc, lowered)
+            ran = _stream_point(spec, precision, executor, lowered, acc)
+            rows.append(_finish_row(spec, precision, lowered, acc, ran))
     notes = spec.notes(rows, ctx) if callable(spec.notes) else spec.notes
     return ExperimentTable(
         experiment_id=spec.table_id,

@@ -27,6 +27,8 @@ from repro.core import (
     CGCast,
     CSeek,
     CSeekBatch,
+    CSeekXBatch,
+    CountXBatch,
     ProtocolConstants,
     batched_discovery,
     count_schedule,
@@ -81,6 +83,14 @@ def cseek_trial(
         return [postprocess(r) for r in batch.run(seeds)]
 
     trial.run_batch = run_batch
+    # Cross-point grouping descriptor (jobs="xbatch"): points whose
+    # signatures match run as one lockstep execution.
+    trial.xbatch = CSeekXBatch(
+        make_protocol=make_protocol,
+        postprocess=postprocess,
+        jammer_factory=jammer_factory,
+        environment=environment,
+    )
     return trial
 
 
@@ -198,4 +208,15 @@ def count_trial(
         return [postprocess(row) for row in out.estimates]
 
     trial.run_batch = run_batch
+    trial.xbatch = CountXBatch(
+        adj=adj,
+        channels=channels,
+        tx_role=tx_role,
+        max_count=max_count,
+        log_n=log_n,
+        constants=constants,
+        postprocess=postprocess,
+        jammer_factory=jammer_factory,
+        environment=environment,
+    )
     return trial

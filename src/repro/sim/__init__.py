@@ -1,5 +1,13 @@
 """Synchronous slot-level simulation engine."""
 
+from repro.sim.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    set_backend,
+    use_backend,
+)
 from repro.sim.engine import (
     BatchStepOutcome,
     SlotOutcome,
@@ -24,8 +32,14 @@ from repro.sim.rng import RngHub
 from repro.sim.trace import ReceptionEvent, TraceRecorder
 
 __all__ = [
+    "ArrayBackend",
     "BatchStepOutcome",
     "CRNetwork",
+    "NumpyBackend",
+    "active_backend",
+    "available_backends",
+    "set_backend",
+    "use_backend",
     "MarkovTraffic",
     "PoissonTraffic",
     "PrimaryUserTraffic",

@@ -31,6 +31,16 @@ Three entry points:
     result is bit-identical to a serial :func:`resolve_step` call on
     trial ``b``'s inputs.
 
+:func:`resolve_step_batch` additionally accepts a *per-trial* ``(B, n,
+n)`` adjacency stack, which is what lets one lockstep execution span
+several sweep points (cross-point batching): trials from different
+networks ride one batched resolve, each against its own graph.
+
+The per-step arithmetic — the contender-count and id-sum products —
+is delegated to a pluggable :class:`repro.sim.backend.ArrayBackend`
+(numpy/BLAS by default, optional numba JIT); every backend returns
+exact integers, so the choice never changes results.
+
 Identity convention: nodes are identified by their index ``0 .. n-1``;
 ``-1`` means "heard nothing" (silence or collision) in outputs and
 "idle / no channel" in channel inputs.
@@ -39,10 +49,12 @@ Identity convention: nodes are identified by their index ``0 .. n-1``;
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.model.errors import ProtocolError
+from repro.sim.backend import active_backend
 
 __all__ = [
     "BatchStepOutcome",
@@ -175,6 +187,36 @@ def _reception_matrix(
     return mask
 
 
+#: Memoized reception matrices: (adjacency, channels bytes, tx bytes,
+#: reach). Serial protocol loops (COUNT trials on one star, repeated
+#: fixed-channel steps) rebuild the identical mask every call; returning
+#: the *same object* also lets the numpy backend reuse its float64
+#: casts. Adjacency matches by identity (entries hold strong
+#: references, so an id can never be reused while cached); channels and
+#: roles match by content, since callers often rebuild those small
+#: arrays. The sim layer never mutates an adjacency in place — the one
+#: assumption this cache leans on.
+_REACH_CACHE: List[Tuple[np.ndarray, bytes, bytes, np.ndarray]] = []
+_REACH_CACHE_ENTRIES = 8
+
+
+def _cached_reception_matrix(
+    adjacency: np.ndarray, channels: np.ndarray, tx_role: np.ndarray
+) -> np.ndarray:
+    """:func:`_reception_matrix`, memoized for repeated step inputs."""
+    ch_key = channels.tobytes()
+    tx_key = tx_role.tobytes()
+    for i, (adj, ch, tx, reach) in enumerate(_REACH_CACHE):
+        if adj is adjacency and ch == ch_key and tx == tx_key:
+            if i:
+                _REACH_CACHE.insert(0, _REACH_CACHE.pop(i))
+            return reach
+    reach = _reception_matrix(adjacency, channels, tx_role)
+    _REACH_CACHE.insert(0, (adjacency, ch_key, tx_key, reach))
+    del _REACH_CACHE[_REACH_CACHE_ENTRIES:]
+    return reach
+
+
 def resolve_slot(
     adjacency: np.ndarray, channels: np.ndarray, tx: np.ndarray
 ) -> SlotOutcome:
@@ -242,20 +284,13 @@ def resolve_step(
         raise ProtocolError(
             f"jam must have shape {coins.shape}, got {jam.shape}"
         )
-    reach = _reception_matrix(adjacency, channels, tx_role)
-    # float64 matmul dispatches to BLAS (numpy's int64 path does not);
-    # every operand is a 0/1 coin or an id < n, so all products and sums
-    # are integers < n^2 << 2^53 — exact in float64, and the int64 cast
-    # below is lossless.
-    reach_f = reach.astype(np.float64)
-    coins_f = coins.astype(np.float64)
+    reach = _cached_reception_matrix(adjacency, channels, tx_role)
     # contenders[t, u] = number of u's neighbors transmitting on u's
-    # channel in slot t.
-    contenders = (coins_f @ reach_f.T).astype(np.int64)
-    # id-sum trick: when exactly one neighbor transmits, the weighted sum
-    # of transmitting-neighbor ids *is* the sender's id.
-    ids = np.arange(n, dtype=np.float64)
-    idsum = (coins_f @ (reach_f * ids[None, :]).T).astype(np.int64)
+    # channel in slot t; idsum is the id-sum trick — when exactly one
+    # neighbor transmits, the weighted sum of transmitting-neighbor ids
+    # *is* the sender's id. Both are exact integers < n^2, so the
+    # backend choice (BLAS float64, numba int loops) never changes them.
+    contenders, idsum = active_backend().step_products(reach, coins)
     listeners = (channels >= 0) & ~tx_role
     receivable = listeners[None, :] & (contenders == 1)
     if jam is not None:
@@ -273,15 +308,19 @@ def resolve_step_batch(
 ) -> BatchStepOutcome:
     """Resolve ``B`` independent trials of a step in one shot.
 
-    All trials share one adjacency matrix; channels and roles are either
-    shared by every trial (1-D inputs — the homogeneous fast path: the
-    trial and slot axes flatten into one blocked GEMM) or per-trial (2-D
-    inputs, resolved with one einsum over per-trial reception masks).
-    Per-slot coins always vary per trial.
+    Channels and roles are either shared by every trial (1-D inputs —
+    the homogeneous fast path: the trial and slot axes flatten into one
+    blocked GEMM) or per-trial (2-D inputs, resolved with batched
+    per-trial reception masks). The adjacency is likewise shared
+    (``(n, n)``) or per-trial (``(B, n, n)`` — the cross-point batching
+    path, where trials of several sweep points, each with its own
+    network, resolve in lockstep; per-trial adjacency requires the
+    per-trial mask path, so channels/roles broadcast to 2-D). Per-slot
+    coins always vary per trial.
 
     Args:
-        adjacency: ``(n, n)`` boolean adjacency matrix, shared by all
-            trials.
+        adjacency: ``(n, n)`` shared or ``(B, n, n)`` per-trial boolean
+            adjacency.
         channels: ``(n,)`` shared or ``(B, n)`` per-trial global channel
             per node, ``-1`` for idle.
         tx_role: ``(n,)`` shared or ``(B, n)`` per-trial broadcaster
@@ -292,18 +331,27 @@ def resolve_step_batch(
 
     Returns:
         A :class:`BatchStepOutcome`; slice ``b`` is bit-identical to
-        ``resolve_step`` on trial ``b``'s inputs.
+        ``resolve_step`` on trial ``b``'s inputs (its own adjacency
+        when per-trial).
     """
-    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+    if adjacency.ndim not in (2, 3) or (
+        adjacency.shape[-1] != adjacency.shape[-2]
+    ):
         raise ProtocolError(
-            f"adjacency must be square, got shape {adjacency.shape}"
+            f"adjacency must be square (optionally batched), got shape "
+            f"{adjacency.shape}"
         )
-    n = adjacency.shape[0]
+    n = adjacency.shape[-1]
     if coins.ndim != 3 or coins.shape[2] != n:
         raise ProtocolError(
             f"coins must have shape (B, T, {n}), got {coins.shape}"
         )
     b = coins.shape[0]
+    if adjacency.ndim == 3 and adjacency.shape[0] != b:
+        raise ProtocolError(
+            f"per-trial adjacency must have shape ({b}, {n}, {n}), "
+            f"got {adjacency.shape}"
+        )
     if channels.shape not in ((n,), (b, n)):
         raise ProtocolError(
             f"channels must have shape ({n},) or ({b}, {n}), "
@@ -319,25 +367,14 @@ def resolve_step_batch(
             f"jam must have shape {coins.shape}, got {jam.shape}"
         )
     t_slots = coins.shape[1]
-    ids = np.arange(n, dtype=np.float64)
-    if channels.ndim == 1 and tx_role.ndim == 1:
+    backend = active_backend()
+    if channels.ndim == 1 and tx_role.ndim == 1 and adjacency.ndim == 2:
         # Homogeneous trials: one shared (n, n) reception mask; the
-        # trial and slot axes flatten into one (B*T, n) GEMM, processed
-        # in row blocks that stay cache-resident (a single huge GEMM
-        # with this skinny inner dimension is memory-bound and loses).
-        # Same exact-integers-in-float64 argument as resolve_step.
-        reach_f = _reception_matrix(adjacency, channels, tx_role).astype(
-            np.float64
-        )
-        reach_ids = reach_f * ids[None, :]
+        # trial and slot axes flatten into one (B*T, n) product (the
+        # numpy backend blocks the GEMM rows to stay cache-resident).
+        reach = _cached_reception_matrix(adjacency, channels, tx_role)
         flat = coins.reshape(b * t_slots, n)
-        contenders = np.empty((b * t_slots, n), dtype=np.int64)
-        idsum = np.empty((b * t_slots, n), dtype=np.int64)
-        rows = 16384
-        for i in range(0, b * t_slots, rows):
-            block = flat[i : i + rows].astype(np.float64)
-            contenders[i : i + rows] = (block @ reach_f.T).astype(np.int64)
-            idsum[i : i + rows] = (block @ reach_ids.T).astype(np.int64)
+        contenders, idsum = backend.step_products(reach, flat)
         contenders = contenders.reshape(b, t_slots, n)
         idsum = idsum.reshape(b, t_slots, n)
         listeners = (channels >= 0) & ~tx_role
@@ -345,21 +382,20 @@ def resolve_step_batch(
     else:
         channels2 = np.broadcast_to(np.atleast_2d(channels), (b, n))
         tx_role2 = np.broadcast_to(np.atleast_2d(tx_role), (b, n))
+        adjacency3 = (
+            adjacency[None, :, :] if adjacency.ndim == 2 else adjacency
+        )
         tuned = channels2 >= 0
-        # reach[b, u, v]: v's trial-b broadcasts reach u.
+        # reach[b, u, v]: v's trial-b broadcasts reach u (against trial
+        # b's own adjacency when the stack is per-trial).
         reach = (
             (channels2[:, :, None] == channels2[:, None, :])
-            & adjacency[None, :, :]
+            & adjacency3
             & tuned[:, :, None]
             & tuned[:, None, :]
             & tx_role2[:, None, :]
         )
-        # Batched BLAS GEMMs over the trial axis (same exact-integers
-        # argument as above; matmul beats einsum ~5x on these shapes).
-        reach_t = reach.astype(np.float64).transpose(0, 2, 1)
-        coins_f = coins.astype(np.float64)
-        contenders = (coins_f @ reach_t).astype(np.int64)
-        idsum = (coins_f @ (reach_t * ids[:, None])).astype(np.int64)
+        contenders, idsum = backend.batch_step_products(reach, coins)
         listeners = tuned & ~tx_role2
         receivable = listeners[:, None, :] & (contenders == 1)
     if jam is not None:

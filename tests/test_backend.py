@@ -1,0 +1,166 @@
+"""ArrayBackend selection and cross-backend bit-identity.
+
+Backends compute exact integer products (counts and id-sums), so every
+correct implementation is bit-identical — pinned here against a naive
+integer reference for each backend available in this environment. The
+numba cases skip cleanly when numba is absent; CI runs them in a
+dedicated leg with numba installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import HarnessError
+from repro.scenarios import run_scenario_spec
+from repro.sim.backend import (
+    BACKEND_ENV,
+    ArrayBackend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    set_backend,
+    use_backend,
+)
+
+from tests.test_xbatch import tiny_cseek_sweep
+
+BACKENDS = available_backends()
+
+
+def reference_products(reach, coins):
+    """Naive integer loop — the semantics every backend must match."""
+    contenders = coins.astype(np.int64) @ reach.T.astype(np.int64)
+    ids = np.arange(reach.shape[-1], dtype=np.int64)
+    idsum = coins.astype(np.int64) @ (reach.astype(np.int64) * ids).T
+    return contenders, idsum
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    yield
+    set_backend("numpy")
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestBackendEquivalence:
+    def test_step_products_match_reference(self, name):
+        rng = np.random.default_rng(5)
+        reach = rng.random((7, 7)) < 0.4
+        coins = rng.random((23, 7)) < 0.5
+        with use_backend(name) as backend:
+            contenders, idsum = backend.step_products(reach, coins)
+        ref_c, ref_i = reference_products(reach, coins)
+        assert contenders.dtype == np.int64
+        assert np.array_equal(contenders, ref_c)
+        assert np.array_equal(idsum, ref_i)
+
+    def test_batch_step_products_match_reference(self, name):
+        rng = np.random.default_rng(6)
+        reach = rng.random((4, 6, 6)) < 0.4
+        coins = rng.random((4, 9, 6)) < 0.5
+        with use_backend(name) as backend:
+            contenders, idsum = backend.batch_step_products(reach, coins)
+        for b in range(4):
+            ref_c, ref_i = reference_products(reach[b], coins[b])
+            assert np.array_equal(contenders[b], ref_c)
+            assert np.array_equal(idsum[b], ref_i)
+
+    def test_scenario_rows_identical(self, name):
+        spec = tiny_cseek_sweep()
+        reference = run_scenario_spec(spec, seed=2, jobs="batch")
+        with use_backend(name):
+            got = run_scenario_spec(spec, seed=2, jobs="xbatch")
+        assert got.rows == reference.rows
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        backend = set_backend(None)
+        assert backend.name == "numpy"
+        assert isinstance(active_backend(), ArrayBackend)
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert set_backend(None).name == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(HarnessError):
+            set_backend("fortran")
+
+    def test_numba_missing_is_a_clear_error(self):
+        if "numba" in BACKENDS:
+            pytest.skip("numba installed — missing-dep path untestable")
+        with pytest.raises(HarnessError, match="not installed"):
+            set_backend("numba")
+
+    def test_use_backend_restores_previous(self):
+        before = active_backend()
+        with use_backend("numpy") as inner:
+            assert active_backend() is inner
+        assert active_backend() is before
+
+    def test_available_always_lists_numpy(self):
+        assert "numpy" in BACKENDS
+
+
+class TestNumpyFloatCache:
+    def test_same_mask_object_hits_cache(self):
+        backend = NumpyBackend()
+        reach = np.random.default_rng(7).random((5, 5)) < 0.5
+        f1, i1 = backend.reach_floats(reach)
+        f2, i2 = backend.reach_floats(reach)
+        assert f1 is f2 and i1 is i2
+
+    def test_cache_is_bounded(self):
+        backend = NumpyBackend()
+        masks = [
+            np.random.default_rng(i).random((4, 4)) < 0.5
+            for i in range(NumpyBackend._CACHE_ENTRIES + 3)
+        ]
+        for mask in masks:
+            backend.reach_floats(mask)
+        assert len(backend._floats) == NumpyBackend._CACHE_ENTRIES
+
+    def test_distinct_objects_get_distinct_casts(self):
+        backend = NumpyBackend()
+        reach = np.random.default_rng(8).random((5, 5)) < 0.5
+        copy = reach.copy()
+        f1, _ = backend.reach_floats(reach)
+        f2, _ = backend.reach_floats(copy)
+        assert f1 is not f2
+        assert np.array_equal(f1, f2)
+
+
+class TestEngineReachCache:
+    def test_repeated_steps_reuse_one_reception_matrix(self):
+        from repro.sim.engine import _cached_reception_matrix
+
+        rng = np.random.default_rng(9)
+        n = 6
+        adj = rng.random((n, n)) < 0.5
+        adj = np.triu(adj, 1)
+        adj = adj | adj.T
+        channels = rng.integers(0, 3, size=n)
+        tx_role = rng.random(n) < 0.5
+        first = _cached_reception_matrix(adj, channels, tx_role)
+        second = _cached_reception_matrix(adj, channels, tx_role)
+        assert first is second
+
+    def test_changed_channels_miss(self):
+        from repro.sim.engine import _cached_reception_matrix, _reception_matrix
+
+        rng = np.random.default_rng(10)
+        n = 6
+        adj = rng.random((n, n)) < 0.5
+        adj = np.triu(adj, 1)
+        adj = adj | adj.T
+        tx_role = np.ones(n, dtype=bool)
+        ch_a = np.zeros(n, dtype=np.int64)
+        ch_b = np.arange(n, dtype=np.int64) % 2
+        cached_a = _cached_reception_matrix(adj, ch_a, tx_role)
+        cached_b = _cached_reception_matrix(adj, ch_b, tx_role)
+        assert np.array_equal(cached_a, _reception_matrix(adj, ch_a, tx_role))
+        assert np.array_equal(cached_b, _reception_matrix(adj, ch_b, tx_role))
