@@ -1,0 +1,56 @@
+"""End-to-end CGCAST throughput: serial trial loop vs lockstep batch.
+
+PR 2 batched CGCAST's discovery phase; this PR's tentpole locksteps the
+whole pipeline — exchanges, coloring, dissemination — across the trial
+axis through ``CGCastBatch``. This pair pins that win end to end:
+
+* ``cgcast16_serial``: 16 full CGCAST executions on the E2-shaped
+  workload (20-node 4-regular, c=8, k=2), one ``CGCast.run`` per seed —
+  the reference semantics.
+* ``cgcast16_batched``: the identical 16 trials (bit-identical per
+  trial — pinned by tests/test_cgcast_batch.py) through one
+  ``CGCastBatch.run``. Discovery resolves one engine call per protocol
+  step for all trials, and every dissemination (phase, color) step is
+  one ``resolve_step_batch`` call, so the compare gate's ratio check
+  requires the batched run to finish in at most ~2/3 of the serial
+  time (>= 1.5x end-to-end).
+"""
+
+from __future__ import annotations
+
+from repro.core import CGCast, CGCastBatch
+from repro.graphs import build_network, random_regular
+
+CGCAST_TRIALS = 16
+
+
+def _workload():
+    """The E2 discovery shape, pushed through the full CGCAST pipeline."""
+    return build_network(random_regular(20, 4, seed=7), c=8, k=2, seed=11)
+
+
+def bench_cgcast16_serial(benchmark):
+    """16 full CGCAST runs, one trial at a time (the reference)."""
+    net = _workload()
+    seeds = list(range(100, 100 + CGCAST_TRIALS))
+
+    def run():
+        return [CGCast(net, seed=s).run() for s in seeds]
+
+    results = benchmark(run)
+    assert all(r.success for r in results)
+    assert len(results) == CGCAST_TRIALS
+
+
+def bench_cgcast16_batched(benchmark):
+    """The same 16 trials as one end-to-end lockstep execution."""
+    net = _workload()
+    seeds = list(range(100, 100 + CGCAST_TRIALS))
+    batch = CGCastBatch(net)
+
+    def run():
+        return batch.run(seeds)
+
+    results = benchmark(run)
+    assert all(r.success for r in results)
+    assert len(results) == CGCAST_TRIALS

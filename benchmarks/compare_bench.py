@@ -71,6 +71,8 @@ KEY_BENCHMARKS = (
     "bench_trials64_batched",
     "bench_cseek16_serial",
     "bench_cseek16_batched",
+    "bench_cgcast16_serial",
+    "bench_cgcast16_batched",
     "bench_jammed_cseek16_serial",
     "bench_jammed_cseek16_batched",
     "bench_stream4096_materialized",
@@ -98,6 +100,9 @@ RATIO_GATES = (
     # Cross-point lockstep must beat per-point batching by >= 1.5x on
     # the many-small-points sweep it was built for.
     ("bench_xpoint16_xbatch", "bench_xpoint16_batch", 0.6667),
+    # The end-to-end batched CGCAST pipeline must beat the serial trial
+    # loop by >= 1.5x on the 16-trial sweep.
+    ("bench_cgcast16_batched", "bench_cgcast16_serial", 0.6667),
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"

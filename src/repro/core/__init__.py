@@ -1,6 +1,13 @@
 """The paper's algorithms: COUNT, CSEEK, CKSEEK, CGCAST and parts."""
 
 from repro.core.cgcast import CGCast, CGCastResult, redisseminate
+from repro.core.cgcast_batch import (
+    CGCastBatch,
+    CGCastMember,
+    cgcast_lockstep_signature,
+    redisseminate_batch,
+    run_cgcast_lockstep,
+)
 from repro.core.ckseek import CKSeek, verify_k_discovery
 from repro.core.coloring import (
     ColoringResult,
@@ -31,7 +38,12 @@ from repro.core.cseek_batch import (
     run_cseek_lockstep,
 )
 from repro.core.dedicated import agree_dedicated_channels, first_heard_payloads
-from repro.core.dissemination import DisseminationResult, run_dissemination
+from repro.core.dissemination import (
+    DisseminationResult,
+    build_color_channels,
+    run_dissemination,
+    run_dissemination_batch,
+)
 from repro.core.exchange import (
     exchange_slot_cost,
     oracle_exchange,
@@ -39,6 +51,7 @@ from repro.core.exchange import (
 )
 from repro.core.linegraph import LineGraph, edges_from_discovery
 from repro.core.xbatch import (
+    CGCastXBatch,
     CountXBatch,
     CSeekXBatch,
     XBatchable,
@@ -47,7 +60,10 @@ from repro.core.xbatch import (
 
 __all__ = [
     "CGCast",
+    "CGCastBatch",
+    "CGCastMember",
     "CGCastResult",
+    "CGCastXBatch",
     "CKSeek",
     "CSeek",
     "CSeekBatch",
@@ -66,6 +82,8 @@ __all__ = [
     "XBatchable",
     "agree_dedicated_channels",
     "batched_discovery",
+    "build_color_channels",
+    "cgcast_lockstep_signature",
     "choose_part2_labels",
     "count_schedule",
     "edges_from_discovery",
@@ -75,12 +93,15 @@ __all__ = [
     "lockstep_signature",
     "oracle_exchange",
     "redisseminate",
+    "redisseminate_batch",
     "resolve_backoff_batch",
+    "run_cgcast_lockstep",
     "run_cseek_lockstep",
     "run_group",
     "run_count_step",
     "run_count_step_batch",
     "run_dissemination",
+    "run_dissemination_batch",
     "simulated_exchange",
     "verify_discovery",
     "verify_k_discovery",

@@ -297,16 +297,37 @@ class CGCast:
         delivery is reliable, so this equals ``simulator_colors``; in
         simulated mode an edge whose announcement was missed by the far
         endpoint is dropped (that endpoint cannot attend the color step),
-        which the dissemination success metric then reflects.
+        which the dissemination success metric then reflects. What the
+        far endpoint must have received is the *announcement itself* —
+        membership in its received payload dict, regardless of the
+        announced value.
         """
         colors: Dict[Edge, int] = {}
         for edge, color in simulator_colors.items():
             u, v = edge
             simulator, other = (u, v) if u < v else (v, u)
             received = announced[other].get(simulator, {})
-            if edge in received or received.get(edge) is not None:
+            if edge in received:
                 colors[edge] = color
         return colors
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def batch(self) -> "object":
+        """A :class:`~repro.core.cgcast_batch.CGCastBatch` with this
+        configuration.
+
+        The returned runner executes many trial seeds of this exact
+        protocol (source, exchange mode, loss rate, early stop,
+        environment) in lockstep across the trial axis;
+        ``batch().run([s])[0]`` is bit-identical to
+        ``CGCast(..., seed=s).run()``. Deferred import: the batch module
+        depends on this one.
+        """
+        from repro.core.cgcast_batch import CGCastBatch
+
+        return CGCastBatch.from_serial(self)
 
 
 def redisseminate(

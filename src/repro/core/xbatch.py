@@ -11,13 +11,20 @@ concatenated along one trial axis, and :func:`run_group` executes the
 whole group as a single lockstep run — one engine call per protocol
 step for *every* compatible point of the scenario.
 
-Two member kinds exist:
+Three member kinds exist:
 
 ``"cseek"``
     Full CSEEK/CKSEEK executions (and anything built on
     :class:`CSeekBatch`); grouped points may have different networks
     and environments — the signature pins only the schedule shape (see
     :func:`~repro.core.cseek_batch.lockstep_signature`).
+``"cgcast"``
+    Full CGCAST executions, end-to-end through
+    :func:`~repro.core.cgcast_batch.run_cgcast_lockstep`; the signature
+    pins the discovery schedule plus the pipeline knobs (source,
+    exchange mode, loss rate, early stop, knowledge — see
+    :func:`~repro.core.cgcast_batch.cgcast_lockstep_signature`), while
+    networks may differ per point.
 ``"count"``
     Single COUNT steps; the signature pins the rig (adjacency,
     channels, roles — content, not identity) and the schedule, so a
@@ -38,6 +45,13 @@ from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.cgcast import CGCast
+from repro.core.cgcast_batch import (
+    CGCastBatch,
+    CGCastMember,
+    cgcast_lockstep_signature,
+    run_cgcast_lockstep,
+)
 from repro.core.constants import ProtocolConstants
 from repro.core.count import count_schedule, run_count_step_batch
 from repro.core.cseek import CSeek
@@ -52,6 +66,7 @@ from repro.model.errors import ProtocolError
 from repro.sim.environment import SpectrumEnvironment
 
 __all__ = [
+    "CGCastXBatch",
     "CSeekXBatch",
     "CountXBatch",
     "XBatchable",
@@ -106,6 +121,36 @@ class CSeekXBatch(XBatchable):
 
     def signature(self) -> tuple:
         return (self.kind, lockstep_signature(self.batch))
+
+
+@dataclass
+class CGCastXBatch(XBatchable):
+    """Cross-point descriptor for full-pipeline CGCAST trial factories.
+
+    ``make_protocol(seed, discovery=None)`` is the factory the serial
+    path uses; the batch is built lazily from its seed-0 instance, so
+    factories that never meet an xbatch executor pay nothing.
+    """
+
+    make_protocol: Callable[..., CGCast]
+    postprocess: Callable[..., object]
+    environment: Optional[SpectrumEnvironment] = None
+    _batch: Optional[CGCastBatch] = field(
+        default=None, repr=False, compare=False
+    )
+
+    kind: ClassVar[str] = "cgcast"
+
+    @property
+    def batch(self) -> CGCastBatch:
+        if self._batch is None:
+            self._batch = CGCastBatch.from_serial(
+                self.make_protocol(0), environment=self.environment
+            )
+        return self._batch
+
+    def signature(self) -> tuple:
+        return (self.kind, cgcast_lockstep_signature(self.batch))
 
 
 @dataclass
@@ -215,7 +260,26 @@ def _run_count_group(
     ]
 
 
-_RUNNERS = {"cseek": _run_cseek_group, "count": _run_count_group}
+def _run_cgcast_group(
+    xs: Sequence[CGCastXBatch], seed_lists: Sequence[List[int]]
+) -> List[List[object]]:
+    raw = run_cgcast_lockstep(
+        [
+            CGCastMember(x.batch, seeds)
+            for x, seeds in zip(xs, seed_lists)
+        ]
+    )
+    return [
+        [x.postprocess(result) for result in member_results]
+        for x, member_results in zip(xs, raw)
+    ]
+
+
+_RUNNERS = {
+    "cseek": _run_cseek_group,
+    "cgcast": _run_cgcast_group,
+    "count": _run_count_group,
+}
 
 
 def run_group(

@@ -11,8 +11,8 @@ the batched path must reproduce bit-for-bit:
 
 * :func:`cseek_trial` — full CSEEK/CKSEEK executions, batched through
   :class:`repro.core.cseek_batch.CSeekBatch`.
-* :func:`cgcast_trial` — CGCAST executions whose (dominant) discovery
-  phase batches through :func:`repro.core.cseek_batch.batched_discovery`.
+* :func:`cgcast_trial` — full CGCAST executions, batched end-to-end
+  through :class:`repro.core.cgcast_batch.CGCastBatch`.
 * :func:`count_trial` — single COUNT steps, batched through
   :func:`repro.core.count.run_count_step_batch`.
 """
@@ -25,12 +25,13 @@ import numpy as np
 
 from repro.core import (
     CGCast,
+    CGCastBatch,
+    CGCastXBatch,
     CSeek,
     CSeekBatch,
     CSeekXBatch,
     CountXBatch,
     ProtocolConstants,
-    batched_discovery,
     count_schedule,
     run_count_step,
     run_count_step_batch,
@@ -99,31 +100,35 @@ def cgcast_trial(
     postprocess: Callable[..., object],
     environment=None,
 ) -> Callable[[int], object]:
-    """A CGCAST trial whose discovery phase batches over the trial axis.
+    """A full-pipeline CGCAST trial with a vectorized trial axis.
 
     ``make_protocol(seed, discovery=None)`` must build the protocol
     homogeneously in the seed. Serially each trial runs the whole
-    pipeline; under ``jobs="batch"`` the (dominant) discovery phase of
-    all trials runs in lockstep via :func:`batched_discovery` and each
-    trial is fed its bit-identical CSEEK result, while the
-    heterogeneous exchange/coloring stages stay serial. When the
-    protocol is built with a spectrum environment, pass the same
-    ``environment`` here so the batched discovery jams identically.
+    pipeline; under ``jobs="batch"`` the entire execution — discovery,
+    exchanges, coloring, dissemination — of all trials runs in lockstep
+    via :class:`repro.core.cgcast_batch.CGCastBatch`, bit-identical per
+    trial to the serial path. When the protocol is built with a
+    spectrum environment, pass the same ``environment`` here so the
+    batched discovery jams identically.
     """
 
     def trial(s: int, discovery=None):
         return postprocess(make_protocol(s, discovery=discovery).run())
 
     def run_batch(seeds):
-        network = make_protocol(0).network
-        discoveries = batched_discovery(
-            network, seeds, environment=environment
+        batch = CGCastBatch.from_serial(
+            make_protocol(0), environment=environment
         )
-        return [
-            trial(s, discovery=d) for s, d in zip(seeds, discoveries)
-        ]
+        return [postprocess(r) for r in batch.run(seeds)]
 
     trial.run_batch = run_batch
+    # Cross-point grouping descriptor (jobs="xbatch"): points whose
+    # signatures match run as one lockstep execution.
+    trial.xbatch = CGCastXBatch(
+        make_protocol=make_protocol,
+        postprocess=postprocess,
+        environment=environment,
+    )
     return trial
 
 

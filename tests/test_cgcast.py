@@ -68,3 +68,45 @@ class TestCGCast:
     def test_star_broadcast(self, star_net):
         result = CGCast(star_net, source=1, seed=8).run()
         assert result.success
+
+
+class TestAssembleEdgeColors:
+    """Announcement-drop semantics of the color-assembly step.
+
+    An edge participates in dissemination iff the far endpoint received
+    the simulator's announcement — membership in its received payload
+    dict, regardless of the announced value. Oracle delivery is
+    reliable, so assembly is then the identity on the simulator-held
+    colors; in simulated mode a missed announcement drops the edge.
+    """
+
+    def test_reliable_delivery_keeps_every_edge(self):
+        colors = {(0, 1): 0, (1, 2): 1}
+        announced = [
+            {},
+            {0: {(0, 1): 0}},  # node 1 heard 0's announcement
+            {1: {(1, 2): 1}},  # node 2 heard 1's announcement
+        ]
+        assert (
+            CGCast._assemble_edge_colors(colors, announced, 3) == colors
+        )
+
+    def test_missed_announcement_drops_the_edge(self):
+        colors = {(0, 1): 0, (1, 2): 1}
+        announced = [{}, {0: {(0, 1): 0}}, {}]  # node 2 heard nothing
+        assert CGCast._assemble_edge_colors(colors, announced, 3) == {
+            (0, 1): 0
+        }
+
+    def test_announcement_without_this_edge_drops_it(self):
+        # The far endpoint heard *something* from the simulator, but not
+        # this edge's announcement: the edge still drops.
+        colors = {(0, 1): 0}
+        announced = [{}, {0: {(0, 2): 4}}]
+        assert CGCast._assemble_edge_colors(colors, announced, 2) == {}
+
+    def test_oracle_assembly_equals_simulator_colors(self, small_path_net):
+        # Pin the oracle-mode invariant end to end: reliable delivery
+        # makes the assembled coloring exactly the Luby output.
+        result = CGCast(small_path_net, source=0, seed=9).run()
+        assert result.edge_colors == result.coloring.colors

@@ -1,15 +1,19 @@
 """Unit tests for the color-scheduled dissemination stage."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
+    CGCast,
     CSeek,
     LineGraph,
     LubyEdgeColoring,
     agree_dedicated_channels,
+    build_color_channels,
     first_heard_payloads,
     oracle_exchange,
     run_dissemination,
+    run_dissemination_batch,
 )
 from repro.model import ProtocolError
 
@@ -119,3 +123,197 @@ class TestDissemination:
             * kn.log_delta
         )
         assert result.scheduled_slots == expected
+
+
+def _slots_per_step(kn):
+    from repro.core import ProtocolConstants
+
+    consts = ProtocolConstants.fast()
+    return consts.dissemination_rounds(kn.log_n) * kn.log_delta
+
+
+class TestLedgerAccounting:
+    """Charged slots vs the scheduled budget under ``early_stop``."""
+
+    def test_charges_exactly_phases_run(self, small_path_net):
+        kn = small_path_net.knowledge()
+        colors, dedicated = prepared_stage(small_path_net, seed=7)
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=7, early_stop=True
+        )
+        # The ledger reflects actual usage: phases_run full phases, each
+        # one color-step per color (including colors no edge wears).
+        per_phase = (2 * kn.max_degree) * _slots_per_step(kn)
+        assert result.ledger.get("dissemination") == (
+            result.phases_run * per_phase
+        )
+        assert result.ledger.total == result.phases_run * per_phase
+        # The scheduled budget is reported unchanged.
+        assert result.scheduled_slots == kn.diameter * per_phase
+
+    def test_early_stop_runs_whole_final_phase(self, small_path_net):
+        # Early stop acts at phase granularity: the phase that informs
+        # the last node still charges all of its color steps.
+        colors, dedicated = prepared_stage(small_path_net, seed=8)
+        kn = small_path_net.knowledge()
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=8, early_stop=True
+        )
+        assert result.success
+        per_phase = (2 * kn.max_degree) * _slots_per_step(kn)
+        assert result.ledger.total % per_phase == 0
+        assert result.completion_slot <= result.ledger.total
+
+    def test_empty_color_steps_still_charged(self, small_path_net):
+        # A schedule using one color still charges every color's step:
+        # the paper's schedule is fixed, non-participants idle.
+        kn = small_path_net.knowledge()
+        colors = {(0, 1): 0}
+        dedicated = {
+            (0, 1): next(iter(small_path_net.shared_channels(0, 1)))
+        }
+        result = run_dissemination(
+            small_path_net, 0, colors, dedicated, seed=9, early_stop=False
+        )
+        assert result.ledger.total == result.scheduled_slots
+        assert result.phases_run == kn.diameter
+        # Node 1 (the only reachable one) was informed within the color-0
+        # step of some phase; its slot lies inside that step's window.
+        assert result.informed[1]
+
+    def test_empty_schedule_charges_full_budget(self, small_path_net):
+        # No colors at all: every step is an idle step, but the schedule
+        # still runs (no early stop possible — the path never completes).
+        result = run_dissemination(small_path_net, 0, {}, {}, seed=10)
+        assert result.ledger.total == result.scheduled_slots
+
+    def test_completion_slot_offset_in_cgcast(self, small_path_net):
+        # CGCast.run offsets dissemination-local slots by all
+        # pre-dissemination phases; the source stays at slot 0.
+        result = CGCast(small_path_net, seed=11).run()
+        assert result.success
+        pre = result.total_slots - result.ledger.get("dissemination")
+        local = result.dissemination.informed_slot
+        shifted = local.copy()
+        shifted[shifted >= 0] += pre
+        shifted[0] = 0
+        assert np.array_equal(result.informed_slot, shifted)
+        assert result.completion_slot == int(shifted.max())
+        assert result.informed_slot[0] == 0
+
+
+class TestBuildColorChannels:
+    def test_matches_schedule(self, small_path_net):
+        colors, dedicated = prepared_stage(small_path_net, seed=12)
+        table = build_color_channels(colors, dedicated, small_path_net.n)
+        assert sorted(table) == sorted(set(colors.values()))
+        for color, channels in table.items():
+            expected = np.full(small_path_net.n, -1, dtype=np.int64)
+            for (u, v), col in colors.items():
+                if col == color:
+                    expected[u] = dedicated[(u, v)]
+                    expected[v] = dedicated[(u, v)]
+            assert np.array_equal(channels, expected)
+
+    def test_empty_schedule(self):
+        assert build_color_channels({}, {}, 4) == {}
+
+    def test_improper_coloring_raises_serial_message(self):
+        colors = {(0, 1): 0, (1, 2): 0}
+        dedicated = {(0, 1): 3, (1, 2): 5}
+        with pytest.raises(
+            ProtocolError, match="node 1 has two edges colored 0"
+        ):
+            build_color_channels(colors, dedicated, 3)
+
+
+class TestDisseminationBatch:
+    def test_bit_identical_to_serial(self, small_path_net):
+        seeds = [2, 5, 13]
+        per_trial = [prepared_stage(small_path_net, seed=s) for s in seeds]
+        batch = run_dissemination_batch(
+            small_path_net.adjacency,
+            0,
+            [colors for colors, _ in per_trial],
+            [dedicated for _, dedicated in per_trial],
+            knowledge=small_path_net.knowledge(),
+            seeds=seeds,
+        )
+        for s, (colors, dedicated), got in zip(seeds, per_trial, batch):
+            ref = run_dissemination(
+                small_path_net, 0, colors, dedicated, seed=s
+            )
+            assert np.array_equal(got.informed, ref.informed)
+            assert np.array_equal(got.informed_slot, ref.informed_slot)
+            assert got.ledger.as_dict() == ref.ledger.as_dict()
+            assert got.phases_run == ref.phases_run
+            assert got.scheduled_slots == ref.scheduled_slots
+
+    def test_per_trial_sources_and_adjacency_stack(self, small_path_net):
+        seeds = [4, 6]
+        sources = [0, 3]
+        colors, dedicated = prepared_stage(small_path_net, seed=14)
+        adjacency = np.broadcast_to(
+            small_path_net.adjacency,
+            (2, small_path_net.n, small_path_net.n),
+        ).copy()
+        batch = run_dissemination_batch(
+            adjacency,
+            sources,
+            [colors, colors],
+            [dedicated, dedicated],
+            knowledge=small_path_net.knowledge(),
+            seeds=seeds,
+        )
+        for s, source, got in zip(seeds, sources, batch):
+            ref = run_dissemination(
+                small_path_net, source, colors, dedicated, seed=s
+            )
+            assert np.array_equal(got.informed_slot, ref.informed_slot)
+            assert got.ledger.as_dict() == ref.ledger.as_dict()
+
+    def test_ragged_schedules_keep_rng_alignment(self, small_path_net):
+        # One trial's schedule misses colors another trial has: the
+        # absent-color trial must draw nothing in that step, keeping
+        # its stream aligned with the serial run.
+        seeds = [3, 9]
+        colors_full, dedicated_full = prepared_stage(small_path_net, seed=15)
+        colors_one = {(0, 1): max(colors_full.values())}
+        dedicated_one = {
+            (0, 1): next(iter(small_path_net.shared_channels(0, 1)))
+        }
+        batch = run_dissemination_batch(
+            small_path_net.adjacency,
+            0,
+            [colors_full, colors_one],
+            [dedicated_full, dedicated_one],
+            knowledge=small_path_net.knowledge(),
+            seeds=seeds,
+            early_stop=False,
+        )
+        for s, colors, dedicated, got in zip(
+            seeds,
+            (colors_full, colors_one),
+            (dedicated_full, dedicated_one),
+            batch,
+        ):
+            ref = run_dissemination(
+                small_path_net,
+                0,
+                colors,
+                dedicated,
+                seed=s,
+                early_stop=False,
+            )
+            assert np.array_equal(got.informed_slot, ref.informed_slot)
+
+    def test_rejects_empty_seeds(self, small_path_net):
+        with pytest.raises(ProtocolError, match="at least one trial"):
+            run_dissemination_batch(
+                small_path_net.adjacency,
+                0,
+                [],
+                [],
+                knowledge=small_path_net.knowledge(),
+                seeds=[],
+            )
