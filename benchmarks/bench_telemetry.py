@@ -1,0 +1,53 @@
+"""Telemetry overhead: the same CSEEK workload with recording on vs off.
+
+The telemetry subsystem's contract is *near-zero overhead*: disabled,
+every instrumentation site is one truthiness check (``repro.obs.count``)
+or a shared ``nullcontext`` (``repro.obs.span``); enabled, each hit is a
+dict update plus (for spans) two monotonic clock reads. This pair pins
+that contract on the end-to-end workload the CI regression gate already
+tracks — 16 full CSEEK protocol executions on the E2 regular topology,
+trial-batched. ``compare_bench`` gates the on/off ratio at 1.05x: if
+instrumentation ever creeps into a per-slot inner loop, this is the
+benchmark that catches it.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.core import CSeekBatch
+from repro.graphs import build_network, random_regular
+
+CSEEK_TRIALS = 16
+
+
+def _e2_net():
+    """E2's standard discovery workload: 20-node 4-regular, c=8, k=2."""
+    return build_network(random_regular(20, 4, seed=7), c=8, k=2, seed=11)
+
+
+def bench_cseek16_telemetry_off(benchmark):
+    """The reference: batched CSEEK with no recorder active."""
+    net = _e2_net()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+    runner = CSeekBatch(net)
+    assert not obs.enabled()
+    results = benchmark(runner.run, seeds)
+    assert len(results) == CSEEK_TRIALS
+
+
+def bench_cseek16_telemetry_on(benchmark):
+    """The same workload recorded under a live telemetry recorder."""
+    net = _e2_net()
+    seeds = list(range(100, 100 + CSEEK_TRIALS))
+    runner = CSeekBatch(net)
+
+    def run():
+        obs.start()
+        try:
+            return runner.run(seeds)
+        finally:
+            obs.stop()
+
+    results = benchmark(run)
+    assert len(results) == CSEEK_TRIALS
+    assert not obs.enabled()

@@ -79,6 +79,8 @@ KEY_BENCHMARKS = (
     "bench_stream4096_streaming",
     "bench_xpoint16_batch",
     "bench_xpoint16_xbatch",
+    "bench_cseek16_telemetry_off",
+    "bench_cseek16_telemetry_on",
 )
 
 # Machine-independent invariants checked *within* the fresh run: pairs
@@ -103,6 +105,9 @@ RATIO_GATES = (
     # The end-to-end batched CGCAST pipeline must beat the serial trial
     # loop by >= 1.5x on the 16-trial sweep.
     ("bench_cgcast16_batched", "bench_cgcast16_serial", 0.6667),
+    # Telemetry is an observability feature, not a speed tax: recording
+    # the 16-trial CSEEK pair must cost at most 5% over running dark.
+    ("bench_cseek16_telemetry_on", "bench_cseek16_telemetry_off", 1.05),
 )
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"

@@ -27,6 +27,7 @@ from typing import List, Optional, Set
 
 import numpy as np
 
+from repro import obs
 from repro.core.constants import ProtocolConstants
 from repro.core.cseek import DiscoveryReport
 from repro.model.errors import ProtocolError
@@ -121,6 +122,10 @@ class NaiveDiscovery:
 
     def run(self) -> NaiveDiscoveryResult:
         """Execute the schedule and collect receptions."""
+        with obs.span("discovery"):
+            return self._execute()
+
+    def _execute(self) -> NaiveDiscoveryResult:
         net = self.network
         kn = self.knowledge
         n, c = net.n, net.c

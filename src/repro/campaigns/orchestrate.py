@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.campaigns.design import expand_campaign
 from repro.campaigns.gates import GateReport, evaluate_run
 from repro.campaigns.spec import (
@@ -187,9 +188,13 @@ def _execute_entry(payload: Dict[str, object]) -> Dict[str, object]:
     """Run one entry; module-level so pool workers can invoke it.
 
     Returns the table as its JSON payload plus wall time, or the error
-    — never raises, so a failing entry cannot take the pool down.
+    — never raises, so a failing entry cannot take the pool down. When
+    the payload asks for telemetry, the entry runs under its own
+    recorder and ships the snapshot back; cheap vitals (peak RSS,
+    backend identity) are measured in the executing process either way.
     """
     start = time.time()
+    tel = obs.start() if payload.get("telemetry") else None
     try:
         table = run_scenario(
             payload["scenario"],
@@ -201,22 +206,19 @@ def _execute_entry(payload: Dict[str, object]) -> Dict[str, object]:
             cache_dir=payload["cache_dir"],
         )
     except ReproError as exc:
-        return {
-            "ok": False,
-            "error": str(exc),
-            "wall_time": time.time() - start,
-        }
+        out: Dict[str, object] = {"ok": False, "error": str(exc)}
     except Exception as exc:  # noqa: BLE001 — recorded in the manifest
-        return {
-            "ok": False,
-            "error": repr(exc),
-            "wall_time": time.time() - start,
-        }
-    return {
-        "ok": True,
-        "table": table.to_payload(),
-        "wall_time": time.time() - start,
+        out = {"ok": False, "error": repr(exc)}
+    else:
+        out = {"ok": True, "table": table.to_payload()}
+    out["wall_time"] = time.time() - start
+    if tel is not None:
+        out["telemetry"] = obs.stop()
+    out["vitals"] = {
+        "peak_rss_kb": obs.peak_rss_kb(),
+        "backend": active_backend().name,
     }
+    return out
 
 
 def _entry_payload(
@@ -224,6 +226,7 @@ def _entry_payload(
     jobs: Jobs,
     cache: bool,
     cache_dir: "str | Path | None",
+    telemetry: bool = False,
 ) -> Dict[str, object]:
     return {
         "scenario": plan.scenario,
@@ -233,6 +236,7 @@ def _entry_payload(
         "overrides": plan.overrides,
         "cache": cache,
         "cache_dir": cache_dir,
+        "telemetry": telemetry,
     }
 
 
@@ -269,15 +273,18 @@ def _entry_manifest(
     jobs: Jobs,
     wall_time: float,
     table: Optional[ExperimentTable] = None,
+    vitals: Optional[Dict[str, object]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The provenance block shared by done and failed entries."""
+    executor = "serial" if jobs is None else str(jobs)
     manifest: Dict[str, object] = {
         "index": plan.index,
         "scenario": plan.scenario,
         "overrides": plan.overrides,
         "trials": plan.trials,
         "seed": plan.seed,
-        "executor": "serial" if jobs is None else str(jobs),
+        "executor": executor,
         "backend": active_backend().name,
         "experiment_id": plan.table_id,
         "title": plan.title,
@@ -289,6 +296,17 @@ def _entry_manifest(
         "wall_time": wall_time,
         "finished": time.time(),
     }
+    # Always-on vitals: measured in the process that ran the entry
+    # (campaign pool workers ship theirs back), falling back to this
+    # process for entries that never executed.
+    vitals = dict(vitals or {})
+    vitals.setdefault("peak_rss_kb", obs.peak_rss_kb())
+    vitals.setdefault("backend", manifest["backend"])
+    vitals["executor"] = executor
+    vitals["wall_time"] = wall_time
+    manifest["vitals"] = vitals
+    if telemetry is not None:
+        manifest["telemetry"] = telemetry
     if plan.precision is not None:
         block: Dict[str, object] = {"declared": plan.precision}
         if table is not None:
@@ -307,6 +325,7 @@ def run_campaign(
     cache: bool = False,
     cache_dir: "str | Path | None" = None,
     log: Log = None,
+    telemetry: Optional[str] = None,
 ) -> CampaignResult:
     """Execute (or resume) a campaign into the run store.
 
@@ -330,6 +349,11 @@ def run_campaign(
         cache_dir: Result-cache location override.
         log: Progress sink (one line per event); default ``print``.
             Lines arrive in entry order regardless of pool scheduling.
+        telemetry: ``"json"`` or ``"chrome"`` records per-entry stage
+            spans and counters into entry manifests plus a merged
+            campaign rollup (``None`` — the default — records only the
+            cheap always-on vitals). Telemetry never touches RNG
+            streams, so rows are byte-identical either way.
 
     Returns:
         A :class:`CampaignResult`; failed entries are recorded (and
@@ -344,6 +368,10 @@ def run_campaign(
     # function of it, so same study -> same run directory.
     design = expand_campaign(spec)
     get_executor(jobs)  # validate before any work
+    if telemetry is not None and telemetry not in ("json", "chrome"):
+        raise HarnessError(
+            f"telemetry must be 'json' or 'chrome', got {telemetry!r}"
+        )
     if campaign_jobs < 1:
         raise HarnessError(
             f"campaign_jobs must be >= 1, got {campaign_jobs}"
@@ -381,11 +409,19 @@ def run_campaign(
         else:
             pending.append(plan)
 
+    telemetry_snaps: List[Dict[str, object]] = []
+
     def record(plan: _EntryPlan, result: Dict[str, object]) -> None:
         wall = float(result["wall_time"])
+        snap = result.get("telemetry")
+        if snap is not None:
+            telemetry_snaps.append(snap)
         if result["ok"]:
             table = ExperimentTable.from_payload(result["table"])
-            manifest = _entry_manifest(plan, jobs, wall, table=table)
+            manifest = _entry_manifest(
+                plan, jobs, wall, table=table,
+                vitals=result.get("vitals"), telemetry=snap,
+            )
             run.write_entry(plan.entry_id, manifest, table)
             outcomes.append(
                 EntryOutcome(
@@ -399,7 +435,10 @@ def run_campaign(
             )
         else:
             error = str(result["error"])
-            manifest = _entry_manifest(plan, jobs, wall)
+            manifest = _entry_manifest(
+                plan, jobs, wall,
+                vitals=result.get("vitals"), telemetry=snap,
+            )
             run.write_failed_entry(plan.entry_id, manifest, error)
             outcomes.append(
                 EntryOutcome(
@@ -433,7 +472,10 @@ def run_campaign(
                 record(
                     plan,
                     _execute_entry(
-                        _entry_payload(plan, jobs, cache, cache_dir)
+                        _entry_payload(
+                            plan, jobs, cache, cache_dir,
+                            telemetry=telemetry is not None,
+                        )
                     ),
                 )
     else:
@@ -445,7 +487,7 @@ def run_campaign(
             return run_campaign(
                 spec, seed=seed, trials=trials, jobs=jobs,
                 campaign_jobs=1, store=store, cache=cache,
-                cache_dir=cache_dir, log=log,
+                cache_dir=cache_dir, log=log, telemetry=telemetry,
             )
         workers = min(campaign_jobs, len(pending))
         with ProcessPoolExecutor(
@@ -454,7 +496,10 @@ def run_campaign(
             futures = {
                 plan.entry_id: pool.submit(
                     _execute_entry,
-                    _entry_payload(plan, jobs, cache, cache_dir),
+                    _entry_payload(
+                        plan, jobs, cache, cache_dir,
+                        telemetry=telemetry is not None,
+                    ),
                 )
                 for plan in pending
             }
@@ -516,6 +561,11 @@ def run_campaign(
             for o in outcomes
         ],
     }
+    if telemetry_snaps:
+        # Commutative rollup of this invocation's ran entries (cached
+        # entries did no work; their stored manifests keep their own
+        # blocks from the run that produced them).
+        manifest["telemetry"] = obs.merge_snapshots(*telemetry_snaps)
     if gates is not None:
         manifest["gates"] = gates.to_dict()
     run.write_manifest(manifest)

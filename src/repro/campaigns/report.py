@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.campaigns.gates import evaluate_run, verdict_table
 from repro.campaigns.spec import campaign_from_dict
 from repro.campaigns.store import CampaignRun, RunStore
@@ -42,6 +43,7 @@ __all__ = [
     "gate_section",
     "load_ref",
     "summary_rows",
+    "telemetry_section",
     "write_report",
 ]
 
@@ -171,6 +173,10 @@ def campaign_report(run: CampaignRun) -> str:
     if gates:
         lines += ["## Gates", "", gates, ""]
 
+    telemetry = telemetry_section(run)
+    if telemetry:
+        lines += ["## Telemetry", "", telemetry, ""]
+
     for entry_id in run.entry_ids():
         entry_manifest = run.entry_manifest(entry_id) or {}
         if entry_manifest.get("status") != "done":
@@ -207,6 +213,43 @@ def gate_section(run: CampaignRun) -> Optional[str]:
     )
 
 
+def telemetry_section(run: CampaignRun) -> Optional[str]:
+    """Per-entry stage breakdowns from stored manifests, or None.
+
+    Rendered store-only: the section is a pure function of the
+    ``telemetry`` blocks that ``run-campaign --telemetry`` persisted in
+    entry manifests — no scenario re-executes, and runs recorded
+    without telemetry simply have no section.
+    """
+    per_entry: List[Tuple[str, dict]] = []
+    for entry_id in run.entry_ids():
+        manifest = run.entry_manifest(entry_id) or {}
+        snap = manifest.get("telemetry")
+        if isinstance(snap, dict):
+            per_entry.append((entry_id, snap))
+    if not per_entry:
+        return None
+    rows: List[Row] = []
+    for entry_id, snap in per_entry:
+        for stage in obs.stage_rows(snap):
+            rows.append(
+                {
+                    "entry": entry_id,
+                    "stage": stage["stage"],
+                    "calls": stage["calls"],
+                    "total_s": round(stage["total_s"], 4),
+                    "mean_ms": round(stage["mean_ms"], 3),
+                    "share": f"{stage['share'] * 100:.1f}%",
+                }
+            )
+    lines: List[str] = []
+    if rows:
+        lines += [render_markdown(rows), ""]
+    merged = obs.merge_snapshots(*(snap for _, snap in per_entry))
+    lines.append(obs.render_telemetry(merged, heading="**Campaign totals**"))
+    return "\n".join(lines).rstrip()
+
+
 def entry_report(run: CampaignRun, entry_id: str) -> str:
     """One entry's markdown: provenance line + its stored table."""
     manifest = run.entry_manifest(entry_id)
@@ -228,6 +271,9 @@ def entry_report(run: CampaignRun, entry_id: str) -> str:
             lines += ["", f"```\n{manifest['error']}\n```"]
         return "\n".join(lines).rstrip() + "\n"
     lines.append(run.vouched_entry_table(entry_id).to_markdown())
+    snap = manifest.get("telemetry")
+    if isinstance(snap, dict):
+        lines += ["", obs.render_telemetry(snap, heading="**Telemetry**")]
     return "\n".join(lines).rstrip() + "\n"
 
 
@@ -358,7 +404,45 @@ def _entry_provenance(manifest: dict) -> str:
         f"seed {manifest.get('seed')}",
         f"code {manifest.get('code')}",
     ]
+    vitals = manifest.get("vitals")
+    if isinstance(vitals, dict):
+        if vitals.get("backend"):
+            bits.append(f"backend {vitals['backend']}")
+        if vitals.get("peak_rss_kb"):
+            bits.append(f"peak RSS {vitals['peak_rss_kb']} KiB")
     return " · ".join(str(b) for b in bits)
+
+
+def _telemetry_diff(man_a: dict, man_b: dict) -> List[str]:
+    """Informational stage-time comparison for two entry manifests.
+
+    Wall-clock timings are never deterministic, so this table is purely
+    informational — it must not (and does not) influence the
+    identical-rows verdict.
+    """
+    snap_a, snap_b = man_a.get("telemetry"), man_b.get("telemetry")
+    if not isinstance(snap_a, dict) or not isinstance(snap_b, dict):
+        return []
+    rows_a = {r["stage"]: r for r in obs.stage_rows(snap_a)}
+    rows_b = {r["stage"]: r for r in obs.stage_rows(snap_b)}
+    stages = list(dict.fromkeys([*rows_a, *rows_b]))
+    if not stages:
+        return []
+    lines = [
+        "",
+        "Telemetry stages (informational; never affects the verdict):",
+        "",
+        "| stage | total_s (a) | total_s (b) | ratio b/a |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for stage in stages:
+        total_a = rows_a.get(stage, {}).get("total_s", 0.0)
+        total_b = rows_b.get(stage, {}).get("total_s", 0.0)
+        ratio = f"{total_b / total_a:.2f}" if total_a else "—"
+        lines.append(
+            f"| {stage} | {total_a:.4f} | {total_b:.4f} | {ratio} |"
+        )
+    return lines
 
 
 def _diff_entries(
@@ -398,6 +482,9 @@ def _diff_entries(
         )
         return lines, False
     body, identical = _diff_tables(table_a, table_b)
+    # Appended after the verdict-bearing table diff: timings differ on
+    # every run, so the telemetry comparison is display-only.
+    body += _telemetry_diff(man_a, man_b)
     return lines + body, identical
 
 

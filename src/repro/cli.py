@@ -20,6 +20,9 @@ Usage::
         traffic-models:poisson
     python -m repro run-campaign cseek-vs-naive --gate  # science CI
     python -m repro gate cseek-vs-naive                 # re-judge store
+    python -m repro run-scenario pu-geo-cseek --telemetry
+    python -m repro run-campaign paper-suite --telemetry --store runs/
+    python -m repro telemetry paper-suite --out tel/    # store-only
 
 ``--jobs`` selects the trial execution strategy (serial by default; an
 int fans trials out to that many worker processes, ``batch`` vectorizes
@@ -71,11 +74,14 @@ install``; legacy ``setup.py develop`` installs may expose only the
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.campaigns import (
     GateReport,
     RunStore,
@@ -124,6 +130,23 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
             "numpy, or $REPRO_BACKEND); 'numba' JIT-compiles the step "
             "products and requires numba to be installed; results are "
             "bit-identical either way"
+        ),
+    )
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="json",
+        choices=("json", "chrome"),
+        default=None,
+        help=(
+            "record stage spans, counters and gauges while running "
+            "(off by default; never changes rows). 'json' (the default "
+            "when the flag is given bare) keeps aggregates; 'chrome' "
+            "additionally keeps raw span events for a Chrome "
+            "trace-event file"
         ),
     )
 
@@ -286,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default .repro_cache/)",
     )
+    _add_telemetry_arg(run_scn)
 
     sub.add_parser(
         "campaigns",
@@ -363,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
             "failure, 2 not evaluable"
         ),
     )
+    _add_telemetry_arg(run_cmp)
 
     gate = sub.add_parser(
         "gate",
@@ -426,6 +451,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         help="run store directory (default .repro_runs/)",
+    )
+
+    tel = sub.add_parser(
+        "telemetry",
+        help=(
+            "render a stored run's telemetry (stage breakdowns per "
+            "entry) from the store alone; requires the run to have "
+            "been recorded with --telemetry"
+        ),
+    )
+    tel.add_argument(
+        "ref",
+        help=(
+            "reference: campaign[@run_id][:entry] (run defaults to the "
+            "latest stored one) or a path into a store"
+        ),
+    )
+    tel.add_argument(
+        "--store",
+        default=None,
+        help="run store directory (default .repro_runs/)",
+    )
+    tel.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "also write telemetry.md and trace.json (Chrome trace-"
+            "event format; synthetic layout from stored aggregates) "
+            "into this directory"
+        ),
     )
     return parser
 
@@ -597,6 +652,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 store=args.store,
                 cache=args.cache,
                 cache_dir=args.cache_dir,
+                telemetry=args.telemetry,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -688,30 +744,112 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(markdown, end="")
         return 0 if identical else 1
     if args.command == "run-scenario":
+        snapshot: "Optional[dict]" = None
         try:
             start = time.time()
             overrides = {
                 **_parse_overrides(args.overrides),
                 **_precision_overrides(args),
             }
-            table = run_scenario(
-                args.scenario,
-                trials=args.trials,
-                seed=args.seed,
-                jobs=args.jobs,
-                overrides=overrides,
-                cache=args.cache,
-                cache_dir=args.cache_dir,
+            # Telemetry wraps the run but never touches RNG streams,
+            # so the produced rows are byte-identical with it on or off.
+            recorder = (
+                obs.start(trace=args.telemetry == "chrome")
+                if args.telemetry
+                else None
             )
+            try:
+                table = run_scenario(
+                    args.scenario,
+                    trials=args.trials,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    overrides=overrides,
+                    cache=args.cache,
+                    cache_dir=args.cache_dir,
+                )
+            finally:
+                if recorder is not None:
+                    snapshot = obs.stop()
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         elapsed = time.time() - start
         print(table.to_markdown())
         print(f"\n[{table.experiment_id} finished in {elapsed:.1f}s]")
+        if snapshot is not None:
+            print()
+            print(obs.render_telemetry(snapshot, heading="## Telemetry"))
         if args.out is not None:
             paths = table.save(args.out)
-            print(f"[written: {paths['markdown']}, {paths['csv']}]")
+            written = [paths["markdown"], paths["csv"]]
+            if snapshot is not None:
+                out_dir = Path(args.out)
+                tel_path = out_dir / f"{table.experiment_id}.telemetry.json"
+                tel_path.write_text(
+                    json.dumps(snapshot, indent=2) + "\n", encoding="utf-8"
+                )
+                written.append(tel_path)
+                if args.telemetry == "chrome":
+                    written.append(
+                        obs.write_chrome_trace(
+                            out_dir / f"{table.experiment_id}.trace.json",
+                            [(table.experiment_id, snapshot)],
+                        )
+                    )
+            print(f"[written: {', '.join(str(p) for p in written)}]")
+        return 0
+    if args.command == "telemetry":
+        try:
+            ref = load_ref(RunStore(args.store), args.ref)
+            entry_ids = (
+                [ref.entry_id] if ref.entry_id else ref.run.entry_ids()
+            )
+            snaps = []
+            for entry_id in entry_ids:
+                manifest = ref.run.entry_manifest(entry_id) or {}
+                snap = manifest.get("telemetry")
+                if isinstance(snap, dict):
+                    snaps.append((entry_id, snap))
+            if not snaps:
+                raise HarnessError(
+                    f"run {ref.run.campaign}@{ref.run.run_id} has no "
+                    "stored telemetry; record one with run-campaign "
+                    "--telemetry"
+                )
+            lines = [f"# Telemetry — {ref.label}", ""]
+            for entry_id, snap in snaps:
+                lines += [
+                    obs.render_telemetry(snap, heading=f"## {entry_id}"),
+                    "",
+                ]
+            if len(snaps) > 1:
+                merged = obs.merge_snapshots(*(s for _, s in snaps))
+                lines += [
+                    obs.render_telemetry(
+                        merged, heading="## Campaign totals"
+                    ),
+                    "",
+                ]
+            markdown = "\n".join(lines).rstrip() + "\n"
+            print(markdown, end="")
+            if args.out is not None:
+                out_dir = Path(args.out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                md_path = out_dir / "telemetry.md"
+                md_path.write_text(markdown, encoding="utf-8")
+                trace_path = obs.write_chrome_trace(
+                    out_dir / "trace.json", snaps
+                )
+                print(f"[written: {md_path}, {trace_path}]")
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except Exception as exc:  # noqa: BLE001
+            # A hand-edited store must mean a clean error, as with
+            # report/diff-runs on the same surface.
+            print(f"error: {exc!r}", file=sys.stderr)
+            return 1
         return 0
     # command == "run"
     targets = (

@@ -29,6 +29,7 @@ from typing import Dict, List, Literal, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.coloring import (
     ColoringResult,
     LubyEdgeColoring,
@@ -196,15 +197,16 @@ class CGCast:
 
         # 3. Edge coloring ---------------------------------------------
         line_graph = LineGraph.from_edges(mutual_edges)
-        coloring = LubyEdgeColoring(
-            line_graph,
-            kn,
-            constants=self.constants,
-            seed=self.seed,
-            loss_rate=self.coloring_loss_rate,
-            exchange_mode=self.exchange_mode,
-            network=net if self.exchange_mode == "simulated" else None,
-        ).run()
+        with obs.span("luby_coloring"):
+            coloring = LubyEdgeColoring(
+                line_graph,
+                kn,
+                constants=self.constants,
+                seed=self.seed,
+                loss_rate=self.coloring_loss_rate,
+                exchange_mode=self.exchange_mode,
+                network=net if self.exchange_mode == "simulated" else None,
+            ).run()
         ledger.merge(coloring.ledger)
 
         # 4. Color announcement ----------------------------------------
@@ -262,6 +264,9 @@ class CGCast:
         ledger: SlotLedger,
     ) -> List[Dict[int, object]]:
         if self.exchange_mode == "simulated":
+            # The simulated exchange runs a relabelled CSeek, which
+            # records its own "oracle_exchange" span — no outer span, or
+            # the stage would double-count.
             return simulated_exchange(
                 self.network,
                 payloads,
@@ -271,9 +276,10 @@ class CGCast:
                 rng_label=label,
                 ledger=ledger,
             )
-        return oracle_exchange(
-            neighbor_sets, payloads, self.knowledge, self.constants, ledger
-        )
+        with obs.span("oracle_exchange"):
+            return oracle_exchange(
+                neighbor_sets, payloads, self.knowledge, self.constants, ledger
+            )
 
     @staticmethod
     def _mutual_edges(discovered: List[set]) -> List[Edge]:

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.cgcast import CGCast, CGCastResult, ExchangeMode
+from repro import obs
 from repro.core.coloring import LubyEdgeColoring, is_valid_edge_coloring
 from repro.core.constants import ProtocolConstants
 from repro.core.cseek import CSeekResult
@@ -459,14 +460,16 @@ def run_cgcast_lockstep(
         # The oracle exchange is deterministic, reliable delivery along
         # discovered pairs: nothing to simulate, only the slot charge —
         # and with both directions' meetings present, the per-edge
-        # agreement collapses to the vectorized pairing.
-        cost = exchange_slot_cost(kn, consts)
-        for ledger in ledgers:
-            ledger.charge("exchange", cost)
-        for discovery in flat_discovery:
-            edges, channels = _oracle_pairings(discovery)
-            mutual_edges.append(edges)
-            dedicated.append(channels)
+        # agreement collapses to the vectorized pairing. (The simulated
+        # branch records its span inside the relabelled CSEEK runner.)
+        with obs.span("oracle_exchange"):
+            cost = exchange_slot_cost(kn, consts)
+            for ledger in ledgers:
+                ledger.charge("exchange", cost)
+            for discovery in flat_discovery:
+                edges, channels = _oracle_pairings(discovery)
+                mutual_edges.append(edges)
+                dedicated.append(channels)
     else:
         times_results = _run_exchange_lockstep(
             members, seed_lists, "cgcast.times"
@@ -487,19 +490,20 @@ def run_cgcast_lockstep(
     # 3. Edge coloring (serial per trial: phase counts are
     # data-dependent, so there is no shared lockstep schedule) --------
     colorings = []
-    for b, (seed, edges) in enumerate(zip(flat_seeds, mutual_edges)):
-        net_b = _member_network(members, slices, b)
-        coloring = LubyEdgeColoring(
-            LineGraph.from_edges(edges),
-            kn,
-            constants=consts,
-            seed=seed,
-            loss_rate=proto.coloring_loss_rate,
-            exchange_mode=mode,
-            network=net_b if mode == "simulated" else None,
-        ).run()
-        ledgers[b].merge(coloring.ledger)
-        colorings.append(coloring)
+    with obs.span("luby_coloring"):
+        for b, (seed, edges) in enumerate(zip(flat_seeds, mutual_edges)):
+            net_b = _member_network(members, slices, b)
+            coloring = LubyEdgeColoring(
+                LineGraph.from_edges(edges),
+                kn,
+                constants=consts,
+                seed=seed,
+                loss_rate=proto.coloring_loss_rate,
+                exchange_mode=mode,
+                network=net_b if mode == "simulated" else None,
+            ).run()
+            ledgers[b].merge(coloring.ledger)
+            colorings.append(coloring)
 
     # 4. Color announcement -------------------------------------------
     edge_colors_list: List[Dict[Edge, int]] = []
@@ -507,11 +511,12 @@ def run_cgcast_lockstep(
         # Reliable delivery means the far endpoint of every colored
         # edge learns its color, so assembly is the identity on the
         # simulator-held colors; only the exchange cost remains.
-        cost = exchange_slot_cost(kn, consts)
-        for ledger in ledgers:
-            ledger.charge("exchange", cost)
-        for coloring in colorings:
-            edge_colors_list.append(dict(coloring.colors))
+        with obs.span("oracle_exchange"):
+            cost = exchange_slot_cost(kn, consts)
+            for ledger in ledgers:
+                ledger.charge("exchange", cost)
+            for coloring in colorings:
+                edge_colors_list.append(dict(coloring.colors))
     else:
         color_results = _run_exchange_lockstep(
             members, seed_lists, "cgcast.colors"

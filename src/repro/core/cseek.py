@@ -34,6 +34,7 @@ from typing import List, Literal, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.constants import ProtocolConstants
 from repro.core.count import run_count_step
 from repro.model.errors import ProtocolError
@@ -296,6 +297,19 @@ class CSeek:
     # ------------------------------------------------------------------
     def run(self) -> CSeekResult:
         """Execute part one then part two; return the full result."""
+        # Telemetry stage mirrors the lockstep runner: plain CSEEK (and
+        # CGCAST discovery) report as "discovery"; rng-relabelled
+        # simulated exchanges report as "oracle_exchange".
+        stage = (
+            "discovery"
+            if self.rng_label == "cseek"
+            or self.rng_label.endswith("discovery")
+            else "oracle_exchange"
+        )
+        with obs.span(stage):
+            return self._execute()
+
+    def _execute(self) -> CSeekResult:
         net = self.network
         kn = self.knowledge
         n, c = net.n, net.c

@@ -48,6 +48,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.constants import ProtocolConstants
 from repro.core.count import count_schedule, run_count_step_batch
 from repro.core.cseek import (
@@ -335,6 +336,15 @@ def run_cseek_lockstep(
         raise ProtocolError("seeds must name at least one trial")
 
     proto = members[0].batch._proto
+    # Telemetry stage: plain CSEEK/CKSEEK runs and CGCAST's discovery
+    # stage are "discovery"; the runner is also reused for simulated
+    # meeting-time/color exchanges, which report as "oracle_exchange".
+    stage = (
+        "discovery"
+        if proto.rng_label == "cseek"
+        or proto.rng_label.endswith("discovery")
+        else "oracle_exchange"
+    )
     kn = proto.knowledge
     n, c = proto.network.n, proto.network.c
     per_member = [len(seeds) for seeds in seed_lists]
@@ -401,42 +411,43 @@ def run_cseek_lockstep(
     count_slots = count_rounds * count_round_len
 
     rng1 = [hub.generator("part1") for hub in hubs]
-    for _ in range(proto.part1_step_budget):
-        labels = np.empty((num_trials, n), dtype=np.int64)
-        tx_role = np.empty((num_trials, n), dtype=bool)
-        for b in range(num_trials):
-            labels[b] = rng1[b].integers(0, c, size=n)
-            tx_role[b] = rng1[b].random(n) < 0.5
-        channels = np.empty((num_trials, n), dtype=np.int64)
-        for sl, table in zip(slices, tables):
-            channels[sl] = table[rows[None, :], labels[sl]]
-        jam = gather_jam(channels, count_slots)
-        outcome = run_count_step_batch(
-            adjacency,
-            channels,
-            tx_role,
-            max_count=kn.max_degree,
-            log_n=kn.log_n,
-            constants=proto.constants,
-            rngs=rng1,
-            jam=jam,
-        )
-        listeners = ~tx_role
-        b_idx, u_idx = np.nonzero(listeners)
-        # (b, u) pairs are unique, so plain fancy-index accumulation
-        # matches the serial += exactly.
-        counts[b_idx, u_idx, labels[b_idx, u_idx]] += (
-            outcome.estimates[b_idx, u_idx]
-        )
-        record_step_batch(
-            traces, outcome.step, slot_cursor, "cseek.part1",
-            channels=channels,
-        )
-        step_starts.append(slot_cursor)
-        step_channels.append(channels)
-        slot_cursor += outcome.num_slots
-        for ledger in ledgers:
-            ledger.charge("part1", outcome.num_slots)
+    with obs.span(stage):
+        for _ in range(proto.part1_step_budget):
+            labels = np.empty((num_trials, n), dtype=np.int64)
+            tx_role = np.empty((num_trials, n), dtype=bool)
+            for b in range(num_trials):
+                labels[b] = rng1[b].integers(0, c, size=n)
+                tx_role[b] = rng1[b].random(n) < 0.5
+            channels = np.empty((num_trials, n), dtype=np.int64)
+            for sl, table in zip(slices, tables):
+                channels[sl] = table[rows[None, :], labels[sl]]
+            jam = gather_jam(channels, count_slots)
+            outcome = run_count_step_batch(
+                adjacency,
+                channels,
+                tx_role,
+                max_count=kn.max_degree,
+                log_n=kn.log_n,
+                constants=proto.constants,
+                rngs=rng1,
+                jam=jam,
+            )
+            listeners = ~tx_role
+            b_idx, u_idx = np.nonzero(listeners)
+            # (b, u) pairs are unique, so plain fancy-index
+            # accumulation matches the serial += exactly.
+            counts[b_idx, u_idx, labels[b_idx, u_idx]] += (
+                outcome.estimates[b_idx, u_idx]
+            )
+            record_step_batch(
+                traces, outcome.step, slot_cursor, "cseek.part1",
+                channels=channels,
+            )
+            step_starts.append(slot_cursor)
+            step_channels.append(channels)
+            slot_cursor += outcome.num_slots
+            for ledger in ledgers:
+                ledger.charge("part1", outcome.num_slots)
 
     discovered_part_one = [
         [set(trace.heard_by(u)) for u in range(n)] for trace in traces
@@ -444,31 +455,32 @@ def run_cseek_lockstep(
 
     rng2 = [hub.generator("part2") for hub in hubs]
     backoff_len = kn.log_delta
-    for _ in range(proto.part2_step_budget):
-        labels = np.empty((num_trials, n), dtype=np.int64)
-        tx_role = np.empty((num_trials, n), dtype=bool)
-        for b in range(num_trials):
-            tx_role[b] = rng2[b].random(n) < 0.5
-            labels[b] = choose_part2_labels(
-                rng2[b], tx_role[b], counts[b],
-                policy=proto.part2_listener,
+    with obs.span(stage):
+        for _ in range(proto.part2_step_budget):
+            labels = np.empty((num_trials, n), dtype=np.int64)
+            tx_role = np.empty((num_trials, n), dtype=bool)
+            for b in range(num_trials):
+                tx_role[b] = rng2[b].random(n) < 0.5
+                labels[b] = choose_part2_labels(
+                    rng2[b], tx_role[b], counts[b],
+                    policy=proto.part2_listener,
+                )
+            channels = np.empty((num_trials, n), dtype=np.int64)
+            for sl, table in zip(slices, tables):
+                channels[sl] = table[rows[None, :], labels[sl]]
+            jam = gather_jam(channels, backoff_len)
+            outcome = resolve_backoff_batch(
+                adjacency, channels, tx_role, backoff_len, rng2, jam=jam
             )
-        channels = np.empty((num_trials, n), dtype=np.int64)
-        for sl, table in zip(slices, tables):
-            channels[sl] = table[rows[None, :], labels[sl]]
-        jam = gather_jam(channels, backoff_len)
-        outcome = resolve_backoff_batch(
-            adjacency, channels, tx_role, backoff_len, rng2, jam=jam
-        )
-        record_step_batch(
-            traces, outcome, slot_cursor, "cseek.part2",
-            channels=channels,
-        )
-        step_starts.append(slot_cursor)
-        step_channels.append(channels)
-        slot_cursor += backoff_len
-        for ledger in ledgers:
-            ledger.charge("part2", backoff_len)
+            record_step_batch(
+                traces, outcome, slot_cursor, "cseek.part2",
+                channels=channels,
+            )
+            step_starts.append(slot_cursor)
+            step_channels.append(channels)
+            slot_cursor += backoff_len
+            for ledger in ledgers:
+                ledger.charge("part2", backoff_len)
 
     # (S, B, n) -> per-trial (S, n) slices, matching serial vstack.
     all_channels = (

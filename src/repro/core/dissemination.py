@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.constants import ProtocolConstants
 from repro.model.errors import ProtocolError
 from repro.model.spec import ModelKnowledge
@@ -214,36 +215,37 @@ def run_dissemination(
     slot_cursor = 0
     phases_run = 0
 
-    for _ in range(kn.diameter):
-        phases_run += 1
-        for color in range(num_colors):
-            channels = color_channels.get(color)
-            if channels is None:
-                # No edge has this color; the step still occupies its
-                # scheduled slots (nodes idle), matching the paper's
-                # fixed step-per-color schedule.
+    with obs.span("dissemination"):
+        for _ in range(kn.diameter):
+            phases_run += 1
+            for color in range(num_colors):
+                channels = color_channels.get(color)
+                if channels is None:
+                    # No edge has this color; the step still occupies
+                    # its scheduled slots (nodes idle), matching the
+                    # paper's fixed step-per-color schedule.
+                    slot_cursor += slots_per_step
+                    ledger.charge("dissemination", slots_per_step)
+                    continue
+                participating = channels >= 0
+                tx_role = participating & informed
+                coins = rng.random((slots_per_step, n)) < probs[:, None]
+                outcome = resolve_step(
+                    network.adjacency, channels, tx_role, coins
+                )
+                heard = outcome.heard_from >= 0
+                # A node is informed at the earliest slot it heard *any*
+                # message in this step: only informed nodes transmit
+                # here, and the message is always the broadcast payload.
+                newly = heard.any(axis=0) & ~informed
+                if newly.any():
+                    first = np.argmax(heard, axis=0)
+                    informed_slot[newly] = slot_cursor + first[newly]
+                    informed[newly] = True
                 slot_cursor += slots_per_step
                 ledger.charge("dissemination", slots_per_step)
-                continue
-            participating = channels >= 0
-            tx_role = participating & informed
-            coins = rng.random((slots_per_step, n)) < probs[:, None]
-            outcome = resolve_step(
-                network.adjacency, channels, tx_role, coins
-            )
-            heard = outcome.heard_from >= 0
-            # A node is informed at the earliest slot it heard *any*
-            # message in this step: only informed nodes transmit here,
-            # and the message is always the broadcast payload.
-            newly = heard.any(axis=0) & ~informed
-            if newly.any():
-                first = np.argmax(heard, axis=0)
-                informed_slot[newly] = slot_cursor + first[newly]
-                informed[newly] = True
-            slot_cursor += slots_per_step
-            ledger.charge("dissemination", slots_per_step)
-        if early_stop and informed.all():
-            break
+            if early_stop and informed.all():
+                break
 
     return DisseminationResult(
         informed=informed,
@@ -367,51 +369,54 @@ def run_dissemination_batch(
     # schedule position, and stopped trials never consult it again.
     slot_cursor = 0
 
-    for _ in range(kn.diameter):
-        if not active.any():
-            break
-        phases_run[active] += 1
-        for color in range(num_colors):
-            # Active trials lacking this color idle through the step
-            # (their cursor advances, no coins are drawn) — exactly the
-            # serial empty-color branch.
-            sub = [
-                b
-                for b in range(num_trials)
-                if active[b] and color in color_channels[b]
-            ]
-            if sub:
-                sub_idx = np.asarray(sub)
-                channels = np.stack(
-                    [color_channels[b][color] for b in sub]
-                )
-                coins = np.empty(
-                    (len(sub), slots_per_step, n), dtype=bool
-                )
-                for i, b in enumerate(sub):
-                    coins[i] = (
-                        rngs[b].random((slots_per_step, n))
-                        < probs[:, None]
+    with obs.span("dissemination"):
+        for _ in range(kn.diameter):
+            if not active.any():
+                break
+            phases_run[active] += 1
+            for color in range(num_colors):
+                # Active trials lacking this color idle through the
+                # step (their cursor advances, no coins are drawn) —
+                # exactly the serial empty-color branch.
+                sub = [
+                    b
+                    for b in range(num_trials)
+                    if active[b] and color in color_channels[b]
+                ]
+                if sub:
+                    sub_idx = np.asarray(sub)
+                    channels = np.stack(
+                        [color_channels[b][color] for b in sub]
                     )
-                tx_role = (channels >= 0) & informed[sub_idx]
-                adj = (
-                    adjacency[sub_idx]
-                    if adjacency.ndim == 3
-                    else adjacency
-                )
-                outcome = resolve_step_batch(adj, channels, tx_role, coins)
-                heard = outcome.heard_from >= 0
-                newly = heard.any(axis=1) & ~informed[sub_idx]
-                if newly.any():
-                    first = np.argmax(heard, axis=1)
-                    s_i, u_i = np.nonzero(newly)
-                    informed_slot[sub_idx[s_i], u_i] = (
-                        slot_cursor + first[s_i, u_i]
+                    coins = np.empty(
+                        (len(sub), slots_per_step, n), dtype=bool
                     )
-                    informed[sub_idx[s_i], u_i] = True
-            slot_cursor += slots_per_step
-        if early_stop:
-            active &= ~informed.all(axis=1)
+                    for i, b in enumerate(sub):
+                        coins[i] = (
+                            rngs[b].random((slots_per_step, n))
+                            < probs[:, None]
+                        )
+                    tx_role = (channels >= 0) & informed[sub_idx]
+                    adj = (
+                        adjacency[sub_idx]
+                        if adjacency.ndim == 3
+                        else adjacency
+                    )
+                    outcome = resolve_step_batch(
+                        adj, channels, tx_role, coins
+                    )
+                    heard = outcome.heard_from >= 0
+                    newly = heard.any(axis=1) & ~informed[sub_idx]
+                    if newly.any():
+                        first = np.argmax(heard, axis=1)
+                        s_i, u_i = np.nonzero(newly)
+                        informed_slot[sub_idx[s_i], u_i] = (
+                            slot_cursor + first[s_i, u_i]
+                        )
+                        informed[sub_idx[s_i], u_i] = True
+                slot_cursor += slots_per_step
+            if early_stop:
+                active &= ~informed.all(axis=1)
 
     results: List[DisseminationResult] = []
     for b in range(num_trials):

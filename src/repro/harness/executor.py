@@ -55,18 +55,22 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 import traceback
 from typing import (
     TYPE_CHECKING,
     Callable,
     Iterator,
     List,
+    Optional,
     Protocol,
     Sequence,
+    Tuple,
     TypeVar,
     runtime_checkable,
 )
 
+from repro import obs
 from repro.model.errors import HarnessError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (rng is sim-side)
@@ -118,6 +122,7 @@ class SerialExecutor:
     def run(
         self, trial: Callable[[int], T], seeds: Sequence[int]
     ) -> List[T]:
+        obs.count("executor.trials", len(seeds))
         return [call_trial(trial, s) for s in seeds]
 
 
@@ -135,8 +140,19 @@ def _worker_init(trial: Callable[[int], object]) -> None:
     _worker_trial = trial
 
 
-def _worker_chunk(seeds: List[int]) -> List[tuple]:
-    """Run a chunk of seeds, returning per-seed (ok, payload) pairs."""
+def _worker_chunk(
+    seeds: List[int],
+) -> Tuple[List[tuple], Optional[dict]]:
+    """Run a chunk of seeds in a pool worker.
+
+    Returns per-seed ``(ok, payload)`` pairs plus the chunk's telemetry
+    snapshot (None while telemetry is off). Workers inherit the
+    enabled-state through fork; each chunk records under a fresh
+    recorder, and the parent merges the shipped snapshots — integer
+    aggregates, so pool completion order cannot change the totals.
+    """
+    tel = obs.start() if obs.enabled() else None
+    start_ns = time.perf_counter_ns()
     results = []
     for seed in seeds:
         try:
@@ -145,7 +161,15 @@ def _worker_chunk(seeds: List[int]) -> List[tuple]:
             results.append(
                 (False, (seed, f"{exc!r}\n{traceback.format_exc()}"))
             )
-    return results
+    snapshot = None
+    if tel is not None:
+        tel.count("worker.chunks")
+        tel.count("worker.wall_ns", time.perf_counter_ns() - start_ns)
+        rss = obs.peak_rss_kb()
+        if rss is not None:
+            tel.gauge_max("worker.peak_rss_kb", rss)
+        snapshot = obs.stop()
+    return results, snapshot
 
 
 class ParallelExecutor:
@@ -185,13 +209,17 @@ class ParallelExecutor:
         chunks = [
             seeds[i : i + chunk] for i in range(0, len(seeds), chunk)
         ]
+        obs.count("executor.trials", len(seeds))
+        collector = obs.active()
         results: List[T] = []
         with ctx.Pool(
             jobs, initializer=_worker_init, initargs=(trial,)
         ) as pool:
             # imap preserves chunk order and surfaces a failed chunk as
             # soon as it completes, instead of after the whole sweep.
-            for part in pool.imap(_worker_chunk, chunks):
+            for part, snapshot in pool.imap(_worker_chunk, chunks):
+                if collector is not None:
+                    collector.merge_snapshot(snapshot)
                 for ok, payload in part:
                     if not ok:
                         seed, detail = payload
@@ -237,10 +265,12 @@ class BatchedExecutor:
         run_batch = getattr(trial, "run_batch", None)
         if run_batch is None:
             return SerialExecutor().run(trial, seeds)
+        obs.count("executor.trials", len(seeds))
         size = self.batch_size or max(1, len(seeds))
         results: List[T] = []
         for i in range(0, len(seeds), size):
             chunk = seeds[i : i + size]
+            obs.count("executor.batches")
             try:
                 part = list(run_batch(chunk))
             except HarnessError:
@@ -353,9 +383,11 @@ class StreamingExecutor:
         seeds = list(seeds)
         results: List[T] = []
         for i in range(0, len(seeds), self.chunk_size):
-            results.extend(
-                self.inner.run(trial, seeds[i : i + self.chunk_size])
-            )
+            obs.count("stream.chunks")
+            with obs.span("chunk"):
+                results.extend(
+                    self.inner.run(trial, seeds[i : i + self.chunk_size])
+                )
         return results
 
     def iter_chunks(
@@ -383,7 +415,10 @@ class StreamingExecutor:
         done = 0
         while done < max_trials:
             count = min(chunk, max_trials - done)
-            yield self.inner.run(trial, stream.take(count))
+            obs.count("stream.chunks")
+            with obs.span("chunk"):
+                part = self.inner.run(trial, stream.take(count))
+            yield part
             done += count
             chunk = min(chunk * 2, self.chunk_size)
 

@@ -1,0 +1,164 @@
+"""Render telemetry snapshots: stage tables and Chrome trace JSON.
+
+Two consumers: the CLI (``run-scenario --telemetry``, the ``telemetry``
+command) and the campaign report ("## Telemetry" section). Both work
+from plain snapshots, so they render live recorders and stored manifest
+blocks identically — store-only rendering is the point.
+
+Chrome trace output follows the Trace Event Format (``ph: "X"``
+complete events, microsecond timestamps); load it at
+``chrome://tracing`` or https://ui.perfetto.dev for a flame view. With
+``--telemetry=chrome`` the recorder keeps raw events and the trace is
+exact; from stored aggregates (no events) a synthetic trace is laid out
+end-to-end per stage, preserving totals but not interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .telemetry import SPAN_STAGES, Snapshot
+
+__all__ = [
+    "chrome_trace_events",
+    "render_telemetry",
+    "stage_rows",
+    "write_chrome_trace",
+]
+
+
+def _stage_order(label: str) -> Tuple[int, str]:
+    try:
+        return (SPAN_STAGES.index(label), label)
+    except ValueError:
+        return (len(SPAN_STAGES), label)
+
+
+def stage_rows(snapshot: Snapshot) -> List[Dict[str, object]]:
+    """Flatten a snapshot's spans into report rows (canonical order).
+
+    Each row: ``stage``, ``calls``, ``total_s``, ``mean_ms``,
+    ``max_ms``, ``share`` (fraction of the summed span time; nested
+    spans overlap, so shares are per-stage weights, not a partition).
+    """
+    spans = snapshot.get("spans", {}) if snapshot else {}
+    total_ns = sum(int(stat["total_ns"]) for stat in spans.values())
+    rows = []
+    for label in sorted(spans, key=_stage_order):
+        stat = spans[label]
+        calls = int(stat["count"])
+        stage_ns = int(stat["total_ns"])
+        rows.append(
+            {
+                "stage": label,
+                "calls": calls,
+                "total_s": stage_ns / 1e9,
+                "mean_ms": (stage_ns / calls) / 1e6 if calls else 0.0,
+                "max_ms": int(stat["max_ns"]) / 1e6,
+                "share": stage_ns / total_ns if total_ns else 0.0,
+            }
+        )
+    return rows
+
+
+def render_telemetry(snapshot: Snapshot, heading: Optional[str] = None) -> str:
+    """Markdown stage-breakdown table plus counters and gauges."""
+    lines: List[str] = []
+    if heading:
+        lines += [heading, ""]
+    rows = stage_rows(snapshot)
+    if rows:
+        lines += [
+            "| stage | calls | total (s) | mean (ms) | max (ms) | share |",
+            "| --- | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for row in rows:
+            lines.append(
+                "| {stage} | {calls} | {total_s:.4f} | {mean_ms:.3f} "
+                "| {max_ms:.3f} | {share:.1%} |".format(**row)
+            )
+    else:
+        lines.append("(no spans recorded)")
+    counters = snapshot.get("counters", {}) if snapshot else {}
+    if counters:
+        lines += ["", "Counters:", ""]
+        for name in sorted(counters):
+            lines.append(f"- `{name}`: {counters[name]}")
+    gauges = snapshot.get("gauges", {}) if snapshot else {}
+    if gauges:
+        lines += ["", "Gauges:", ""]
+        for name in sorted(gauges):
+            value = gauges[name]
+            text = f"{value:g}" if value % 1 else f"{int(value)}"
+            lines.append(f"- `{name}`: {text}")
+    return "\n".join(lines)
+
+
+def chrome_trace_events(
+    snapshot: Snapshot, pid: int = 0, tid: int = 0, name: str = "repro"
+) -> List[Dict[str, object]]:
+    """Trace Event Format events for one snapshot.
+
+    Prefers raw recorder events (``--telemetry=chrome``); falls back to
+    a synthetic end-to-end layout of the per-stage aggregates so stored
+    manifests — which keep only aggregates — still render a flame view
+    with correct totals.
+    """
+    events = snapshot.get("events") if snapshot else None
+    out: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        }
+    ]
+    if events:
+        base = min(int(ev["start_ns"]) for ev in events)
+        for ev in events:
+            out.append(
+                {
+                    "ph": "X",
+                    "name": str(ev["label"]),
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": (int(ev["start_ns"]) - base) / 1e3,
+                    "dur": int(ev["dur_ns"]) / 1e3,
+                    "args": {"depth": int(ev.get("depth", 0))},
+                }
+            )
+        return out
+    cursor_us = 0.0
+    for row in stage_rows(snapshot):
+        dur_us = row["total_s"] * 1e6
+        out.append(
+            {
+                "ph": "X",
+                "name": row["stage"],
+                "pid": pid,
+                "tid": tid,
+                "ts": cursor_us,
+                "dur": dur_us,
+                "args": {"calls": row["calls"], "synthetic": True},
+            }
+        )
+        cursor_us += dur_us
+    return out
+
+
+def write_chrome_trace(
+    path: Path, snapshots: Sequence[Tuple[str, Snapshot]]
+) -> Path:
+    """Write one trace file; each named snapshot becomes a process row."""
+    trace: List[Dict[str, object]] = []
+    for pid, (name, snap) in enumerate(snapshots):
+        trace.extend(chrome_trace_events(snap, pid=pid, name=name))
+    path = Path(path)
+    path.write_text(
+        json.dumps({"traceEvents": trace, "displayTimeUnit": "ms"}, indent=2)
+        + "\n"
+    )
+    return path

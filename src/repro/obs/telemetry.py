@@ -1,0 +1,295 @@
+"""Dependency-free telemetry: spans, counters, gauges, and a collector.
+
+The observability layer answers *where wall-clock and GEMM budgets go*
+inside the batched runners, pool workers, and streaming loops — the
+question the end-row metrics (slots, informed fractions) cannot. Three
+primitives:
+
+- **Spans** — nestable timed regions with stage labels (``discovery``,
+  ``oracle_exchange``, ``luby_coloring``, ``dissemination``, ``gemm``,
+  ``chunk``). Each label aggregates ``[count, total_ns, max_ns]``.
+- **Counters** — monotonic integer event counts (resolve-step calls,
+  cache hits/misses, trials executed, chunks flushed).
+- **Gauges** — high-water marks merged by ``max`` (peak RSS per
+  worker process).
+
+Design constraints, in order:
+
+1. **Off by default, near-zero overhead.** Recording happens only while
+   a recorder is active (:func:`start` / :func:`capture`). Disabled,
+   :func:`span` returns a shared ``nullcontext`` and :func:`count` is a
+   single truthiness check — no allocation, no clock read.
+2. **Never touches RNG streams.** Telemetry reads clocks and dict
+   slots; it draws nothing and reorders nothing, so golden rows are
+   byte-identical with it on or off (CI-checked).
+3. **Deterministic, commutative merge.** Durations are integer
+   nanoseconds (``time.perf_counter_ns``): integer sums are exactly
+   commutative *and* associative, unlike float addition, so merging
+   per-worker snapshots in pool-completion order or streaming chunks in
+   any order yields identical aggregates — the same discipline as
+   ``StreamingMoments``.
+
+The collector is a stack of recorders: :func:`start` pushes, the
+instrumentation sites write to the top, and :func:`stop` pops and folds
+the child's snapshot into its parent. Fork-pool workers inherit the
+enabled state, record each chunk under a fresh recorder, and ship the
+snapshot back with the chunk results; the parent merges
+(:meth:`Telemetry.merge_snapshot`). Snapshots are plain JSON-ready
+dicts so they cross process and manifest boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "SPAN_STAGES",
+    "Telemetry",
+    "active",
+    "capture",
+    "count",
+    "empty_snapshot",
+    "enabled",
+    "gauge_max",
+    "merge_snapshots",
+    "peak_rss_kb",
+    "span",
+    "start",
+    "stop",
+]
+
+#: Canonical stage labels used by the instrumented layers. Other labels
+#: are legal; these are the ones reports group and order by.
+SPAN_STAGES = (
+    "discovery",
+    "oracle_exchange",
+    "luby_coloring",
+    "dissemination",
+    "gemm",
+    "chunk",
+)
+
+Snapshot = Dict[str, object]
+
+# Span aggregate layout: [count, total_ns, max_ns].
+_COUNT, _TOTAL, _MAX = 0, 1, 2
+
+
+class Telemetry:
+    """One recorder: span/counter/gauge aggregates plus optional trace.
+
+    Not thread-safe; each worker process records into its own instance
+    and the merge happens in the parent (the repo's pools are
+    process-based, so this is the natural unit).
+    """
+
+    __slots__ = ("counters", "spans", "gauges", "trace", "events", "_depth")
+
+    def __init__(self, trace: bool = False) -> None:
+        self.counters: Dict[str, int] = {}
+        self.spans: Dict[str, List[int]] = {}
+        self.gauges: Dict[str, float] = {}
+        self.trace = trace
+        #: Raw span events (label/start_ns/dur_ns/depth), kept only in
+        #: ``trace`` mode for Chrome trace-event export. Events do not
+        #: participate in the commutativity contract — aggregates do.
+        self.events: List[Dict[str, object]] = []
+        self._depth = 0
+
+    # -- recording -----------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = float(value)
+
+    @contextmanager
+    def span(self, label: str) -> Iterator[None]:
+        start_ns = time.perf_counter_ns()
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            dur = time.perf_counter_ns() - start_ns
+            stat = self.spans.get(label)
+            if stat is None:
+                self.spans[label] = [1, dur, dur]
+            else:
+                stat[_COUNT] += 1
+                stat[_TOTAL] += dur
+                if dur > stat[_MAX]:
+                    stat[_MAX] = dur
+            if self.trace:
+                self.events.append(
+                    {
+                        "label": label,
+                        "start_ns": start_ns,
+                        "dur_ns": dur,
+                        "depth": self._depth,
+                    }
+                )
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """JSON-ready copy of the aggregates (and trace events, if on)."""
+        snap: Snapshot = {
+            "counters": dict(self.counters),
+            "spans": {
+                label: {
+                    "count": stat[_COUNT],
+                    "total_ns": stat[_TOTAL],
+                    "max_ns": stat[_MAX],
+                }
+                for label, stat in self.spans.items()
+            },
+            "gauges": dict(self.gauges),
+        }
+        if self.trace:
+            snap["events"] = [dict(ev) for ev in self.events]
+        return snap
+
+    def merge_snapshot(self, snap: Optional[Snapshot]) -> None:
+        """Fold a snapshot (e.g. from a pool worker) into this recorder.
+
+        Counters and span counts/totals sum, span maxima and gauges take
+        the max — all commutative and (for the integer fields) exactly
+        associative, so worker completion order cannot change the
+        result.
+        """
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.count(name, value)
+        for label, stat in snap.get("spans", {}).items():
+            mine = self.spans.get(label)
+            if mine is None:
+                self.spans[label] = [
+                    int(stat["count"]),
+                    int(stat["total_ns"]),
+                    int(stat["max_ns"]),
+                ]
+            else:
+                mine[_COUNT] += int(stat["count"])
+                mine[_TOTAL] += int(stat["total_ns"])
+                if int(stat["max_ns"]) > mine[_MAX]:
+                    mine[_MAX] = int(stat["max_ns"])
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge_max(name, value)
+        if self.trace:
+            self.events.extend(dict(ev) for ev in snap.get("events", ()))
+
+
+# -- module-level collector (recorder stack) ---------------------------
+
+_STACK: List[Telemetry] = []
+_NULL = nullcontext()
+
+
+def enabled() -> bool:
+    """True while any recorder is active (telemetry is on)."""
+    return bool(_STACK)
+
+
+def active() -> Optional[Telemetry]:
+    """The recorder currently receiving events, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+def start(trace: bool = False) -> Telemetry:
+    """Push a fresh recorder; instrumentation now writes to it."""
+    tel = Telemetry(trace=trace)
+    _STACK.append(tel)
+    return tel
+
+
+def stop() -> Snapshot:
+    """Pop the current recorder, fold it into its parent, return it.
+
+    Nesting gives scoped deltas for free: a campaign entry records
+    under its own recorder, and on ``stop`` the entry's aggregates roll
+    up into the session recorder that will produce the campaign totals.
+    """
+    if not _STACK:
+        raise RuntimeError("telemetry stop() without a matching start()")
+    tel = _STACK.pop()
+    snap = tel.snapshot()
+    if _STACK:
+        _STACK[-1].merge_snapshot(snap)
+    return snap
+
+
+@contextmanager
+def capture(trace: bool = False) -> Iterator[Telemetry]:
+    """Record a block; read ``tel.snapshot()`` after (or inside) it."""
+    tel = start(trace=trace)
+    try:
+        yield tel
+    finally:
+        # The recorder may have been popped early by a mismatched stop;
+        # only pop if it is still ours.
+        if _STACK and _STACK[-1] is tel:
+            stop()
+
+
+def span(label: str):
+    """Timed region context manager; a shared no-op when disabled."""
+    if _STACK:
+        return _STACK[-1].span(label)
+    return _NULL
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active recorder; no-op when disabled."""
+    if _STACK:
+        _STACK[-1].count(name, n)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a high-water gauge on the active recorder; no-op if off."""
+    if _STACK:
+        _STACK[-1].gauge_max(name, value)
+
+
+# -- pure snapshot algebra ---------------------------------------------
+
+
+def empty_snapshot() -> Snapshot:
+    return {"counters": {}, "spans": {}, "gauges": {}}
+
+
+def merge_snapshots(*snaps: Optional[Snapshot]) -> Snapshot:
+    """Merge snapshots into a fresh one (commutative, associative).
+
+    The pure-function face of :meth:`Telemetry.merge_snapshot`, used to
+    roll per-entry manifest blocks up into campaign totals store-only.
+    """
+    acc = Telemetry()
+    for snap in snaps:
+        acc.merge_snapshot(snap)
+    return acc.snapshot()
+
+
+# -- cheap always-on vitals --------------------------------------------
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB, if knowable.
+
+    Uses the stdlib ``resource`` module (``ru_maxrss`` is KiB on
+    Linux, bytes on macOS — normalised here). Returns None on platforms
+    without it; callers must treat the vital as optional.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        rss //= 1024
+    return int(rss)

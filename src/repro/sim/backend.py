@@ -40,6 +40,7 @@ from typing import Iterator, List, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.model.errors import HarnessError
 
 __all__ = [
@@ -132,11 +133,18 @@ class NumpyBackend:
             if obj is reach:
                 if i:  # move-to-front; the hot mask stays first
                     self._floats.insert(0, self._floats.pop(i))
+                obs.count("backend.float_cache.hits")
                 return reach_f, reach_ids
+        obs.count("backend.float_cache.misses")
         reach_f = reach.astype(np.float64)
         ids = np.arange(reach.shape[-1], dtype=np.float64)
         reach_ids = reach_f * ids[None, :]
         self._floats.insert(0, (reach, reach_f, reach_ids))
+        if len(self._floats) > self._CACHE_ENTRIES:
+            obs.count(
+                "backend.float_cache.evictions",
+                len(self._floats) - self._CACHE_ENTRIES,
+            )
         del self._floats[self._CACHE_ENTRIES :]
         return reach_f, reach_ids
 
@@ -148,6 +156,7 @@ class NumpyBackend:
         contenders = np.empty((m, n), dtype=np.int64)
         idsum = np.empty((m, n), dtype=np.int64)
         rows = self._GEMM_ROWS
+        obs.count("backend.gemm_blocks", -(-m // rows))
         for i in range(0, m, rows):
             block = coins[i : i + rows].astype(np.float64)
             contenders[i : i + rows] = (block @ reach_f.T).astype(np.int64)
@@ -160,6 +169,7 @@ class NumpyBackend:
         # Batched BLAS GEMMs over the trial axis (matmul beats einsum
         # ~5x on these shapes). Per-trial masks are fresh arrays every
         # step, so there is nothing to memoize here.
+        obs.count("backend.gemm_batches")
         ids = np.arange(reach.shape[-1], dtype=np.float64)
         reach_t = reach.astype(np.float64).transpose(0, 2, 1)
         coins_f = coins.astype(np.float64)

@@ -53,6 +53,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.model.errors import ProtocolError
 from repro.sim.backend import active_backend
 
@@ -210,9 +211,16 @@ def _cached_reception_matrix(
         if adj is adjacency and ch == ch_key and tx == tx_key:
             if i:
                 _REACH_CACHE.insert(0, _REACH_CACHE.pop(i))
+            obs.count("engine.reach_cache.hits")
             return reach
+    obs.count("engine.reach_cache.misses")
     reach = _reception_matrix(adjacency, channels, tx_role)
     _REACH_CACHE.insert(0, (adjacency, ch_key, tx_key, reach))
+    if len(_REACH_CACHE) > _REACH_CACHE_ENTRIES:
+        obs.count(
+            "engine.reach_cache.evictions",
+            len(_REACH_CACHE) - _REACH_CACHE_ENTRIES,
+        )
     del _REACH_CACHE[_REACH_CACHE_ENTRIES:]
     return reach
 
@@ -290,7 +298,9 @@ def resolve_step(
     # neighbor transmits, the weighted sum of transmitting-neighbor ids
     # *is* the sender's id. Both are exact integers < n^2, so the
     # backend choice (BLAS float64, numba int loops) never changes them.
-    contenders, idsum = active_backend().step_products(reach, coins)
+    obs.count("engine.resolve_step_calls")
+    with obs.span("gemm"):
+        contenders, idsum = active_backend().step_products(reach, coins)
     listeners = (channels >= 0) & ~tx_role
     receivable = listeners[None, :] & (contenders == 1)
     if jam is not None:
@@ -374,7 +384,9 @@ def resolve_step_batch(
         # numpy backend blocks the GEMM rows to stay cache-resident).
         reach = _cached_reception_matrix(adjacency, channels, tx_role)
         flat = coins.reshape(b * t_slots, n)
-        contenders, idsum = backend.step_products(reach, flat)
+        obs.count("engine.resolve_step_batch_calls")
+        with obs.span("gemm"):
+            contenders, idsum = backend.step_products(reach, flat)
         contenders = contenders.reshape(b, t_slots, n)
         idsum = idsum.reshape(b, t_slots, n)
         listeners = (channels >= 0) & ~tx_role
@@ -395,7 +407,9 @@ def resolve_step_batch(
             & tuned[:, None, :]
             & tx_role2[:, None, :]
         )
-        contenders, idsum = backend.batch_step_products(reach, coins)
+        obs.count("engine.resolve_step_batch_calls")
+        with obs.span("gemm"):
+            contenders, idsum = backend.batch_step_products(reach, coins)
         listeners = tuned & ~tx_role2
         receivable = listeners[:, None, :] & (contenders == 1)
     if jam is not None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.model import HarnessError
 from repro.scenarios import run_scenario_spec
 from repro.sim.backend import (
@@ -133,6 +134,30 @@ class TestNumpyFloatCache:
         assert f1 is not f2
         assert np.array_equal(f1, f2)
 
+    def test_hit_miss_counters(self):
+        backend = NumpyBackend()
+        reach = np.random.default_rng(11).random((5, 5)) < 0.5
+        with obs.capture() as tel:
+            backend.reach_floats(reach)
+            backend.reach_floats(reach)
+            backend.reach_floats(reach)
+        assert tel.counters["backend.float_cache.misses"] == 1
+        assert tel.counters["backend.float_cache.hits"] == 2
+        assert "backend.float_cache.evictions" not in tel.counters
+
+    def test_eviction_counter_matches_bound(self):
+        backend = NumpyBackend()
+        extra = 3
+        masks = [
+            np.random.default_rng(i).random((4, 4)) < 0.5
+            for i in range(NumpyBackend._CACHE_ENTRIES + extra)
+        ]
+        with obs.capture() as tel:
+            for mask in masks:
+                backend.reach_floats(mask)
+        assert tel.counters["backend.float_cache.misses"] == len(masks)
+        assert tel.counters["backend.float_cache.evictions"] == extra
+
 
 class TestEngineReachCache:
     def test_repeated_steps_reuse_one_reception_matrix(self):
@@ -148,6 +173,26 @@ class TestEngineReachCache:
         first = _cached_reception_matrix(adj, channels, tx_role)
         second = _cached_reception_matrix(adj, channels, tx_role)
         assert first is second
+
+    def test_hit_miss_counters(self):
+        from repro.sim.engine import _cached_reception_matrix
+
+        rng = np.random.default_rng(12)
+        n = 5
+        adj = rng.random((n, n)) < 0.5
+        adj = np.triu(adj, 1)
+        adj = adj | adj.T
+        channels = rng.integers(0, 2, size=n)
+        tx_role = rng.random(n) < 0.5
+        # Fresh arrays cannot already sit in the module-level cache
+        # (adjacency matches by identity), so the first call is exactly
+        # one miss and the repeats are exactly hits.
+        with obs.capture() as tel:
+            _cached_reception_matrix(adj, channels, tx_role)
+            _cached_reception_matrix(adj, channels, tx_role)
+            _cached_reception_matrix(adj, channels, tx_role)
+        assert tel.counters["engine.reach_cache.misses"] == 1
+        assert tel.counters["engine.reach_cache.hits"] == 2
 
     def test_changed_channels_miss(self):
         from repro.sim.engine import _cached_reception_matrix, _reception_matrix
